@@ -1,0 +1,224 @@
+//! Distributed 2D block Cholesky factorization (`A = L·Lᵀ`, SPD input).
+//!
+//! Cholesky is in the family of direct factorizations the paper's bounds
+//! cover (§III); its communication structure is LU's at half the
+//! arithmetic, with the same `Θ(q)`-deep panel critical path (modelled by
+//! `psse-core::costs::Cholesky25d`). Block algorithm on a `q × q` grid,
+//! step `k`:
+//!
+//! 1. the diagonal rank factors `L_kk = chol(A_kk)` and broadcasts it
+//!    down column `k`;
+//! 2. column-`k` ranks below the diagonal form `L_ik = A_ik·L_kkᵀ⁻¹`;
+//! 3. each `L_ik` is broadcast along row `i`; each diagonal rank then
+//!    re-broadcasts its `L_jk` down column `j` (the standard two-hop that
+//!    gets the transposed panel where the update needs it);
+//! 4. trailing update `A_ij −= L_ik·L_jkᵀ` for `i ≥ j > k`.
+//!
+//! Only the lower triangle is computed; the returned matrix has zeros
+//! above the diagonal.
+
+use crate::bridge::gather_blocks_2d;
+use psse_kernels::gemm;
+use psse_kernels::lu::{cholesky_inplace, solve_upper_right};
+use psse_kernels::matrix::Matrix;
+use psse_sim::collectives::TAG_WINDOW;
+use psse_sim::prelude::*;
+
+/// Factor the SPD matrix `a` into `L` (lower triangular, `A = L·Lᵀ`) on
+/// `p = q²` ranks. Returns `L` and the execution profile.
+pub fn cholesky_2d(a: &Matrix, p: usize, cfg: SimConfig) -> Result<(Matrix, Profile), SimError> {
+    let grid = Grid2::from_p(p)?;
+    let q = grid.q();
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SimError::Algorithm(format!(
+            "cholesky: need a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if !n.is_multiple_of(q) {
+        return Err(SimError::Algorithm(format!(
+            "cholesky: grid edge q = {q} must divide n = {n}"
+        )));
+    }
+    let bs = n / q;
+    // Tag layout per step k: column-k broadcast, then q row broadcasts,
+    // then q column re-broadcasts.
+    let stride = TAG_WINDOW * (2 * q as u64 + 2);
+
+    let out = Machine::run(p, cfg, |rank| {
+        let (r, c) = grid.coords(rank.rank());
+        let block_words = (bs * bs) as u64;
+        rank.alloc(3 * block_words)?;
+        let mut la = a.block(r * bs, c * bs, bs, bs);
+
+        for k in 0..q {
+            let base = k as u64 * stride;
+            // 1. Factor the diagonal block and broadcast down column k.
+            let mut l_kk: Option<Matrix> = None;
+            if r == k && c == k {
+                cholesky_inplace(&mut la).map_err(|e| {
+                    SimError::Algorithm(format!("block {k} not positive definite: {e}"))
+                })?;
+                rank.compute(psse_kernels::lu::cholesky_flops(bs as u64));
+            }
+            if c == k {
+                let data = (r == k).then(|| la.clone().into_vec());
+                let col = grid.col_group(k);
+                let v = rank.broadcast(Tag(base), &col, grid.rank_of(k, k), data)?;
+                l_kk = Some(Matrix::from_vec(bs, bs, v));
+            }
+
+            // 2. Panel solves: L_ik = A_ik · (L_kkᵀ)⁻¹ for i > k.
+            if c == k && r > k {
+                let lkk_t = l_kk.as_ref().expect("column k has L_kk").transpose();
+                la = solve_upper_right(&la, &lkk_t)
+                    .map_err(|e| SimError::Algorithm(format!("singular L_kk at {k}: {e}")))?;
+                rank.compute((bs * bs * bs) as u64);
+            }
+
+            // 3a. Broadcast L_rk along row r (rows r > k only; every rank
+            //     of such a row participates). Rows ≥ k keep the result —
+            //     the diagonal rank (r, r) needs it for the re-broadcast.
+            let mut l_row: Option<Matrix> = None;
+            if r > k {
+                let data = (c == k).then(|| la.clone().into_vec());
+                let row = grid.row_group(r);
+                let v = rank.broadcast(
+                    Tag(base + TAG_WINDOW * (1 + r as u64)),
+                    &row,
+                    grid.rank_of(r, k),
+                    data,
+                )?;
+                l_row = Some(Matrix::from_vec(bs, bs, v));
+            }
+
+            // 3b. Diagonal ranks re-broadcast L_ck down column c (c > k),
+            //     delivering the transposed panel to the update.
+            let mut l_col: Option<Matrix> = None;
+            if c > k {
+                let data = (r == c).then(|| {
+                    l_row
+                        .as_ref()
+                        .expect("diagonal rank received its row panel")
+                        .clone()
+                        .into_vec()
+                });
+                let col = grid.col_group(c);
+                let v = rank.broadcast(
+                    Tag(base + TAG_WINDOW * (1 + q as u64 + c as u64)),
+                    &col,
+                    grid.rank_of(c, c),
+                    data,
+                )?;
+                l_col = Some(Matrix::from_vec(bs, bs, v));
+            }
+
+            // 4. Trailing update for the lower triangle: A_rc -= L_rk·L_ckᵀ.
+            if r > k && c > k && r >= c {
+                let l_rk = l_row.as_ref().expect("row panel present");
+                let l_ck = l_col.as_ref().expect("column panel present");
+                let mut update = Matrix::zeros(bs, bs);
+                gemm::matmul_add_into(&mut update, l_rk, &l_ck.transpose());
+                rank.compute(gemm::gemm_flops(bs, bs, bs));
+                la = la.sub(&update);
+                rank.compute(block_words);
+            }
+        }
+        rank.free(3 * block_words)?;
+        // Upper-triangle ranks report zeros (L is lower triangular).
+        Ok(if r >= c {
+            la.into_vec()
+        } else {
+            vec![0.0; bs * bs]
+        })
+    })?;
+
+    let l = gather_blocks_2d(&out.results, n, q);
+    Ok((l, out.profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_kernels::gemm::matmul;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::random(n, n, seed);
+        let mut a = matmul(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_spd_inputs() {
+        for (n, p) in [(8usize, 4usize), (12, 9), (16, 16), (16, 1)] {
+            let a = spd(n, 3);
+            let (l, _) = cholesky_2d(&a, p, SimConfig::counters_only()).unwrap();
+            let recon = matmul(&l, &l.transpose());
+            assert!(
+                recon.relative_error(&a) < 1e-10,
+                "n={n}, p={p}: err {}",
+                recon.relative_error(&a)
+            );
+            // L is lower triangular.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(l[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_cholesky() {
+        let n = 16;
+        let a = spd(n, 5);
+        let mut seq = a.clone();
+        cholesky_inplace(&mut seq).unwrap();
+        let (l, _) = cholesky_2d(&a, 16, SimConfig::counters_only()).unwrap();
+        assert!(l.max_abs_diff(&seq) < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_input_is_rejected() {
+        let mut a = Matrix::identity(8);
+        a[(3, 3)] = -5.0;
+        let r = cholesky_2d(&a, 4, SimConfig::counters_only());
+        assert!(matches!(r, Err(SimError::Algorithm(_))));
+    }
+
+    #[test]
+    fn message_count_grows_with_p_like_lu() {
+        let n = 32;
+        let a = spd(n, 7);
+        let (_, p4) = cholesky_2d(&a, 4, SimConfig::counters_only()).unwrap();
+        let (_, p16) = cholesky_2d(&a, 16, SimConfig::counters_only()).unwrap();
+        assert!(p16.max_msgs_sent() > p4.max_msgs_sent());
+    }
+
+    #[test]
+    fn does_roughly_half_the_lu_flops() {
+        let n = 32;
+        let a = Matrix::random_diagonally_dominant(n, 9);
+        let a_spd = spd(n, 9);
+        let (_, lu) = crate::lu2d::lu_2d(&a, 16, SimConfig::counters_only()).unwrap();
+        let (_, ch) = cholesky_2d(&a_spd, 16, SimConfig::counters_only()).unwrap();
+        let ratio = lu.total_flops() as f64 / ch.total_flops() as f64;
+        assert!(
+            (1.3..=2.6).contains(&ratio),
+            "Cholesky should do ~half the flops: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = spd(9, 1);
+        assert!(cholesky_2d(&a, 4, SimConfig::counters_only()).is_err());
+        let rect = Matrix::random(8, 10, 1);
+        assert!(cholesky_2d(&rect, 4, SimConfig::counters_only()).is_err());
+    }
+}

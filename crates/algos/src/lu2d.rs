@@ -1,0 +1,431 @@
+//! Distributed 2D block LU factorization (right-looking, unpivoted).
+//!
+//! The executable counterpart of the paper's LU discussion (§IV, "LU
+//! factorization"). The paper's 2.5D LU is bandwidth-optimal but its
+//! latency term `S = Ω(√(c·p))` grows with `p` because of the critical
+//! path; here we execute the classical 2D variant (`c = 1`) on the
+//! simulator — blocked right-looking LU on a `q × q` grid — and leave the
+//! 2.5D cost analysis to `psse-core::costs::Lu25d` (exactly as the paper
+//! itself does: it derives LU's costs but reports no LU experiments).
+//!
+//! Pivoting is omitted (the paper's 2.5D LU uses tournament pivoting; our
+//! inputs are diagonally dominant, where unpivoted LU is backward
+//! stable). The step structure still exhibits LU's defining critical
+//! path: `q` sequential panel factorizations, each followed by row/column
+//! broadcasts and a trailing update — which is why its message count
+//! cannot strong-scale.
+
+use crate::bridge::gather_blocks_2d;
+use psse_kernels::gemm;
+use psse_kernels::lu::{
+    lu_flops, lu_nopivot_inplace, solve_unit_lower, solve_upper_right, split_lu,
+};
+use psse_kernels::matrix::Matrix;
+use psse_sim::collectives::TAG_WINDOW;
+use psse_sim::prelude::*;
+
+/// Factor `a = L·U` on `p = q²` ranks (unpivoted; `a` should be
+/// diagonally dominant or otherwise safely factorable). Returns the
+/// packed factors (unit-lower `L` below the diagonal, `U` on and above)
+/// and the execution profile.
+pub fn lu_2d(a: &Matrix, p: usize, cfg: SimConfig) -> Result<(Matrix, Profile), SimError> {
+    let grid = Grid2::from_p(p)?;
+    let q = grid.q();
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SimError::Algorithm(format!(
+            "lu: need a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if !n.is_multiple_of(q) {
+        return Err(SimError::Algorithm(format!(
+            "lu: grid edge q = {q} must divide n = {n}"
+        )));
+    }
+    let bs = n / q;
+
+    let out = Machine::run(p, cfg, |rank| {
+        let (r, c) = grid.coords(rank.rank());
+        let block_words = (bs * bs) as u64;
+        rank.alloc(3 * block_words)?;
+        let mut la = a.block(r * bs, c * bs, bs, bs);
+        let row = grid.row_group(r);
+        let col = grid.col_group(c);
+
+        for k in 0..q {
+            let base = 4 * TAG_WINDOW * k as u64 + 10_000;
+            // 1. Diagonal owner factors its block and broadcasts the
+            //    packed LU along its row and column.
+            let packed_kk = if r == k && c == k {
+                lu_nopivot_inplace(&mut la).map_err(|e| {
+                    SimError::Algorithm(format!("singular diagonal block {k}: {e}"))
+                })?;
+                rank.compute(lu_flops(bs as u64));
+                Some(la.clone().into_vec())
+            } else {
+                None
+            };
+            // Row k ranks need U_kk (for L panel solves happen on column
+            // k); column k ranks need L_kk. Broadcast the packed block to
+            // both the row and the column of the diagonal owner.
+            let lu_kk_row = if r == k {
+                Some(Matrix::from_vec(
+                    bs,
+                    bs,
+                    rank.broadcast(Tag(base), &row, grid.rank_of(k, k), packed_kk.clone())?,
+                ))
+            } else {
+                None
+            };
+            let lu_kk_col = if c == k {
+                Some(Matrix::from_vec(
+                    bs,
+                    bs,
+                    rank.broadcast(Tag(base + TAG_WINDOW), &col, grid.rank_of(k, k), packed_kk)?,
+                ))
+            } else {
+                None
+            };
+
+            // 2. Panel solves.
+            //    Row k, right of diagonal: U_kj = L_kk⁻¹ · A_kj.
+            if r == k && c > k {
+                let (l_kk, _) = split_lu(lu_kk_row.as_ref().expect("row k has LU_kk"));
+                la = solve_unit_lower(&l_kk, &la);
+                rank.compute((bs * bs * bs) as u64);
+            }
+            //    Column k, below diagonal: L_ik = A_ik · U_kk⁻¹.
+            if c == k && r > k {
+                let (_, u_kk) = split_lu(lu_kk_col.as_ref().expect("col k has LU_kk"));
+                la = solve_upper_right(&la, &u_kk)
+                    .map_err(|e| SimError::Algorithm(format!("singular U_kk at {k}: {e}")))?;
+                rank.compute((bs * bs * bs) as u64);
+            }
+
+            // 3. Broadcast the panels into the trailing submatrix and
+            //    update: A_ij -= L_ik · U_kj for i, j > k.
+            //    L_ik travels along row i (root: column k); U_kj along
+            //    column j (root: row k). Ranks at or before step k only
+            //    participate where needed.
+            if r > k {
+                let l_panel = if c == k {
+                    Some(la.clone().into_vec())
+                } else {
+                    None
+                };
+                let l_ik = Matrix::from_vec(
+                    bs,
+                    bs,
+                    rank.broadcast(
+                        Tag(base + 2 * TAG_WINDOW),
+                        &row,
+                        grid.rank_of(r, k),
+                        l_panel,
+                    )?,
+                );
+                if c > k {
+                    let u_kj = Matrix::from_vec(
+                        bs,
+                        bs,
+                        rank.broadcast(Tag(base + 3 * TAG_WINDOW), &col, grid.rank_of(k, c), None)?,
+                    );
+                    // Trailing update.
+                    let mut update = Matrix::zeros(bs, bs);
+                    gemm::matmul_add_into(&mut update, &l_ik, &u_kj);
+                    rank.compute(gemm::gemm_flops(bs, bs, bs));
+                    la = la.sub(&update);
+                    rank.compute(block_words);
+                }
+            }
+            if r == k && c > k {
+                // Row k ranks are the roots of the U_kj column broadcasts.
+                rank.broadcast(
+                    Tag(base + 3 * TAG_WINDOW),
+                    &col,
+                    grid.rank_of(k, c),
+                    Some(la.clone().into_vec()),
+                )?;
+            } else if r < k && c > k {
+                // Finished ranks above the diagonal are still members of
+                // the column group and must take part in the broadcast
+                // tree (with no data of their own).
+                rank.broadcast(Tag(base + 3 * TAG_WINDOW), &col, grid.rank_of(k, c), None)?;
+            }
+        }
+        rank.free(3 * block_words)?;
+        Ok(la.into_vec())
+    })?;
+
+    let packed = gather_blocks_2d(&out.results, n, q);
+    Ok((packed, out.profile))
+}
+
+/// Distributed triangular solves: given the packed LU factors (as
+/// produced by [`lu_2d`], block-distributed on the same `q × q` grid)
+/// and a right-hand side `bvec`, solve `L·y = b` (forward) then
+/// `U·x = y` (backward). Returns `x` and the execution profile.
+///
+/// Layout: block `k` of every vector lives at the diagonal rank
+/// `(k, k)`; computed solution blocks are broadcast down their column so
+/// off-diagonal ranks can form their `L_kj·y_j` / `U_kj·x_j`
+/// contributions, which are sum-reduced along block rows. This is the
+/// textbook 2D substitution with its `Θ(q)`-deep critical path — like
+/// factorization, it cannot strong-scale in latency.
+pub fn triangular_solve_2d(
+    packed: &Matrix,
+    bvec: &[f64],
+    p: usize,
+    cfg: SimConfig,
+) -> Result<(Vec<f64>, Profile), SimError> {
+    let grid = Grid2::from_p(p)?;
+    let q = grid.q();
+    let n = packed.rows();
+    if packed.cols() != n {
+        return Err(SimError::Algorithm(format!(
+            "solve: need square factors, got {}x{}",
+            packed.rows(),
+            packed.cols()
+        )));
+    }
+    if bvec.len() != n {
+        return Err(SimError::Algorithm(format!(
+            "solve: rhs length {} must equal n = {n}",
+            bvec.len()
+        )));
+    }
+    if !n.is_multiple_of(q) {
+        return Err(SimError::Algorithm(format!(
+            "solve: grid edge q = {q} must divide n = {n}"
+        )));
+    }
+    let bs = n / q;
+
+    let out = Machine::run(p, cfg, |rank| {
+        let (r, c) = grid.coords(rank.rank());
+        let block_words = (bs * bs) as u64;
+        rank.alloc(block_words + 3 * bs as u64)?;
+        let my_block = packed.block(r * bs, c * bs, bs, bs);
+        // Off-diagonal blocks belong wholly to one factor (L below the
+        // diagonal, U above); only the diagonal block is packed.
+        let (l_diag, u_diag) = if r == c {
+            split_lu(&my_block)
+        } else {
+            (Matrix::zeros(0, 0), Matrix::zeros(0, 0))
+        };
+
+        // --- forward substitution: L·y = b ---
+        // Column-k broadcast delivers y_k to every rank of column k;
+        // rank (r, c) with c < r contributes L_rc·y_c to row r's sum.
+        let mut my_y: Option<Matrix> = None; // held by diagonal ranks
+        let mut col_y: Option<Matrix> = None; // y_c, held by column-c ranks
+        for k in 0..q {
+            let base = 2 * TAG_WINDOW * k as u64 + 500_000;
+            if r == k {
+                // Row k: reduce Σ_{j<k} L_kj·y_j over columns 0..=k.
+                let members: Vec<usize> = (0..=k).map(|j| grid.rank_of(k, j)).collect();
+                let row_group = Group::new(members)?;
+                let contribution = if c < k {
+                    // L_kj is the whole off-diagonal block.
+                    let yj = col_y.as_ref().expect("column j received y_j earlier");
+                    let prod = gemm::matmul(&my_block, yj);
+                    rank.compute(gemm::gemm_flops(bs, bs, 1));
+                    prod.into_vec()
+                } else {
+                    vec![0.0; bs]
+                };
+                if c <= k {
+                    let sum =
+                        rank.reduce_sum(Tag(base), &row_group, grid.rank_of(k, k), contribution)?;
+                    if c == k {
+                        // y_k = L_kk⁻¹ (b_k − sum).
+                        let sum = sum.expect("diagonal rank is the reduce root");
+                        let rhs = Matrix::from_fn(bs, 1, |i, _| bvec[k * bs + i] - sum[i]);
+                        let yk = solve_unit_lower(&l_diag, &rhs);
+                        rank.compute((bs * bs) as u64);
+                        my_y = Some(yk);
+                    }
+                }
+            }
+            // Broadcast y_k down column k (all rows need it for later
+            // contributions).
+            if c == k {
+                let data = my_y
+                    .as_ref()
+                    .filter(|_| r == k)
+                    .map(|m| m.clone().into_vec());
+                let col_group = grid.col_group(k);
+                let yk =
+                    rank.broadcast(Tag(base + TAG_WINDOW), &col_group, grid.rank_of(k, k), data)?;
+                col_y = Some(Matrix::from_vec(bs, 1, yk));
+            }
+        }
+
+        // --- backward substitution: U·x = y ---
+        let mut my_x: Option<Matrix> = None;
+        let mut col_x: Option<Matrix> = None;
+        for k in (0..q).rev() {
+            let base = 2 * TAG_WINDOW * k as u64 + 900_000;
+            if r == k {
+                let members: Vec<usize> = (k..q).map(|j| grid.rank_of(k, j)).collect();
+                let row_group = Group::new(members)?;
+                let contribution = if c > k {
+                    // U_kj is the whole off-diagonal block.
+                    let xj = col_x.as_ref().expect("column j received x_j earlier");
+                    let prod = gemm::matmul(&my_block, xj);
+                    rank.compute(gemm::gemm_flops(bs, bs, 1));
+                    prod.into_vec()
+                } else {
+                    vec![0.0; bs]
+                };
+                if c >= k {
+                    let sum =
+                        rank.reduce_sum(Tag(base), &row_group, grid.rank_of(k, k), contribution)?;
+                    if c == k {
+                        let sum = sum.expect("diagonal rank is the reduce root");
+                        let yk = my_y.as_ref().expect("diagonal holds y_k");
+                        let rhs = Matrix::from_fn(bs, 1, |i, _| yk[(i, 0)] - sum[i]);
+                        let xk = psse_kernels::lu::solve_upper(&u_diag, &rhs)
+                            .map_err(|e| SimError::Algorithm(format!("singular U_kk: {e}")))?;
+                        rank.compute((bs * bs) as u64);
+                        my_x = Some(xk);
+                    }
+                }
+            }
+            if c == k {
+                let data = my_x
+                    .as_ref()
+                    .filter(|_| r == k)
+                    .map(|m| m.clone().into_vec());
+                let col_group = grid.col_group(k);
+                let xk =
+                    rank.broadcast(Tag(base + TAG_WINDOW), &col_group, grid.rank_of(k, k), data)?;
+                col_x = Some(Matrix::from_vec(bs, 1, xk));
+            }
+        }
+        rank.free(block_words + 3 * bs as u64)?;
+        Ok(my_x.map(|m| m.into_vec()).unwrap_or_default())
+    })?;
+
+    let mut x = Vec::with_capacity(n);
+    for k in 0..q {
+        x.extend_from_slice(&out.results[grid.rank_of(k, k)]);
+    }
+    Ok((x, out.profile))
+}
+
+/// Factor and solve in one call: `A·x = b` on `p = q²` ranks. Returns
+/// the solution and the combined profile of both phases.
+pub fn solve_2d(
+    a: &Matrix,
+    bvec: &[f64],
+    p: usize,
+    cfg: SimConfig,
+) -> Result<(Vec<f64>, Profile), SimError> {
+    let (packed, factor_profile) = lu_2d(a, p, cfg.clone())?;
+    let (x, solve_profile) = triangular_solve_2d(&packed, bvec, p, cfg)?;
+    Ok((x, factor_profile.then(&solve_profile)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_kernels::gemm::matmul;
+
+    fn verify_lu(a: &Matrix, packed: &Matrix) {
+        let (l, u) = split_lu(packed);
+        let recon = matmul(&l, &u);
+        assert!(
+            recon.relative_error(a) < 1e-10,
+            "‖LU − A‖/‖A‖ = {}",
+            recon.relative_error(a)
+        );
+    }
+
+    #[test]
+    fn factors_match_sequential_lu() {
+        for (n, p) in [(8usize, 4usize), (12, 9), (16, 16), (16, 1)] {
+            let a = Matrix::random_diagonally_dominant(n, 42);
+            let (packed, _) = lu_2d(&a, p, SimConfig::counters_only()).unwrap();
+            verify_lu(&a, &packed);
+
+            // Element-wise identical to the sequential factorization.
+            let mut seq = a.clone();
+            lu_nopivot_inplace(&mut seq).unwrap();
+            assert!(packed.max_abs_diff(&seq) < 1e-10, "n={n}, p={p}");
+        }
+    }
+
+    #[test]
+    fn message_count_grows_with_p() {
+        // LU's critical path: more processors mean *more* messages per
+        // rank (the S = Ω(√p) lower bound's executable shadow), unlike
+        // matmul where S shrinks.
+        let n = 32;
+        let a = Matrix::random_diagonally_dominant(n, 7);
+        let (_, p4) = lu_2d(&a, 4, SimConfig::counters_only()).unwrap();
+        let (_, p16) = lu_2d(&a, 16, SimConfig::counters_only()).unwrap();
+        assert!(
+            p16.max_msgs_sent() > p4.max_msgs_sent(),
+            "p4 {} vs p16 {}",
+            p4.max_msgs_sent(),
+            p16.max_msgs_sent()
+        );
+    }
+
+    #[test]
+    fn triangular_solve_recovers_solution() {
+        for (n, p) in [(12usize, 4usize), (16, 16), (18, 9), (8, 1)] {
+            let a = Matrix::random_diagonally_dominant(n, 31);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - n as f64 / 2.0).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+                .collect();
+            let (x, profile) = solve_2d(&a, &b, p, SimConfig::counters_only()).unwrap();
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "n={n} p={p}: {xi} vs {ti}");
+            }
+            // The combined profile includes both phases' flops.
+            assert!(profile.total_flops() > 0);
+        }
+    }
+
+    #[test]
+    fn triangular_solve_checks_inputs() {
+        let packed = Matrix::random(8, 8, 1);
+        assert!(triangular_solve_2d(&packed, &[0.0; 7], 4, SimConfig::counters_only()).is_err());
+        let rect = Matrix::random(8, 10, 1);
+        assert!(triangular_solve_2d(&rect, &[0.0; 8], 4, SimConfig::counters_only()).is_err());
+        assert!(triangular_solve_2d(&packed, &[0.0; 8], 9, SimConfig::counters_only()).is_err());
+    }
+
+    #[test]
+    fn solve_critical_path_grows_with_p() {
+        // Substitution is latency-bound: more ranks, more messages on
+        // the critical path.
+        let n = 32;
+        let a = Matrix::random_diagonally_dominant(n, 33);
+        let b = vec![1.0; n];
+        let (_, p4) = solve_2d(&a, &b, 4, SimConfig::counters_only()).unwrap();
+        let (_, p16) = solve_2d(&a, &b, 16, SimConfig::counters_only()).unwrap();
+        assert!(p16.max_msgs_sent() > p4.max_msgs_sent());
+    }
+
+    #[test]
+    fn singular_block_is_reported() {
+        let a = Matrix::zeros(8, 8);
+        let r = lu_2d(&a, 4, SimConfig::counters_only());
+        assert!(matches!(r, Err(SimError::Algorithm(_))));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::random_diagonally_dominant(9, 1);
+        assert!(lu_2d(&a, 4, SimConfig::counters_only()).is_err()); // 2 ∤ 9
+        let rect = Matrix::random(8, 10, 1);
+        assert!(lu_2d(&rect, 4, SimConfig::counters_only()).is_err());
+        let a8 = Matrix::random_diagonally_dominant(8, 1);
+        assert!(lu_2d(&a8, 5, SimConfig::counters_only()).is_err()); // not square p
+    }
+}

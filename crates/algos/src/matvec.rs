@@ -1,0 +1,120 @@
+//! Distributed matrix–vector multiplication (BLAS2) — the paper's §III
+//! contrast case: an **I/O-dominated** kernel where extra memory buys no
+//! communication reduction and there is no perfect strong scaling range.
+//!
+//! 1D row-blocked algorithm: rank `r` owns rows `[r·n/p, (r+1)·n/p)` of
+//! `A` and the matching block of `x`; one ring **allgather** assembles
+//! the full vector (`W ≈ n·(p−1)/p` per rank — independent of any memory
+//! knob), then a local GEMV produces the owned block of `y = A·x`.
+
+use psse_kernels::matrix::Matrix;
+use psse_sim::prelude::*;
+
+/// Multiply `y = a · x` on `p` ranks (`p | n`). Returns `y` and the
+/// execution profile.
+pub fn matvec_1d(
+    a: &Matrix,
+    x: &[f64],
+    p: usize,
+    cfg: SimConfig,
+) -> Result<(Vec<f64>, Profile), SimError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SimError::Algorithm(format!(
+            "matvec: need a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if x.len() != n {
+        return Err(SimError::Algorithm(format!(
+            "matvec: vector length {} must equal n = {n}",
+            x.len()
+        )));
+    }
+    if p == 0 || !n.is_multiple_of(p) {
+        return Err(SimError::Algorithm(format!(
+            "matvec: rank count p = {p} must divide n = {n}"
+        )));
+    }
+    let rows = n / p;
+
+    let out = Machine::run(p, cfg, |rank| {
+        let me = rank.rank();
+        // Row block + full gathered vector + output block.
+        rank.alloc((rows * n + n + rows) as u64)?;
+        let my_rows = a.block(me * rows, 0, rows, n);
+        let my_x = x[me * rows..(me + 1) * rows].to_vec();
+
+        // Assemble the full vector (ring allgather; the Θ(n) per-rank
+        // traffic that cannot be avoided).
+        let group = Group::world(rank.size());
+        let blocks = rank.allgather(Tag(0), &group, my_x)?;
+        let full_x: Vec<f64> = blocks.into_iter().flatten().collect();
+
+        // Local GEMV.
+        let mut y = vec![0.0; rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = my_rows.row(i);
+            *yi = row.iter().zip(&full_x).map(|(aij, xj)| aij * xj).sum();
+        }
+        rank.compute(2 * (rows * n) as u64);
+        rank.free((rows * n + n + rows) as u64)?;
+        Ok(y)
+    })?;
+
+    Ok((out.results.into_iter().flatten().collect(), out.profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial_matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|i| a.row(i).iter().zip(x).map(|(aij, xj)| aij * xj).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial() {
+        let n = 48;
+        let a = Matrix::random(n, n, 1);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let serial = serial_matvec(&a, &x);
+        for p in [1usize, 2, 4, 8, 16] {
+            let (y, _) = matvec_1d(&a, &x, p, SimConfig::counters_only()).unwrap();
+            for (yi, si) in y.iter().zip(&serial) {
+                assert!((yi - si).abs() < 1e-10 * (1.0 + si.abs()), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_words_do_not_shrink_with_p() {
+        // The defining BLAS2 behaviour: W/rank ≈ n·(p−1)/p, flat in p.
+        let n = 64;
+        let a = Matrix::random(n, n, 2);
+        let x = vec![1.0; n];
+        let (_, p4) = matvec_1d(&a, &x, 4, SimConfig::counters_only()).unwrap();
+        let (_, p16) = matvec_1d(&a, &x, 16, SimConfig::counters_only()).unwrap();
+        let w4 = p4.max_words_sent() as f64;
+        let w16 = p16.max_words_sent() as f64;
+        assert!(
+            w16 > 0.8 * w4,
+            "allgather words must not fall with p: {w4} vs {w16}"
+        );
+        // While flops do scale perfectly.
+        assert_eq!(p4.max_flops(), 4 * p16.max_flops());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::random(8, 10, 1);
+        assert!(matvec_1d(&a, &[0.0; 8], 4, SimConfig::counters_only()).is_err());
+        let sq = Matrix::random(8, 8, 1);
+        assert!(matvec_1d(&sq, &[0.0; 7], 4, SimConfig::counters_only()).is_err());
+        assert!(matvec_1d(&sq, &[0.0; 8], 3, SimConfig::counters_only()).is_err());
+        assert!(matvec_1d(&sq, &[0.0; 8], 0, SimConfig::counters_only()).is_err());
+    }
+}

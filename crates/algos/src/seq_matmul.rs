@@ -1,0 +1,217 @@
+//! Instrumented sequential matrix multiplication on the two-level
+//! memory machine (paper Fig. 1(a)): every element touch goes through
+//! the `psse-sim` LRU [`FastMemory`], so the measured slow↔fast traffic
+//! can be compared against the paper's sequential bound
+//! `W = Ω(max(I+O, F/√M))` (Eq. 3) and against the
+//! `Θ(n³/√M)` model of `psse-core::sequential`.
+//!
+//! The address space is laid out as `A | B | C`, row-major, one word per
+//! element. Arithmetic is performed for real (the product is returned
+//! and verified in tests); the cache only observes the access stream.
+
+use psse_kernels::matrix::Matrix;
+use psse_sim::error::{SimError, SimResult};
+use psse_sim::seqmem::{FastMemory, MemStats};
+
+/// Which access pattern to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVariant {
+    /// The naive `i-j-k` triple loop (column reuse of `B` thrashes once
+    /// the working set spills).
+    Naive,
+    /// Square tiling with tile edge chosen for the given fast memory
+    /// (`b = sqrt(M/3)` rounded to a divisor-friendly size).
+    Blocked {
+        /// Tile edge in elements; use [`choose_tile`] for the
+        /// capacity-fitting choice.
+        tile: usize,
+    },
+}
+
+/// The largest tile edge `b` such that three `b × b` tiles fit in
+/// `fast_words` (at least 1).
+pub fn choose_tile(fast_words: u64) -> usize {
+    (((fast_words as f64) / 3.0).sqrt().floor() as usize).max(1)
+}
+
+/// Multiply `a · b` through the cache simulator. Returns the product and
+/// the memory-traffic counters (including final writebacks).
+pub fn instrumented_matmul(
+    a: &Matrix,
+    b: &Matrix,
+    variant: SeqVariant,
+    fast_words: u64,
+    line_words: u64,
+) -> SimResult<(Matrix, MemStats)> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n || b.cols() != n {
+        return Err(SimError::Algorithm(format!(
+            "seq matmul: need square n×n inputs, got A {}x{}, B {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let nn = (n * n) as u64;
+    let addr_a = |i: usize, j: usize| (i * n + j) as u64;
+    let addr_b = |i: usize, j: usize| nn + (i * n + j) as u64;
+    let addr_c = |i: usize, j: usize| 2 * nn + (i * n + j) as u64;
+
+    let mut mem = FastMemory::new(fast_words, line_words);
+    let mut c = Matrix::zeros(n, n);
+
+    match variant {
+        SeqVariant::Naive => {
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        mem.read(addr_a(i, k));
+                        mem.read(addr_b(k, j));
+                        acc += a[(i, k)] * b[(k, j)];
+                    }
+                    mem.write(addr_c(i, j));
+                    c[(i, j)] = acc;
+                }
+            }
+        }
+        SeqVariant::Blocked { tile } => {
+            if tile == 0 {
+                return Err(SimError::Algorithm("tile edge must be positive".into()));
+            }
+            let t = tile;
+            for i0 in (0..n).step_by(t) {
+                for j0 in (0..n).step_by(t) {
+                    for k0 in (0..n).step_by(t) {
+                        for i in i0..(i0 + t).min(n) {
+                            for k in k0..(k0 + t).min(n) {
+                                mem.read(addr_a(i, k));
+                                let aik = a[(i, k)];
+                                for j in j0..(j0 + t).min(n) {
+                                    mem.read(addr_b(k, j));
+                                    // read-modify-write of C(i, j)
+                                    mem.write(addr_c(i, j));
+                                    c[(i, j)] += aik * b[(k, j)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    mem.flush();
+    Ok((c, mem.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_core::sequential::traffic_vs_lower_bound;
+    use psse_kernels::gemm::matmul;
+
+    #[test]
+    fn both_variants_compute_the_product() {
+        let n = 24;
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        let reference = matmul(&a, &b);
+        let (c1, _) = instrumented_matmul(&a, &b, SeqVariant::Naive, 1 << 10, 8).unwrap();
+        let (c2, _) =
+            instrumented_matmul(&a, &b, SeqVariant::Blocked { tile: 8 }, 1 << 10, 8).unwrap();
+        assert!(c1.max_abs_diff(&reference) < 1e-12);
+        assert!(c2.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_moves_far_fewer_words_when_spilling() {
+        let n = 64;
+        let a = Matrix::random(n, n, 3);
+        let b = Matrix::random(n, n, 4);
+        // Fast memory holds ~3 tiles of 16x16 = 768 words << 3n² = 12288.
+        let fast = 1024u64;
+        let (_, naive) = instrumented_matmul(&a, &b, SeqVariant::Naive, fast, 8).unwrap();
+        let tile = choose_tile(fast);
+        let (_, blocked) =
+            instrumented_matmul(&a, &b, SeqVariant::Blocked { tile }, fast, 8).unwrap();
+        assert!(
+            blocked.words_moved * 3 < naive.words_moved,
+            "blocked {} vs naive {}",
+            blocked.words_moved,
+            naive.words_moved
+        );
+    }
+
+    #[test]
+    fn measured_traffic_respects_the_lower_bound() {
+        let n = 48;
+        let a = Matrix::random(n, n, 5);
+        let b = Matrix::random(n, n, 6);
+        for fast in [512u64, 1024, 2048] {
+            let tile = choose_tile(fast);
+            let (_, stats) =
+                instrumented_matmul(&a, &b, SeqVariant::Blocked { tile }, fast, 1).unwrap();
+            let ratio = traffic_vs_lower_bound(n as u64, fast as f64, stats.words_moved as f64);
+            assert!(
+                ratio >= 1.0,
+                "measured traffic below the Eq. 3 bound?! ratio {ratio}"
+            );
+            assert!(
+                ratio < 40.0,
+                "blocked matmul should sit within a modest constant: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_traffic_tracks_inverse_sqrt_m() {
+        // Quadrupling fast memory should roughly halve the traffic of
+        // the blocked algorithm (the Θ(n³/√M) law), as long as the
+        // problem still spills.
+        let n = 64;
+        let a = Matrix::random(n, n, 7);
+        let b = Matrix::random(n, n, 8);
+        let run = |fast: u64| {
+            let tile = choose_tile(fast);
+            instrumented_matmul(&a, &b, SeqVariant::Blocked { tile }, fast, 1)
+                .unwrap()
+                .1
+                .words_moved as f64
+        };
+        let w1 = run(768);
+        let w4 = run(3072);
+        let ratio = w1 / w4;
+        assert!((1.5..=3.0).contains(&ratio), "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn everything_fits_means_compulsory_traffic_only() {
+        let n = 16;
+        let a = Matrix::random(n, n, 9);
+        let b = Matrix::random(n, n, 10);
+        let fast = (3 * n * n) as u64 + 64;
+        let (_, stats) = instrumented_matmul(&a, &b, SeqVariant::Naive, fast, 1).unwrap();
+        // 2n² compulsory reads + n² write-allocate fetches of C + n²
+        // output writebacks (the cache is write-back/write-allocate).
+        assert_eq!(stats.words_moved, (4 * n * n) as u64);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = Matrix::random(8, 10, 1);
+        let b = Matrix::random(10, 10, 2);
+        assert!(instrumented_matmul(&a, &b, SeqVariant::Naive, 64, 8).is_err());
+        let sq = Matrix::random(8, 8, 3);
+        assert!(instrumented_matmul(&sq, &sq, SeqVariant::Blocked { tile: 0 }, 64, 8).is_err());
+    }
+
+    #[test]
+    fn choose_tile_fits_three_tiles() {
+        for fast in [48u64, 300, 1 << 12, 1 << 20] {
+            let t = choose_tile(fast) as u64;
+            assert!(3 * t * t <= fast, "3·{t}² > {fast}");
+            assert!(t >= 1);
+        }
+    }
+}

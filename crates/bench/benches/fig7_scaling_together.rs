@@ -1,0 +1,57 @@
+//! Regenerates paper **Fig. 7**: GFLOPS/W of the §VI case study as **all**
+//! energy parameters improve together by a multiplier over current
+//! technology. The paper's headline: a desired efficiency of
+//! 75 GFLOPS/W is reached "after 5 generations" (multiplier ≈ 32).
+
+use psse_bench::report::{ascii_plot_loglog, banner, svg_plot, write_svg, Scale, Table};
+use psse_core::machines::jaketown;
+use psse_core::tech_scaling::{fig7_series, multiplier_for_target, CaseStudy};
+
+fn main() {
+    banner("Figure 7: scaling gamma_e, beta_e, delta_e together");
+    let base = jaketown();
+    let study = CaseStudy::default();
+
+    let multipliers: Vec<f64> = (0..=10).map(|i| 2f64.powi(i)).collect();
+    let series = fig7_series(&base, study, &multipliers);
+
+    let mut table = Table::new(&["improvement multiplier", "generations", "GFLOPS/W"]);
+    let mut pts = Vec::new();
+    for (k, eff) in &series {
+        table.row(&[
+            format!("{k}"),
+            format!("{:.1}", k.log2()),
+            format!("{eff:.3}"),
+        ]);
+        pts.push((*k, *eff));
+    }
+    println!("{}", table.render());
+    table.write_csv("fig7_scaling_together");
+    println!("{}", ascii_plot_loglog(&[("GFLOPS/W", &pts)], 64, 14));
+    write_svg(
+        "fig7_scaling_together",
+        &svg_plot(
+            "Fig. 7: scaling all energy parameters together",
+            "improvement multiplier over current technology",
+            "GFLOPS/W",
+            &[("GFLOPS/W", &pts)],
+            Scale::Log,
+            Scale::Log,
+        ),
+    );
+
+    let target = 75.0;
+    let k = multiplier_for_target(&base, study, target).unwrap();
+    println!(
+        "target {target} GFLOPS/W reached at multiplier {:.1} = {:.2} generations \
+         (paper: ~5 generations)",
+        k,
+        k.log2()
+    );
+    assert!(
+        (4.0..=6.5).contains(&k.log2()),
+        "expected ≈5 generations, got {:.2}",
+        k.log2()
+    );
+    println!("OK: Fig. 7 shape reproduced.");
+}

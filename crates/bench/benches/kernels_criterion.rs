@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks for the local kernels and the simulator
+//! itself: blocked GEMM vs naive, Strassen vs classical (the crossover
+//! behind `ω0`), FFT, LU, the n-body interaction kernel, and the
+//! per-message overhead of the virtual machine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psse_algos::prelude::*;
+use psse_kernels::fft::{fft, Complex64};
+use psse_kernels::gemm::{matmul, matmul_naive};
+use psse_kernels::lu::lu_partial_pivot_inplace;
+use psse_kernels::matrix::Matrix;
+use psse_kernels::nbody::{accumulate_forces, random_particles};
+use psse_kernels::rng::XorShift64;
+use psse_kernels::strassen::{strassen_winograd, strassen_with_cutoff};
+use psse_sim::machine::SimConfig;
+use psse_sim::seqmem::FastMemory;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+                bch.iter(|| matmul_naive(black_box(&a), black_box(&b)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_strassen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strassen_vs_classical");
+    g.sample_size(10);
+    for n in [256usize, 512] {
+        let a = Matrix::random(n, n, 3);
+        let b = Matrix::random(n, n, 4);
+        g.bench_with_input(BenchmarkId::new("classical", n), &n, |bch, _| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("strassen_cut64", n), &n, |bch, _| {
+            bch.iter(|| strassen_with_cutoff(black_box(&a), black_box(&b), 64))
+        });
+        g.bench_with_input(BenchmarkId::new("winograd_cut64", n), &n, |bch, _| {
+            bch.iter(|| strassen_winograd(black_box(&a), black_box(&b), 64))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    g.bench_function("lru_stream_1m_accesses", |bch| {
+        bch.iter(|| {
+            let mut m = FastMemory::new(1 << 14, 8);
+            for a in 0..1_000_000u64 {
+                m.access(black_box(a % (1 << 16)), a % 7 == 0);
+            }
+            m.stats()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    let mut rng = XorShift64::new(5);
+    for logn in [12usize, 16] {
+        let n = 1 << logn;
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("radix2", n), &n, |bch, _| {
+            bch.iter(|| fft(black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu");
+    for n in [64usize, 128] {
+        let a = Matrix::random_diagonally_dominant(n, 6);
+        g.bench_with_input(BenchmarkId::new("partial_pivot", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = a.clone();
+                lu_partial_pivot_inplace(black_box(&mut m)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scalar_nopivot", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = a.clone();
+                psse_kernels::lu::lu_nopivot_inplace(black_box(&mut m)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_nopivot", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = a.clone();
+                psse_kernels::lu::lu_blocked_inplace(black_box(&mut m), 32).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorizations");
+    let a = Matrix::random(512, 16, 7);
+    g.bench_function("householder_qr_512x16", |bch| {
+        bch.iter(|| psse_kernels::qr::householder_qr(black_box(&a)))
+    });
+    let b = Matrix::random(96, 96, 8);
+    let mut spd = psse_kernels::gemm::matmul(&b.transpose(), &b);
+    for i in 0..96 {
+        spd[(i, i)] += 96.0;
+    }
+    g.bench_function("cholesky_96", |bch| {
+        bch.iter(|| {
+            let mut m = spd.clone();
+            psse_kernels::lu::cholesky_inplace(black_box(&mut m)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_nbody_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nbody_kernel");
+    for n in [256usize, 1024] {
+        let ps = random_particles(n, 7);
+        g.bench_with_input(BenchmarkId::new("pairwise", n), &n, |bch, _| {
+            let mut acc = vec![[0.0f64; 3]; n];
+            bch.iter(|| accumulate_forces(black_box(&ps), black_box(&ps), &mut acc))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("spawn_16_ranks_allreduce", |bch| {
+        bch.iter(|| {
+            psse_sim::machine::Machine::run(16, SimConfig::counters_only(), |rank| {
+                rank.allreduce_sum(psse_sim::message::Tag(0), vec![1.0; 256])
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("cannon_16_ranks_n32", |bch| {
+        let a = Matrix::random(32, 32, 8);
+        let b = Matrix::random(32, 32, 9);
+        bch.iter(|| cannon_matmul(black_box(&a), black_box(&b), 16, SimConfig::counters_only()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_strassen,
+    bench_fft,
+    bench_lu,
+    bench_qr_cholesky,
+    bench_nbody_kernel,
+    bench_cache_sim,
+    bench_simulator_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    opts: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name). The first token is the
+    /// subcommand; the rest must be `--key value` pairs (or bare
+    /// `--flag`, stored with an empty value).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter().peekable();
+        let command = it
+            .next()
+            .cloned()
+            .ok_or_else(|| "no subcommand given; try `psse help`".to_string())?;
+        if command.starts_with("--") {
+            return Err(format!(
+                "expected a subcommand before options, got {command}; try `psse help`"
+            ));
+        }
+        let mut opts = HashMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {tok}"))?;
+            if key.is_empty() {
+                return Err("empty option name `--`".into());
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().cloned().unwrap(),
+                _ => String::new(),
+            };
+            if opts.insert(key.to_string(), value).is_some() {
+                return Err(format!("option --{key} given twice"));
+            }
+        }
+        Ok(Args { command, opts })
+    }
+
+    /// Raw option lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag (or any value) was supplied.
+    pub fn has(&self, key: &str) -> bool {
+        self.opts.contains_key(key)
+    }
+
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Required numeric option (accepts scientific notation).
+    pub fn req_f64(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?
+            .parse::<f64>()
+            .map_err(|_| format!("--{key} must be a number"))
+    }
+
+    /// Required integer option (accepts `1e6`-style floats that are
+    /// exact integers).
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        let v = self.req_f64(key)?;
+        if v < 0.0 || v.fract() != 0.0 || v > 2f64.powi(53) {
+            return Err(format!("--{key} must be a non-negative integer"));
+        }
+        Ok(v as u64)
+    }
+
+    /// Optional numeric option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.req_f64(key),
+        }
+    }
+
+    /// Optional integer option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.req_u64(key),
+        }
+    }
+
+    /// Optional string option with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).filter(|v| !v.is_empty()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(&argv("model --alg matmul --n 8192 --mem 1e6")).unwrap();
+        assert_eq!(a.command, "model");
+        assert_eq!(a.req("alg").unwrap(), "matmul");
+        assert_eq!(a.req_u64("n").unwrap(), 8192);
+        assert_eq!(a.req_f64("mem").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn bare_flags_are_supported() {
+        let a = Args::parse(&argv("simulate --verbose --n 4")).unwrap();
+        assert!(a.has("verbose"));
+        assert_eq!(a.req_u64("n").unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_duplicates() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("--alg matmul")).is_err());
+        assert!(Args::parse(&argv("model --n 1 --n 2")).is_err());
+        assert!(Args::parse(&argv("model stray")).is_err());
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let a = Args::parse(&argv("m --x 1.5 --y -3 --z abc --w 1e3")).unwrap();
+        assert!(a.req_u64("x").is_err());
+        assert!(a.req_u64("y").is_err());
+        assert!(a.req_f64("z").is_err());
+        assert_eq!(a.req_u64("w").unwrap(), 1000);
+        assert!(a.req("missing").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse(&argv("m --p 8")).unwrap();
+        assert_eq!(a.u64_or("p", 1).unwrap(), 8);
+        assert_eq!(a.u64_or("q", 7).unwrap(), 7);
+        assert_eq!(a.f64_or("f", 20.0).unwrap(), 20.0);
+        assert_eq!(a.str_or("machine", "jaketown"), "jaketown");
+    }
+}

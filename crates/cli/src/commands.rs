@@ -1,0 +1,478 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use psse_algos::prelude::*;
+use psse_core::costs::{
+    Algorithm, ClassicalMatMul, DirectNBody, FftTree, Lu25d, MatVec, StrassenMatMul,
+};
+use psse_core::machines::{jaketown, table2};
+use psse_core::optimize::nbody::NBodyOptimizer;
+use psse_core::params::MachineParams;
+use psse_core::tech_scaling::{fig6_series, multiplier_for_target, CaseStudy};
+use psse_kernels::fft::fft as kernel_fft;
+use psse_kernels::matrix::Matrix;
+use psse_kernels::nbody::{accumulate_forces, random_particles};
+use psse_kernels::rng::XorShift64;
+use std::fmt::Write as _;
+
+type CmdResult = Result<(), String>;
+
+fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if (1e-3..1e6).contains(&x.abs()) {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.4e}")
+    }
+}
+
+/// Resolve `--machine` plus per-parameter overrides into machine params.
+fn machine_from(args: &Args) -> Result<(MachineParams, String), String> {
+    let name = args.str_or("machine", "jaketown").to_string();
+    let base = match name.as_str() {
+        "jaketown" => jaketown(),
+        other => return Err(format!("unknown machine `{other}` (available: jaketown)")),
+    };
+    let mut mp = base;
+    for (key, field) in [
+        ("gamma-t", 0usize),
+        ("beta-t", 1),
+        ("alpha-t", 2),
+        ("gamma-e", 3),
+        ("beta-e", 4),
+        ("alpha-e", 5),
+        ("delta-e", 6),
+        ("epsilon-e", 7),
+        ("max-message", 8),
+        ("mem-words", 9),
+    ] {
+        if args.has(key) {
+            let v = args.req_f64(key)?;
+            match field {
+                0 => mp.gamma_t = v,
+                1 => mp.beta_t = v,
+                2 => mp.alpha_t = v,
+                3 => mp.gamma_e = v,
+                4 => mp.beta_e = v,
+                5 => mp.alpha_e = v,
+                6 => mp.delta_e = v,
+                7 => mp.epsilon_e = v,
+                8 => mp.max_message_words = v,
+                _ => mp.mem_words = v,
+            }
+        }
+    }
+    mp.validate().map_err(|e| e.to_string())?;
+    Ok((mp, name))
+}
+
+fn algorithm_from(args: &Args) -> Result<Box<dyn Algorithm>, String> {
+    let f = args.f64_or("f", 20.0)?;
+    Ok(match args.req("alg")? {
+        "matmul" => Box::new(ClassicalMatMul),
+        "strassen" => Box::new(StrassenMatMul::default()),
+        "nbody" => Box::new(DirectNBody {
+            flops_per_interaction: f,
+        }),
+        "fft" => Box::new(FftTree),
+        "lu" => Box::new(Lu25d),
+        "matvec" => Box::new(MatVec),
+        other => {
+            return Err(format!(
+                "unknown algorithm `{other}` (matmul|strassen|nbody|fft|lu|matvec)"
+            ))
+        }
+    })
+}
+
+pub fn machines(_args: &Args, out: &mut String) -> CmdResult {
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>6} {:>5} {:>8} {:>14} {:>12} {:>12} {:>9}",
+        "processor",
+        "freq(GHz)",
+        "cores",
+        "SIMD",
+        "TDP(W)",
+        "peak(GFLOP/s)",
+        "gamma_t",
+        "gamma_e",
+        "GFLOPS/W"
+    );
+    for s in table2() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>6} {:>5} {:>8} {:>14.2} {:>12.3e} {:>12.3e} {:>9.3}",
+            s.name,
+            s.freq_ghz,
+            s.cores,
+            s.simd_width,
+            s.tdp_w,
+            s.peak_gflops(),
+            s.gamma_t(),
+            s.gamma_e(),
+            s.gflops_per_watt()
+        );
+    }
+    Ok(())
+}
+
+pub fn model(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, mname) = machine_from(args)?;
+    let alg = algorithm_from(args)?;
+    let n = args.req_u64("n")?;
+    let p = args.req_u64("p")?;
+    let mem = match args.get("mem") {
+        Some(_) => args.req_f64("mem")?,
+        None => alg.min_memory(n, p),
+    };
+    let costs = alg.costs(n, p, mem, &mp).map_err(|e| e.to_string())?;
+    let t = mp.time(&costs);
+    let e = mp.energy(p, &costs, mem, t);
+    let _ = writeln!(out, "algorithm : {}", alg.name());
+    let _ = writeln!(out, "machine   : {mname}");
+    let _ = writeln!(out, "n = {n}, p = {p}, M = {} words/processor", fmt(mem));
+    let _ = writeln!(
+        out,
+        "per-processor F = {}, W = {}, S = {}",
+        fmt(costs.flops),
+        fmt(costs.words),
+        fmt(costs.messages)
+    );
+    let _ = writeln!(out, "runtime  T = {} s   (Eq. 1)", fmt(t));
+    let _ = writeln!(out, "energy   E = {} J   (Eq. 2)", fmt(e));
+    let _ = writeln!(out, "power    P = {} W", fmt(e / t));
+    let _ = writeln!(
+        out,
+        "efficiency = {} GFLOPS/W",
+        fmt(alg.total_flops(n) / e / 1e9)
+    );
+    Ok(())
+}
+
+pub fn scaling(args: &Args, out: &mut String) -> CmdResult {
+    let alg = algorithm_from(args)?;
+    let n = args.req_u64("n")?;
+    let mem = args.req_f64("mem")?;
+    match alg.strong_scaling_range(n, mem) {
+        Some(r) => {
+            let _ = writeln!(out, "algorithm : {}", alg.name());
+            let _ = writeln!(out, "n = {n}, M = {} words/processor (fixed)", fmt(mem));
+            let _ = writeln!(out, "p_min = {}  (one copy of the data)", fmt(r.p_min));
+            let _ = writeln!(out, "p_max = {}  (replication saturates)", fmt(r.p_max));
+            let _ = writeln!(
+                out,
+                "headroom = {}x: scale processors by that factor for the same\n\
+                 energy and proportionally less time.",
+                fmt(r.headroom())
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "{}: no perfect strong scaling range exists (see paper §IV).",
+                alg.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+pub fn optimize(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, mname) = machine_from(args)?;
+    let n = args.req_u64("n")?;
+    let f = args.f64_or("f", 20.0)?;
+    let opt = NBodyOptimizer::new(&mp, f).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "n-body optimization on `{mname}` (n = {n}, f = {f})");
+    match (opt.m0(), opt.e_star(n)) {
+        (Ok(m0), Ok(e_star)) => {
+            let (p_lo, p_hi) = opt.m0_processor_range(n).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "M0 = {} words/processor (energy-optimal, any p)",
+                fmt(m0)
+            );
+            let _ = writeln!(
+                out,
+                "E* = {} J, attainable for p in [{}, {}]",
+                fmt(e_star),
+                fmt(p_lo),
+                fmt(p_hi)
+            );
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            let _ = writeln!(out, "no interior optimum: {e}");
+        }
+    }
+    if args.has("tmax") {
+        let tmax = args.req_f64("tmax")?;
+        let cfg = opt
+            .min_energy_given_tmax(n, tmax)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "cheapest run within Tmax = {} s: E = {} J at p = {}, M = {}",
+            fmt(tmax),
+            fmt(cfg.energy),
+            fmt(cfg.p),
+            fmt(cfg.mem)
+        );
+    }
+    if args.has("emax") {
+        let emax = args.req_f64("emax")?;
+        let cfg = opt
+            .min_time_given_emax(n, emax)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "fastest run within Emax = {} J: T = {} s at p = {}, M = {}",
+            fmt(emax),
+            fmt(cfg.time),
+            fmt(cfg.p),
+            fmt(cfg.mem)
+        );
+    }
+    if args.has("power-total") {
+        let cap = args.req_f64("power-total")?;
+        if let Ok(m0) = opt.m0() {
+            let p_max = opt.max_p_given_total_power(cap, m0);
+            let _ = writeln!(
+                out,
+                "total power {} W at M0 allows p <= {}",
+                fmt(cap),
+                fmt(p_max)
+            );
+        }
+    }
+    if args.has("power-proc") {
+        let cap = args.req_f64("power-proc")?;
+        match opt.max_memory_given_proc_power(cap) {
+            Ok(m) => {
+                let _ = writeln!(
+                    out,
+                    "per-processor power {} W caps memory at M <= {}",
+                    fmt(cap),
+                    fmt(m)
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "per-processor power {} W: {e}", fmt(cap));
+            }
+        }
+    }
+    if let Ok(g) = opt.gflops_per_watt_at_optimum() {
+        let _ = writeln!(
+            out,
+            "best-case efficiency: {} GFLOPS/W (size-independent)",
+            fmt(g)
+        );
+    }
+    Ok(())
+}
+
+pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, mname) = machine_from(args)?;
+    let cfg = sim_config_from(&mp);
+    let n = args.req_u64("n")? as usize;
+    let p = args.u64_or("p", 4)? as usize;
+    let c = args.u64_or("c", 1)? as usize;
+    let seed = args.u64_or("seed", 42)?;
+    let alg = args.req("alg")?;
+
+    let (profile, verified) = match alg {
+        "cannon" | "summa" | "mm25d" | "mm3d" | "strassen" => {
+            let a = Matrix::random(n, n, seed);
+            let b = Matrix::random(n, n, seed + 1);
+            let reference = psse_kernels::gemm::matmul(&a, &b);
+            let (cm, profile) = match alg {
+                "cannon" => cannon_matmul(&a, &b, p, cfg).map_err(|e| e.to_string())?,
+                "summa" => {
+                    let panel = args
+                        .u64_or("panel", (n / (p as f64).sqrt() as usize).max(1) as u64)?
+                        as usize;
+                    summa_matmul(&a, &b, p, panel, cfg).map_err(|e| e.to_string())?
+                }
+                "mm25d" => matmul_25d(&a, &b, p, c, cfg).map_err(|e| e.to_string())?,
+                "mm3d" => matmul_3d(&a, &b, p, cfg).map_err(|e| e.to_string())?,
+                _ => strassen_distributed(&a, &b, p, cfg).map_err(|e| e.to_string())?,
+            };
+            (profile, cm.max_abs_diff(&reference) < 1e-8)
+        }
+        "cholesky" => {
+            let b = Matrix::random(n, n, seed);
+            let mut a = psse_kernels::gemm::matmul(&b.transpose(), &b);
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let (l, profile) =
+                psse_algos::cholesky2d::cholesky_2d(&a, p, cfg).map_err(|e| e.to_string())?;
+            let recon = psse_kernels::gemm::matmul(&l, &l.transpose());
+            (profile, recon.relative_error(&a) < 1e-8)
+        }
+        "lu" | "solve" => {
+            let a = Matrix::random_diagonally_dominant(n, seed);
+            if alg == "lu" {
+                let (packed, profile) = lu_2d(&a, p, cfg).map_err(|e| e.to_string())?;
+                let (l, u) = psse_kernels::lu::split_lu(&packed);
+                let ok = psse_kernels::gemm::matmul(&l, &u).relative_error(&a) < 1e-8;
+                (profile, ok)
+            } else {
+                let x_true: Vec<f64> = (0..n).map(|i| i as f64 - n as f64 / 2.0).collect();
+                let b: Vec<f64> = (0..n)
+                    .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+                    .collect();
+                let (x, profile) = solve_2d(&a, &b, p, cfg).map_err(|e| e.to_string())?;
+                let ok = x
+                    .iter()
+                    .zip(&x_true)
+                    .all(|(a, b)| (a - b).abs() < 1e-6 * (1.0 + b.abs()));
+                (profile, ok)
+            }
+        }
+        "nbody" => {
+            if c == 0 || !p.is_multiple_of(c) {
+                return Err(format!(
+                    "--c {c} must divide --p {p} for the replicated n-body layout"
+                ));
+            }
+            let particles = random_particles(n, seed);
+            let pr = p / c;
+            let (acc, profile) =
+                nbody_replicated(&particles, pr, c, cfg).map_err(|e| e.to_string())?;
+            let mut serial = vec![[0.0; 3]; n];
+            accumulate_forces(&particles, &particles, &mut serial);
+            let ok = acc
+                .iter()
+                .zip(&serial)
+                .all(|(a, b)| (0..3).all(|d| (a[d] - b[d]).abs() < 1e-8));
+            (profile, ok)
+        }
+        "fft" => {
+            let mut rng = XorShift64::new(seed);
+            let x: Vec<psse_kernels::Complex64> = (0..n)
+                .map(|_| {
+                    psse_kernels::Complex64::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0))
+                })
+                .collect();
+            let (spec, profile) =
+                distributed_fft(&x, p, AllToAllKind::Pairwise, cfg).map_err(|e| e.to_string())?;
+            let reference = kernel_fft(&x);
+            let ok = spec
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| (*a - *b).abs() < 1e-7);
+            (profile, ok)
+        }
+        "tsqr" => {
+            let cols = args.u64_or("cols", 4)? as usize;
+            let a = Matrix::random(n, cols, seed);
+            let (r, profile) = tsqr(&a, p, cfg).map_err(|e| e.to_string())?;
+            let (_, r_seq) = psse_kernels::qr::householder_qr(&a);
+            (profile, r.max_abs_diff(&r_seq) < 1e-7)
+        }
+        "matvec" => {
+            let a = Matrix::random(n, n, seed);
+            let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let (y, profile) = matvec_1d(&a, &x, p, cfg).map_err(|e| e.to_string())?;
+            let ok = (0..n).all(|i| {
+                let serial: f64 = a.row(i).iter().zip(&x).map(|(aij, xj)| aij * xj).sum();
+                (y[i] - serial).abs() < 1e-8 * (1.0 + serial.abs())
+            });
+            (profile, ok)
+        }
+        other => {
+            return Err(format!(
+                "unknown simulation `{other}` \
+                 (cannon|summa|mm25d|mm3d|strassen|lu|solve|cholesky|tsqr|nbody|fft|matvec)"
+            ))
+        }
+    };
+
+    let m = measure(&profile, &mp);
+    let _ = writeln!(
+        out,
+        "algorithm : {alg} on {} ranks (machine `{mname}`)",
+        profile.p()
+    );
+    let _ = writeln!(
+        out,
+        "numerics  : {}",
+        if verified {
+            "verified against the sequential reference"
+        } else {
+            "MISMATCH vs sequential reference!"
+        }
+    );
+    let _ = writeln!(out, "measured runtime  T = {} s (virtual)", fmt(m.time));
+    let _ = writeln!(
+        out,
+        "measured energy   E = {} J (Eq. 2 over counters)",
+        fmt(m.energy)
+    );
+    let _ = writeln!(
+        out,
+        "critical path     F = {}, W = {}, S = {}",
+        profile.max_flops(),
+        profile.max_words_sent(),
+        profile.max_msgs_sent()
+    );
+    let _ = writeln!(
+        out,
+        "peak memory/rank  M = {} words",
+        profile.max_mem_peak()
+    );
+    if !verified {
+        return Err("numerical verification failed".into());
+    }
+    Ok(())
+}
+
+pub fn tech(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, _) = machine_from(args)?;
+    let target = args.f64_or("target", 75.0)?;
+    let study = CaseStudy::default();
+    let base = study.gflops_per_watt(&mp);
+    let _ = writeln!(
+        out,
+        "case study: 2.5D matmul, n = {}, p = {}",
+        study.n, study.p
+    );
+    let _ = writeln!(out, "today: {} GFLOPS/W", fmt(base));
+    match multiplier_for_target(&mp, study, target) {
+        Some(k) => {
+            let _ = writeln!(
+                out,
+                "target {} GFLOPS/W: improve all energy parameters {}x \
+                 (~{:.2} generations at one halving per generation)",
+                fmt(target),
+                fmt(k),
+                k.log2()
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "target {} GFLOPS/W unreachable by energy scaling alone",
+                fmt(target)
+            );
+        }
+    }
+    let _ = writeln!(out, "\nper-parameter sensitivity (halving per generation):");
+    let rows = fig6_series(&mp, study, 5);
+    let last = rows.last().unwrap();
+    for (param, eff) in &last.per_param {
+        let _ = writeln!(
+            out,
+            "  {:>9} alone, 5 generations: {} GFLOPS/W",
+            param.symbol(),
+            fmt(*eff)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  all three, 5 generations: {} GFLOPS/W",
+        fmt(last.together)
+    );
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! # psse-cli — the `psse` command
+//!
+//! A command-line front end to the whole workspace: evaluate the paper's
+//! time/energy models at a point, inspect strong-scaling ranges, run the
+//! §V optimizers, execute the real algorithms on the simulated machine,
+//! and print the machine tables.
+//!
+//! ```text
+//! psse machines
+//! psse model    --alg matmul --n 8192 --p 64 [--mem 2e6] [--machine jaketown]
+//! psse scaling  --alg nbody --n 1e6 --mem 4096
+//! psse optimize --n 1e5 [--f 20] [--tmax 1e-2] [--emax 5.0]
+//! psse simulate --alg mm25d --n 64 --p 32 --c 2
+//! psse tech     --target 75
+//! ```
+//!
+//! All logic lives in [`run`] so it can be tested without spawning the
+//! binary; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+
+use args::Args;
+use std::fmt::Write as _;
+
+/// Execute a CLI invocation; human-readable output is appended to `out`.
+pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        let _ = write!(out, "{}", HELP);
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "machines" => commands::machines(&args, out),
+        "model" => commands::model(&args, out),
+        "scaling" => commands::scaling(&args, out),
+        "optimize" => commands::optimize(&args, out),
+        "simulate" => commands::simulate(&args, out),
+        "tech" => commands::tech(&args, out),
+        other => Err(format!("unknown subcommand `{other}`; try `psse help`")),
+    }
+}
+
+const HELP: &str = "\
+psse — Perfect Strong Scaling Using No Additional Energy (IPDPS 2013)
+
+USAGE: psse <command> [--option value]...
+
+COMMANDS:
+  machines   Print the paper's Table II processor database.
+  model      Evaluate T (Eq. 1), E (Eq. 2) and P for an algorithm at a point.
+               --alg matmul|strassen|nbody|fft|lu|matvec  --n N  --p P
+               [--mem WORDS]        memory/processor (default: minimal)
+               [--machine jaketown] plus per-parameter overrides, e.g.
+               [--gamma-t S] [--beta-t S] [--alpha-t S] [--gamma-e J]
+               [--beta-e J] [--alpha-e J] [--delta-e J] [--epsilon-e J]
+               [--f FLOPS]          n-body flops per interaction (20)
+  scaling    Print the perfect strong scaling range at fixed memory.
+               --alg ... --n N --mem WORDS
+  optimize   Section V answers for the n-body problem (closed form).
+               --n N [--f FLOPS] [--tmax S] [--emax J]
+               [--power-total W] [--power-proc W]
+  simulate   Run the real algorithm on the virtual machine and price it.
+               --alg cannon|summa|mm25d|mm3d|strassen|lu|solve|nbody|fft|matvec
+               --n N --p P [--c C] [--panel W] [--seed S]
+  tech       Technology scaling (Figs. 6-7): generations to a target.
+               [--target GFLOPS_W]
+  help       This message.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(line: &str) -> Result<String, String> {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&argv, &mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = call("help").unwrap();
+        for cmd in [
+            "machines", "model", "scaling", "optimize", "simulate", "tech",
+        ] {
+            assert!(out.contains(cmd), "help should mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(call("frobnicate").is_err());
+    }
+
+    #[test]
+    fn machines_prints_table2() {
+        let out = call("machines").unwrap();
+        assert!(out.contains("Nvidia GTX590"));
+        assert!(out.contains("GFLOPS/W"));
+        assert!(out.contains("6.817"));
+    }
+
+    #[test]
+    fn model_evaluates_matmul() {
+        let out = call("model --alg matmul --n 8192 --p 64").unwrap();
+        assert!(out.contains("runtime"));
+        assert!(out.contains("energy"));
+        // Default machine is Table I.
+        assert!(out.contains("jaketown"));
+    }
+
+    #[test]
+    fn model_respects_overrides() {
+        let a = call("model --alg nbody --n 100000 --p 64 --f 20").unwrap();
+        let b = call("model --alg nbody --n 100000 --p 64 --f 20 --gamma-e 1e-6").unwrap();
+        assert_ne!(a, b, "energy override must change the output");
+    }
+
+    #[test]
+    fn model_rejects_bad_algorithms() {
+        assert!(call("model --alg quicksort --n 8 --p 2").is_err());
+        assert!(call("model --alg matmul --p 2").is_err());
+    }
+
+    #[test]
+    fn scaling_reports_range() {
+        let out = call("scaling --alg matmul --n 8192 --mem 1e6").unwrap();
+        assert!(out.contains("p_min"));
+        assert!(out.contains("p_max"));
+        let out = call("scaling --alg fft --n 65536 --mem 1024").unwrap();
+        assert!(out.contains("no perfect strong scaling"));
+    }
+
+    #[test]
+    fn optimize_answers_section_v() {
+        let out = call("optimize --n 100000 --f 10").unwrap();
+        assert!(out.contains("M0"));
+        assert!(out.contains("E*"));
+        let out = call("optimize --n 100000 --f 10 --emax 1e9").unwrap();
+        assert!(out.contains("fastest run within"));
+    }
+
+    #[test]
+    fn simulate_runs_and_verifies() {
+        let out = call("simulate --alg mm25d --n 16 --p 32 --c 2").unwrap();
+        assert!(out.contains("verified"), "{out}");
+        assert!(out.contains("measured runtime"));
+        let out = call("simulate --alg nbody --n 64 --p 8 --c 2").unwrap();
+        assert!(out.contains("verified"));
+        let out = call("simulate --alg fft --n 256 --p 4").unwrap();
+        assert!(out.contains("verified"));
+        let out = call("simulate --alg cholesky --n 16 --p 4").unwrap();
+        assert!(out.contains("verified"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_grids() {
+        assert!(call("simulate --alg cannon --n 16 --p 3").is_err());
+    }
+
+    #[test]
+    fn tech_reports_generations() {
+        let out = call("tech --target 75").unwrap();
+        assert!(out.contains("generations"));
+        assert!(out.contains("75"));
+    }
+}

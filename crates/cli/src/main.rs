@@ -1,0 +1,14 @@
+//! The `psse` binary: thin wrapper around [`psse_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match psse_cli::run(&argv, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Communication lower bounds and the limits of strong scaling
+//! (paper §III, Fig. 3).
+//!
+//! Two families of bounds interact here:
+//!
+//! * the **memory-dependent** bounds of Ballard–Demmel–Holtz–Schwartz
+//!   (extending Hong–Kung and Irony–Toledo–Tiskin): a processor doing `F`
+//!   flops with `M` words of fast memory moves
+//!   `W = Ω(F/√M)` words (Eqs. 3–5);
+//! * the **memory-independent** bounds of Ballard et al. (SPAA'12): for
+//!   classical matmul `W = Ω(n²/p^(2/3))` and for Strassen-like matmul
+//!   `W = Ω(n²/p^(2/ω0))`, no matter how much memory is available.
+//!
+//! Their crossover is what ends perfect strong scaling: increasing `p` at
+//! fixed `M` rides the memory-dependent bound (which shrinks like `1/p`)
+//! until `p = n³/M^(3/2)` (classical; `n^ω/M^(ω/2)` for Strassen-like),
+//! after which the memory-independent bound takes over and
+//! `W·p ∝ p^(1/3)` (resp. `p^(1−2/ω)`) grows again. Fig. 3 plots exactly
+//! this, and [`fig3_series`] regenerates it.
+
+use crate::Real;
+
+/// The closed interval of processor counts `[p_min, p_max]` over which an
+/// algorithm strong-scales perfectly at fixed memory per processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingRange {
+    /// Smallest `p` that fits the problem (one copy of the data).
+    pub p_min: Real,
+    /// Largest `p` beyond which extra memory can no longer reduce
+    /// communication (the memory-independent bound binds).
+    pub p_max: Real,
+}
+
+impl ScalingRange {
+    /// Whether `p` lies inside the perfect-scaling range.
+    pub fn contains(&self, p: Real) -> bool {
+        p >= self.p_min && p <= self.p_max
+    }
+
+    /// The scaling headroom `p_max / p_min` — how large a factor of
+    /// processors (and runtime reduction) is available for free energy.
+    pub fn headroom(&self) -> Real {
+        self.p_max / self.p_min
+    }
+}
+
+/// Sequential memory-dependent word lower bound, paper **Eq. 3**:
+/// `W = Ω(max(I + O, F/√M))` for a processor executing `F` flops with
+/// fast memory `M`, input size `I` and output size `O`.
+pub fn sequential_word_lower_bound(flops: Real, mem: Real, input: Real, output: Real) -> Real {
+    (input + output).max(flops / mem.sqrt())
+}
+
+/// Sequential message lower bound, paper **Eq. 4**: Eq. 3 divided by the
+/// maximum message size `m`.
+pub fn sequential_message_lower_bound(
+    flops: Real,
+    mem: Real,
+    input: Real,
+    output: Real,
+    max_message: Real,
+) -> Real {
+    ((input + output) / max_message).max(flops / (max_message * mem.sqrt()))
+}
+
+/// Parallel memory-dependent word lower bound, paper **Eq. 5**:
+/// `W = Ω(max(0, F/√M − (I + O)))` — with the right data layout, a
+/// processor whose inputs/outputs dominate may communicate nothing.
+pub fn parallel_word_lower_bound(flops: Real, mem: Real, input: Real, output: Real) -> Real {
+    (flops / mem.sqrt() - (input + output)).max(0.0)
+}
+
+/// Memory-independent word lower bound for matmul-like algorithms with
+/// exponent `omega` (Ballard et al., SPAA'12): `W = Ω(n²/p^(2/ω))`.
+/// `omega = 3` gives the classical bound `n²/p^(2/3)`.
+pub fn memory_independent_word_bound(n: u64, p: u64, omega: Real) -> Real {
+    let nf = n as Real;
+    nf * nf / (p as Real).powf(2.0 / omega)
+}
+
+/// One point of the Fig. 3 curves: at processor count `p`, the attainable
+/// per-processor bandwidth cost `W(p)` for a matmul-like algorithm with
+/// exponent `omega` on machines with `mem` words per processor, for a
+/// problem that first fits at `p_min = n²/mem` processors.
+///
+/// `W(p) = max( n^ω/(p·mem^(ω/2−1)), n²/p^(2/ω) )` — the first argument is
+/// the memory-dependent bound (perfect scaling region: `W·p` constant),
+/// the second the memory-independent bound (`W·p ∝ p^(1−2/ω)`).
+pub fn attainable_bandwidth_cost(n: u64, p: u64, mem: Real, omega: Real) -> Real {
+    let nf = n as Real;
+    let pf = p as Real;
+    let mem_dep = nf.powf(omega) / (pf * mem.powf(omega / 2.0 - 1.0));
+    let mem_indep = nf * nf / pf.powf(2.0 / omega);
+    mem_dep.max(mem_indep)
+}
+
+/// A sampled Fig. 3 curve.
+#[derive(Debug, Clone)]
+pub struct Fig3Point {
+    /// Processor count.
+    pub p: u64,
+    /// Per-processor bandwidth cost `W(p)`.
+    pub words: Real,
+    /// `W(p) · p` — the paper's y-axis; constant in the perfect-scaling
+    /// region, growing like `p^(1−2/ω)` past it.
+    pub words_times_p: Real,
+    /// Whether this point lies in the perfect strong scaling region.
+    pub perfect: bool,
+}
+
+/// Regenerate one curve of paper **Fig. 3** ("Limits of communication
+/// strong scaling for matrix multiplication"): sample `W(p)·p` at
+/// logarithmically spaced processor counts from `p_min = n²/mem` to
+/// `factor_past_limit` times the scaling limit `p_limit = n^ω/mem^(ω/2)`.
+pub fn fig3_series(
+    n: u64,
+    mem: Real,
+    omega: Real,
+    points: usize,
+    factor_past_limit: Real,
+) -> Vec<Fig3Point> {
+    assert!(points >= 2, "need at least two sample points");
+    let nf = n as Real;
+    let p_min = (nf * nf / mem).max(1.0);
+    let p_limit = nf.powf(omega) / mem.powf(omega / 2.0);
+    let p_end = p_limit * factor_past_limit;
+    let log_start = p_min.ln();
+    let log_end = p_end.ln();
+    (0..points)
+        .map(|i| {
+            let t = i as Real / (points - 1) as Real;
+            let p = (log_start + t * (log_end - log_start))
+                .exp()
+                .round()
+                .max(1.0) as u64;
+            let w = attainable_bandwidth_cost(n, p, mem, omega);
+            Fig3Point {
+                p,
+                words: w,
+                words_times_p: w * p as Real,
+                perfect: (p as Real) <= p_limit * (1.0 + 1e-9),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::STRASSEN_OMEGA;
+
+    #[test]
+    fn eq3_picks_dominant_term() {
+        // BLAS3-like: F = n³, I+O = n², F/√M dominates for small M.
+        assert_eq!(sequential_word_lower_bound(1e9, 1e4, 1e6, 1e6), 1e9 / 1e2);
+        // BLAS1-like: I+O dominates.
+        assert_eq!(sequential_word_lower_bound(1e6, 1e12, 1e6, 1e6), 2e6);
+    }
+
+    #[test]
+    fn eq4_divides_by_message_size() {
+        let w = sequential_word_lower_bound(1e9, 1e4, 0.0, 0.0);
+        let s = sequential_message_lower_bound(1e9, 1e4, 0.0, 0.0, 100.0);
+        assert!((s - w / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq5_can_be_zero() {
+        // If I+O exceeds F/√M there may be a communication-free layout.
+        assert_eq!(parallel_word_lower_bound(1e6, 1e12, 1e6, 1e6), 0.0);
+        assert!(parallel_word_lower_bound(1e12, 1e4, 1e3, 1e3) > 0.0);
+    }
+
+    #[test]
+    fn memory_independent_bound_classical() {
+        // n²/p^(2/3).
+        let w = memory_independent_word_bound(1 << 10, 8, 3.0);
+        let expected = (1u64 << 20) as Real / 4.0;
+        assert!((w - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn attainable_cost_is_max_of_bounds() {
+        let n = 1u64 << 12;
+        let mem = (n as Real) * (n as Real) / 16.0; // p_min = 16
+                                                    // Inside the perfect region the memory-dependent bound dominates.
+        let p_inside = 32u64;
+        let w = attainable_bandwidth_cost(n, p_inside, mem, 3.0);
+        let nf = n as Real;
+        let mem_dep = nf.powi(3) / (p_inside as Real * mem.sqrt());
+        assert!((w - mem_dep).abs() / mem_dep < 1e-12);
+        // Far outside, the memory-independent bound dominates.
+        let p_outside = 1u64 << 40;
+        let w = attainable_bandwidth_cost(n, p_outside, mem, 3.0);
+        let mem_indep = nf * nf / (p_outside as Real).powf(2.0 / 3.0);
+        assert!((w - mem_indep).abs() / mem_indep < 1e-12);
+    }
+
+    #[test]
+    fn fig3_flat_then_rising() {
+        let n = 1u64 << 12;
+        let mem = (n as Real) * (n as Real) / 64.0;
+        let series = fig3_series(n, mem, 3.0, 40, 64.0);
+        assert_eq!(series.len(), 40);
+        // In the perfect region W·p is constant.
+        let flat: Vec<_> = series.iter().filter(|pt| pt.perfect).collect();
+        assert!(flat.len() >= 2, "expected a non-trivial flat region");
+        let w0 = flat[0].words_times_p;
+        for pt in &flat {
+            assert!(
+                (pt.words_times_p - w0).abs() / w0 < 1e-9,
+                "perfect region should be flat"
+            );
+        }
+        // Past the limit W·p strictly increases.
+        let rising: Vec<_> = series.iter().filter(|pt| !pt.perfect).collect();
+        assert!(rising.len() >= 2, "expected points past the limit");
+        for w in rising.windows(2) {
+            assert!(w[1].words_times_p > w[0].words_times_p * 0.999);
+        }
+        // And the rising region is above the flat level.
+        assert!(rising.last().unwrap().words_times_p > w0);
+    }
+
+    #[test]
+    fn fig3_strassen_limit_is_earlier_than_classical() {
+        // Strassen-like algorithms stop scaling at p = n^ω/M^(ω/2), which
+        // is smaller than the classical n³/M^(3/2) (Fig. 3: the
+        // Strassen-like curve departs the flat region first).
+        let n = 1u64 << 12;
+        let nf = n as Real;
+        let mem = nf * nf / 64.0;
+        let p_limit_classical = nf.powf(3.0) / mem.powf(1.5);
+        let p_limit_strassen = nf.powf(STRASSEN_OMEGA) / mem.powf(STRASSEN_OMEGA / 2.0);
+        assert!(p_limit_strassen < p_limit_classical);
+    }
+
+    #[test]
+    fn scaling_range_helpers() {
+        let r = ScalingRange {
+            p_min: 16.0,
+            p_max: 1024.0,
+        };
+        assert!(r.contains(16.0) && r.contains(512.0) && r.contains(1024.0));
+        assert!(!r.contains(8.0) && !r.contains(2048.0));
+        assert_eq!(r.headroom(), 64.0);
+    }
+
+    #[test]
+    fn fig3_first_point_is_p_min() {
+        let n = 1u64 << 12;
+        let mem = (n as Real) * (n as Real) / 64.0;
+        let series = fig3_series(n, mem, 3.0, 10, 16.0);
+        assert_eq!(series[0].p, 64);
+        assert!(series[0].perfect);
+    }
+}

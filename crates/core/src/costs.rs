@@ -1,0 +1,898 @@
+//! Per-processor computation/communication cost models (paper §IV).
+//!
+//! Each algorithm is summarized by its per-processor counts along the
+//! critical path:
+//!
+//! * `F` — floating-point operations,
+//! * `W` — words sent,
+//! * `S` — messages sent,
+//!
+//! as functions of the problem size `n`, processor count `p` and memory
+//! used per processor `M`. These are the quantities priced by the time
+//! model (Eq. 1) and the energy model (Eq. 2).
+//!
+//! The central phenomenon of the paper lives in these formulas: for the
+//! **data-replicating algorithms** (2.5D classical matmul, CAPS Strassen,
+//! the replicating direct n-body algorithm) the communication terms `W`
+//! and `S` depend on `p` and `M` jointly such that, holding `M` fixed,
+//! *every* term of `T` decays like `1/p` over a whole range of `p` — while
+//! every term of `E = p·(...)` is independent of `p`.
+
+use crate::bounds::ScalingRange;
+use crate::error::CoreError;
+use crate::params::MachineParams;
+use crate::Real;
+
+/// Per-processor critical-path costs of one algorithm execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgorithmCosts {
+    /// Floating-point operations per processor, `F`.
+    pub flops: Real,
+    /// Words sent per processor, `W`.
+    pub words: Real,
+    /// Messages sent per processor, `S`.
+    pub messages: Real,
+}
+
+impl AlgorithmCosts {
+    /// Component-wise sum (useful when composing phases of an algorithm).
+    pub fn plus(&self, other: &AlgorithmCosts) -> AlgorithmCosts {
+        AlgorithmCosts {
+            flops: self.flops + other.flops,
+            words: self.words + other.words,
+            messages: self.messages + other.messages,
+        }
+    }
+}
+
+/// Relative tolerance applied when checking `M` against the validity
+/// range, so that callers computing the boundary themselves (e.g.
+/// `max_useful_memory`) are not rejected by floating-point noise.
+const M_RANGE_TOL: Real = 1e-9;
+
+/// A cost-modelled algorithm from paper §IV.
+///
+/// Implementations provide the `(F, W, S)` model, its `M`-validity range
+/// and the perfect-strong-scaling range (if one exists).
+pub trait Algorithm {
+    /// Human-readable name, e.g. `"2.5D classical matrix multiplication"`.
+    fn name(&self) -> &'static str;
+
+    /// Total flops across all processors, `p·F`.
+    fn total_flops(&self, n: u64) -> Real;
+
+    /// Smallest memory per processor that holds one copy of the data
+    /// spread over `p` processors (`n²/p` for matmul, `n/p` for n-body,
+    /// `n/p` for FFT).
+    fn min_memory(&self, n: u64, p: u64) -> Real;
+
+    /// Largest memory per processor the algorithm can exploit to reduce
+    /// communication (`n²/p^(2/3)` for classical matmul, `n²/p^(2/ω)` for
+    /// Strassen-like, `n/√p` for n-body). For the FFT this equals
+    /// [`Algorithm::min_memory`]: extra memory is useless.
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real;
+
+    /// The per-processor cost model `(F, W, S)` at memory `M = m_words`.
+    ///
+    /// Returns [`CoreError::MemoryOutOfRange`] when `m_words` lies outside
+    /// `[min_memory, max_useful_memory]` (the formulas are only attained
+    /// by real algorithms in that range) and
+    /// [`CoreError::InvalidConfiguration`] for degenerate `n`/`p`.
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError>;
+
+    /// Like [`Algorithm::costs`] but clamps `m_words` into the valid
+    /// range first. Convenient for parameter sweeps.
+    fn costs_clamped(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let lo = self.min_memory(n, p);
+        let hi = self.max_useful_memory(n, p);
+        self.costs(n, p, m_words.clamp(lo, hi), params)
+    }
+
+    /// The perfect strong scaling range `[pmin, pmax]` for fixed problem
+    /// size `n` and fixed memory per processor `mem`: within it,
+    /// increasing `p` divides every term of `T` by the same factor and
+    /// leaves `E` unchanged. `None` when the algorithm has no such range
+    /// (FFT: the latency term `S` does not scale).
+    fn strong_scaling_range(&self, n: u64, mem: Real) -> Option<ScalingRange>;
+
+    /// Check the configuration and return the validated memory range.
+    fn memory_range(&self, n: u64, p: u64) -> Result<(Real, Real), CoreError> {
+        if n < 2 || p == 0 {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "{}: need n >= 2 and p >= 1, got n = {n}, p = {p}",
+                self.name()
+            )));
+        }
+        Ok((self.min_memory(n, p), self.max_useful_memory(n, p)))
+    }
+}
+
+fn check_memory(m: Real, lo: Real, hi: Real) -> Result<(), CoreError> {
+    if !(m.is_finite() && m > 0.0) || m < lo * (1.0 - M_RANGE_TOL) || m > hi * (1.0 + M_RANGE_TOL) {
+        return Err(CoreError::MemoryOutOfRange {
+            m,
+            min: lo,
+            max: hi,
+        });
+    }
+    Ok(())
+}
+
+/// Classical `O(n³)` matrix multiplication executed with the 2.5D
+/// algorithm of Solomonik & Demmel (paper Eq. 8):
+///
+/// `F = n³/p`, `W = n³/(p·√M)`, `S = W/m`, valid for
+/// `n²/p ≤ M ≤ n²/p^(2/3)`.
+///
+/// At `M = n²/p` this is the classical 2D algorithm (Cannon / SUMMA); at
+/// `M = n²/p^(2/3)` it is 3D matmul (Agarwal et al.).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassicalMatMul;
+
+impl Algorithm for ClassicalMatMul {
+    fn name(&self) -> &'static str {
+        "2.5D classical matrix multiplication"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        nf * nf * nf
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / (p as Real).powf(2.0 / 3.0)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let f = self.total_flops(n) / p as Real;
+        let w = self.total_flops(n) / (p as Real * m_words.sqrt());
+        Ok(AlgorithmCosts {
+            flops: f,
+            words: w,
+            messages: w / params.max_message_words,
+        })
+    }
+
+    fn strong_scaling_range(&self, n: u64, mem: Real) -> Option<ScalingRange> {
+        let nf = n as Real;
+        Some(ScalingRange {
+            p_min: nf * nf / mem,
+            p_max: nf * nf * nf / mem.powf(1.5),
+        })
+    }
+}
+
+/// Strassen-like fast matrix multiplication with exponent `ω0`, executed
+/// with the CAPS algorithm (paper §IV "Strassen's matrix multiplication"):
+///
+/// `F = n^ω0/p`, `W = n^ω0/(p·M^(ω0/2 − 1))`, `S = W/m`, valid for
+/// `n²/p ≤ M ≤ n²/p^(2/ω0)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrassenMatMul {
+    /// The exponent `ω0` (`2 < ω0 ≤ 3`); `log2(7)` for Strassen proper.
+    pub omega: Real,
+}
+
+impl Default for StrassenMatMul {
+    fn default() -> Self {
+        StrassenMatMul {
+            omega: crate::STRASSEN_OMEGA,
+        }
+    }
+}
+
+impl Algorithm for StrassenMatMul {
+    fn name(&self) -> &'static str {
+        "CAPS fast matrix multiplication"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        (n as Real).powf(self.omega)
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / (p as Real).powf(2.0 / self.omega)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        if !(self.omega > 2.0 && self.omega <= 3.0) {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "fast matmul exponent omega = {} outside (2, 3]",
+                self.omega
+            )));
+        }
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let f = self.total_flops(n) / p as Real;
+        let w = self.total_flops(n) / (p as Real * m_words.powf(self.omega / 2.0 - 1.0));
+        Ok(AlgorithmCosts {
+            flops: f,
+            words: w,
+            messages: w / params.max_message_words,
+        })
+    }
+
+    fn strong_scaling_range(&self, n: u64, mem: Real) -> Option<ScalingRange> {
+        let nf = n as Real;
+        Some(ScalingRange {
+            p_min: nf * nf / mem,
+            p_max: nf.powf(self.omega) / mem.powf(self.omega / 2.0),
+        })
+    }
+}
+
+/// Dense LU decomposition with the 2.5D algorithm (paper §IV "LU
+/// factorization"):
+///
+/// `F = n³/p`, `W = n³/(p·√M)`, `S = n²/W = p·√M/n`.
+///
+/// The bandwidth term strong-scales exactly like 2.5D matmul, but the
+/// latency term **grows** with `p` because of the critical path — LU has
+/// no perfect strong scaling range in this model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lu25d;
+
+impl Algorithm for Lu25d {
+    fn name(&self) -> &'static str {
+        "2.5D LU factorization"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        nf * nf * nf
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / (p as Real).powf(2.0 / 3.0)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        _params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let f = self.total_flops(n) / p as Real;
+        let w = self.total_flops(n) / (p as Real * m_words.sqrt());
+        // S = n²/W — the LU latency lower bound (attained by 2.5D LU),
+        // larger than W/m and growing with p.
+        let s = nf * nf / w;
+        Ok(AlgorithmCosts {
+            flops: f,
+            words: w,
+            messages: s,
+        })
+    }
+
+    fn strong_scaling_range(&self, _n: u64, _mem: Real) -> Option<ScalingRange> {
+        // The latency term S = p√M/n grows with p: no perfect range.
+        None
+    }
+}
+
+/// Dense Cholesky factorization (`A = L·Lᵀ`, SPD inputs) — one of the
+/// "direct linear algebra" factorizations the paper's bounds cover
+/// (§III). Cost shape mirrors LU at half the arithmetic:
+/// `F = n³/(3p)`, `W = n³/(3·p·√M)`, `S = p·√M/n` (the same non-scaling
+/// critical-path latency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cholesky25d;
+
+impl Algorithm for Cholesky25d {
+    fn name(&self) -> &'static str {
+        "2.5D Cholesky factorization"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        nf * nf * nf / 3.0
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        let nf = n as Real;
+        nf * nf / (p as Real).powf(2.0 / 3.0)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        _params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let f = self.total_flops(n) / p as Real;
+        let w = self.total_flops(n) / (p as Real * m_words.sqrt());
+        Ok(AlgorithmCosts {
+            flops: f,
+            words: w,
+            messages: p as Real * m_words.sqrt() / nf,
+        })
+    }
+
+    fn strong_scaling_range(&self, _n: u64, _mem: Real) -> Option<ScalingRange> {
+        None // same critical-path latency obstruction as LU
+    }
+}
+
+/// The direct `O(n²)` n-body problem with the data-replicating algorithm
+/// of Driscoll et al. (paper §IV "Direct n-body problem"):
+///
+/// `F = f·n²/p`, `W = n²/(p·M)`, `S = W/m`, valid for `n/p ≤ M ≤ n/√p`,
+/// where `f` is the flop count of one pairwise interaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectNBody {
+    /// Flops per pairwise interaction (`f` in the paper).
+    pub flops_per_interaction: Real,
+}
+
+impl Default for DirectNBody {
+    fn default() -> Self {
+        // A softened gravitational interaction in 3D costs on the order
+        // of 20 flops (3 subs, 3 mults + 2 adds for r², rsqrt ≈ 5,
+        // 3 mults, 3 fused accumulates).
+        DirectNBody {
+            flops_per_interaction: 20.0,
+        }
+    }
+}
+
+impl Algorithm for DirectNBody {
+    fn name(&self) -> &'static str {
+        "data-replicating direct n-body"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        self.flops_per_interaction * nf * nf
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        n as Real / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        n as Real / (p as Real).sqrt()
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        if !(self.flops_per_interaction > 0.0) {
+            return Err(CoreError::InvalidConfiguration(format!(
+                "flops_per_interaction = {} must be positive",
+                self.flops_per_interaction
+            )));
+        }
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let f = self.total_flops(n) / p as Real;
+        let w = nf * nf / (p as Real * m_words);
+        Ok(AlgorithmCosts {
+            flops: f,
+            words: w,
+            messages: w / params.max_message_words,
+        })
+    }
+
+    fn strong_scaling_range(&self, n: u64, mem: Real) -> Option<ScalingRange> {
+        let nf = n as Real;
+        Some(ScalingRange {
+            p_min: nf / mem,
+            p_max: nf * nf / (mem * mem),
+        })
+    }
+}
+
+/// Dense matrix–vector multiplication (BLAS2), the paper's §III example
+/// of an **I/O-dominated** kernel: `F = 2n²/p` but `I + O = Θ(n²/p)` as
+/// well, so the `max(I+O, F/√M)` lower bound is dominated by the data
+/// itself — extra memory buys nothing, and the `Θ(n)` per-rank vector
+/// exchange (allgather of `x`) means no perfect strong scaling range.
+///
+/// Costs for the 1D row-blocked algorithm: `F = 2n²/p`,
+/// `W = n·(p−1)/p ≈ n` (gathering the input vector), `S = W/m` with a
+/// `log p`-round allgather tree floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatVec;
+
+impl Algorithm for MatVec {
+    fn name(&self) -> &'static str {
+        "1D row-blocked matrix-vector multiplication"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        2.0 * (n as Real) * (n as Real)
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        // Matrix block + full vector.
+        let nf = n as Real;
+        nf * nf / p as Real + nf
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        self.min_memory(n, p) // extra memory is useless
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let pf = p as Real;
+        let w = nf * (pf - 1.0) / pf;
+        Ok(AlgorithmCosts {
+            flops: 2.0 * nf * nf / pf,
+            words: w,
+            messages: (w / params.max_message_words).max(pf.log2().max(0.0)),
+        })
+    }
+
+    fn strong_scaling_range(&self, _n: u64, _mem: Real) -> Option<ScalingRange> {
+        None
+    }
+}
+
+/// Parallel FFT with a **tree-based all-to-all** (paper §IV "Fast Fourier
+/// transform"):
+///
+/// `F = n·log₂n/p`, `W = n·log₂p/p`, `S = log₂p`, with `M = n/p` always
+/// (extra memory is useless). The message count does not scale with `p`:
+/// no perfect strong scaling range exists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FftTree;
+
+impl Algorithm for FftTree {
+    fn name(&self) -> &'static str {
+        "parallel FFT (tree all-to-all)"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        nf * nf.log2()
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        n as Real / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        self.min_memory(n, p)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        _params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let pf = p as Real;
+        Ok(AlgorithmCosts {
+            flops: nf * nf.log2() / pf,
+            words: nf * pf.log2() / pf,
+            messages: pf.log2().max(0.0),
+        })
+    }
+
+    fn strong_scaling_range(&self, _n: u64, _mem: Real) -> Option<ScalingRange> {
+        None
+    }
+}
+
+/// Parallel FFT with a **naive all-to-all**: `F = n·log₂n/p`, `W = n/p`,
+/// `S = p` (paper §IV). Fewer words than [`FftTree`] but a message count
+/// that *grows* with `p`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FftAllToAll;
+
+impl Algorithm for FftAllToAll {
+    fn name(&self) -> &'static str {
+        "parallel FFT (naive all-to-all)"
+    }
+
+    fn total_flops(&self, n: u64) -> Real {
+        let nf = n as Real;
+        nf * nf.log2()
+    }
+
+    fn min_memory(&self, n: u64, p: u64) -> Real {
+        n as Real / p as Real
+    }
+
+    fn max_useful_memory(&self, n: u64, p: u64) -> Real {
+        self.min_memory(n, p)
+    }
+
+    fn costs(
+        &self,
+        n: u64,
+        p: u64,
+        m_words: Real,
+        _params: &MachineParams,
+    ) -> Result<AlgorithmCosts, CoreError> {
+        let (lo, hi) = self.memory_range(n, p)?;
+        check_memory(m_words, lo, hi)?;
+        let nf = n as Real;
+        let pf = p as Real;
+        Ok(AlgorithmCosts {
+            flops: nf * nf.log2() / pf,
+            words: nf / pf,
+            messages: pf,
+        })
+    }
+
+    fn strong_scaling_range(&self, _n: u64, _mem: Real) -> Option<ScalingRange> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MachineParams {
+        MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_t(1e-8)
+            .alpha_t(1e-6)
+            .max_message_words(100.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classical_mm_2d_limit_matches_cannon_costs() {
+        // At M = n²/p the 2.5D model reduces to the 2D model:
+        // W = n³/(p·n/√p) = n²/√p.
+        let mp = params();
+        let n = 1024u64;
+        let p = 16u64;
+        let m = ClassicalMatMul.min_memory(n, p);
+        let c = ClassicalMatMul.costs(n, p, m, &mp).unwrap();
+        let nf = n as Real;
+        assert!((c.flops - nf.powi(3) / 16.0).abs() < 1.0);
+        let expected_w = nf * nf / (p as Real).sqrt();
+        assert!((c.words - expected_w).abs() / expected_w < 1e-12);
+        assert!((c.messages - c.words / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classical_mm_3d_limit_reduces_words_by_p_sixth() {
+        // W(3D)/W(2D) = p^(-1/6) (paper §III).
+        let mp = params();
+        let n = 4096u64;
+        let p = 64u64;
+        let w2d = ClassicalMatMul
+            .costs(n, p, ClassicalMatMul.min_memory(n, p), &mp)
+            .unwrap()
+            .words;
+        let w3d = ClassicalMatMul
+            .costs(n, p, ClassicalMatMul.max_useful_memory(n, p), &mp)
+            .unwrap()
+            .words;
+        let ratio = w3d / w2d;
+        let expected = (p as Real).powf(-1.0 / 6.0);
+        assert!((ratio - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn classical_mm_rejects_memory_outside_range() {
+        let mp = params();
+        let n = 1024u64;
+        let p = 16u64;
+        let lo = ClassicalMatMul.min_memory(n, p);
+        let hi = ClassicalMatMul.max_useful_memory(n, p);
+        assert!(matches!(
+            ClassicalMatMul.costs(n, p, lo * 0.5, &mp),
+            Err(CoreError::MemoryOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ClassicalMatMul.costs(n, p, hi * 2.0, &mp),
+            Err(CoreError::MemoryOutOfRange { .. })
+        ));
+        // Boundaries themselves are accepted.
+        assert!(ClassicalMatMul.costs(n, p, lo, &mp).is_ok());
+        assert!(ClassicalMatMul.costs(n, p, hi, &mp).is_ok());
+    }
+
+    #[test]
+    fn costs_clamped_accepts_anything() {
+        let mp = params();
+        let c = ClassicalMatMul.costs_clamped(1024, 16, 1.0, &mp).unwrap();
+        let at_min = ClassicalMatMul
+            .costs(1024, 16, ClassicalMatMul.min_memory(1024, 16), &mp)
+            .unwrap();
+        assert_eq!(c, at_min);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mp = params();
+        assert!(matches!(
+            ClassicalMatMul.costs(1, 4, 100.0, &mp),
+            Err(CoreError::InvalidConfiguration(_))
+        ));
+        assert!(matches!(
+            DirectNBody::default().costs(100, 0, 10.0, &mp),
+            Err(CoreError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn strassen_with_omega_3_matches_classical_words() {
+        let mp = params();
+        let s = StrassenMatMul { omega: 3.0 };
+        let n = 2048u64;
+        let p = 8u64;
+        let m = ClassicalMatMul.min_memory(n, p);
+        let cs = s.costs(n, p, m, &mp).unwrap();
+        let cc = ClassicalMatMul.costs(n, p, m, &mp).unwrap();
+        assert!((cs.flops - cc.flops).abs() / cc.flops < 1e-12);
+        assert!((cs.words - cc.words).abs() / cc.words < 1e-12);
+    }
+
+    #[test]
+    fn strassen_needs_fewer_flops_than_classical() {
+        let mp = params();
+        let s = StrassenMatMul::default();
+        let n = 4096u64;
+        let p = 4u64;
+        let m = s.min_memory(n, p);
+        let cs = s.costs(n, p, m, &mp).unwrap();
+        let cc = ClassicalMatMul.costs(n, p, m, &mp).unwrap();
+        assert!(cs.flops < cc.flops);
+    }
+
+    #[test]
+    fn strassen_rejects_bad_omega() {
+        let mp = params();
+        for omega in [1.5, 2.0, 3.5] {
+            let s = StrassenMatMul { omega };
+            assert!(matches!(
+                s.costs(1024, 4, s.min_memory(1024, 4), &mp),
+                Err(CoreError::InvalidConfiguration(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn lu_latency_grows_with_p() {
+        // S_LU = p√M/n: doubling p at fixed M doubles the message count.
+        let mp = params();
+        let n = 4096u64;
+        let m = 1024.0 * 1024.0;
+        let s1 = Lu25d.costs(n, 16, m, &mp).unwrap().messages;
+        let s2 = Lu25d.costs(n, 32, m, &mp).unwrap().messages;
+        assert!((s2 / s1 - 2.0).abs() < 1e-9);
+        assert!(Lu25d.strong_scaling_range(n, m).is_none());
+    }
+
+    #[test]
+    fn lu_messages_match_formula() {
+        let mp = params();
+        let n = 4096u64;
+        let p = 16u64;
+        let m = Lu25d.min_memory(n, p) * 2.0; // c = 2 replication
+        let c = Lu25d.costs(n, p, m, &mp).unwrap();
+        let expected = p as Real * m.sqrt() / n as Real;
+        assert!((c.messages - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn nbody_words_shrink_linearly_with_memory() {
+        let mp = params();
+        let nb = DirectNBody::default();
+        let n = 1u64 << 20;
+        let p = 64u64;
+        let m1 = nb.min_memory(n, p);
+        let m2 = 2.0 * m1;
+        let w1 = nb.costs(n, p, m1, &mp).unwrap().words;
+        let w2 = nb.costs(n, p, m2, &mp).unwrap().words;
+        assert!((w1 / w2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nbody_scaling_range_endpoints() {
+        let nb = DirectNBody::default();
+        let n = 1u64 << 20;
+        let mem = 4096.0;
+        let r = nb.strong_scaling_range(n, mem).unwrap();
+        let nf = n as Real;
+        assert!((r.p_min - nf / mem).abs() < 1e-6);
+        assert!((r.p_max - nf * nf / (mem * mem)).abs() < 1.0);
+        assert!(r.p_max / r.p_min > 1.0);
+    }
+
+    #[test]
+    fn fft_has_no_use_for_extra_memory() {
+        let f = FftTree;
+        assert_eq!(f.min_memory(1 << 20, 64), f.max_useful_memory(1 << 20, 64));
+        assert!(f.strong_scaling_range(1 << 20, 1024.0).is_none());
+    }
+
+    #[test]
+    fn fft_tree_vs_naive_tradeoff() {
+        // Tree: more words, exponentially fewer messages.
+        let mp = params();
+        let n = 1u64 << 20;
+        let p = 256u64;
+        let m = FftTree.min_memory(n, p);
+        let tree = FftTree.costs(n, p, m, &mp).unwrap();
+        let naive = FftAllToAll.costs(n, p, m, &mp).unwrap();
+        assert!(tree.words > naive.words);
+        assert!(tree.messages < naive.messages);
+        assert!((tree.messages - 8.0).abs() < 1e-12); // log2(256)
+        assert!((naive.messages - 256.0).abs() < 1e-12);
+        assert_eq!(tree.flops, naive.flops);
+    }
+
+    #[test]
+    fn cholesky_is_half_an_lu() {
+        let mp = params();
+        let n = 4096u64;
+        let p = 64u64;
+        let m = Cholesky25d.min_memory(n, p) * 2.0;
+        let chol = Cholesky25d.costs(n, p, m, &mp).unwrap();
+        let lu = Lu25d.costs(n, p, m, &mp).unwrap();
+        assert!((chol.flops * 3.0 - lu.flops).abs() / lu.flops < 1e-12);
+        assert!((chol.words * 3.0 - lu.words).abs() / lu.words < 1e-12);
+        // Same critical-path message count (the panel chain).
+        assert_eq!(chol.messages, lu.messages);
+        assert!(Cholesky25d.strong_scaling_range(n, m).is_none());
+    }
+
+    #[test]
+    fn matvec_is_io_dominated() {
+        // The Eq. 3 data term I+O matches or beats F/√M for BLAS2: no
+        // memory/communication trade.
+        let mp = params();
+        let n = 1u64 << 12;
+        let p = 64u64;
+        let m = MatVec.min_memory(n, p);
+        let c = MatVec.costs(n, p, m, &mp).unwrap();
+        let nf = n as Real;
+        let io = nf * nf / p as Real;
+        assert!(
+            c.flops / m.sqrt() <= io * 2.0 + nf,
+            "F/sqrt(M) never dominates"
+        );
+        assert!(MatVec.strong_scaling_range(n, m).is_none());
+        assert_eq!(MatVec.min_memory(n, p), MatVec.max_useful_memory(n, p));
+        // Vector exchange stays Θ(n) per rank however large p gets.
+        let c2 = MatVec
+            .costs(n, 4 * p, MatVec.min_memory(n, 4 * p), &mp)
+            .unwrap();
+        assert!(c2.words > 0.9 * c.words, "W does not shrink with p");
+    }
+
+    #[test]
+    fn matvec_energy_grows_with_p() {
+        // p·βe·W ≈ p·βe·n: scale-out costs energy for BLAS2.
+        let mp = MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_e(1e-8)
+            .max_message_words(1e6)
+            .build()
+            .unwrap();
+        let n = 1u64 << 12;
+        let e_at = |p: u64| {
+            let m = MatVec.min_memory(n, p);
+            let c = MatVec.costs(n, p, m, &mp).unwrap();
+            mp.energy(p, &c, m, mp.time(&c))
+        };
+        assert!(e_at(256) > e_at(16));
+    }
+
+    #[test]
+    fn matmul_scaling_range_matches_section_iii() {
+        // pmin = n²/M, pmax = n³/M^(3/2); at p = pmin the 2D algorithm is
+        // forced, at p = pmax replication saturates (3D).
+        let n = 8192u64;
+        let p_min_procs = 16u64;
+        let mem = ClassicalMatMul.min_memory(n, p_min_procs);
+        let r = ClassicalMatMul.strong_scaling_range(n, mem).unwrap();
+        assert!((r.p_min - p_min_procs as Real).abs() < 1e-6);
+        // pmax/pmin = (n³/M^1.5)/(n²/M) = n/√M = √pmin ratio check:
+        let expected_ratio = n as Real / mem.sqrt();
+        assert!((r.p_max / r.p_min - expected_ratio).abs() / expected_ratio < 1e-12);
+    }
+
+    #[test]
+    fn total_flops_are_consistent_with_per_processor() {
+        let mp = params();
+        for p in [1u64, 4, 16, 64] {
+            let m = ClassicalMatMul.min_memory(2048, p);
+            let c = ClassicalMatMul.costs(2048, p, m, &mp).unwrap();
+            let total = c.flops * p as Real;
+            assert!((total - ClassicalMatMul.total_flops(2048)).abs() / total < 1e-12);
+        }
+    }
+
+    #[test]
+    fn costs_plus_adds_componentwise() {
+        let a = AlgorithmCosts {
+            flops: 1.0,
+            words: 2.0,
+            messages: 3.0,
+        };
+        let b = AlgorithmCosts {
+            flops: 10.0,
+            words: 20.0,
+            messages: 30.0,
+        };
+        let c = a.plus(&b);
+        assert_eq!(c.flops, 11.0);
+        assert_eq!(c.words, 22.0);
+        assert_eq!(c.messages, 33.0);
+    }
+}

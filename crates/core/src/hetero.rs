@@ -1,0 +1,344 @@
+//! Heterogeneous-machine extension (the direction of the paper's
+//! reference \[7\], Ballard–Demmel–Gearhart, "Communication bounds for
+//! heterogeneous architectures"): processors with *different* speeds and
+//! energy prices sharing one computation.
+//!
+//! For a perfectly divisible workload of `F` flops (the dense kernels of
+//! this crate are exactly that at the block level), two canonical
+//! questions have clean answers:
+//!
+//! * **minimum runtime**: assign work proportional to speed,
+//!   `f_i ∝ 1/γt_i`, giving `T* = F / Σ_i (1/γt_i)`;
+//! * **minimum energy under a deadline** `Tmax`: each processor can
+//!   absorb at most `Tmax/γt_i` flops; filling the cheapest-energy
+//!   (γe) processors first is optimal (a linear program with box
+//!   constraints whose objective orders by `γe_i`), with idle leakage
+//!   `εe_i·Tmax` paid machine-wide.
+
+use crate::error::CoreError;
+use crate::Real;
+
+/// One processor of a heterogeneous machine: compute speed and energy
+/// prices (communication is modelled at the workload level, not here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeteroProc {
+    /// Seconds per flop.
+    pub gamma_t: Real,
+    /// Joules per flop.
+    pub gamma_e: Real,
+    /// Leakage joules per second (paid for the whole run).
+    pub epsilon_e: Real,
+}
+
+/// A set of heterogeneous processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroMachine {
+    procs: Vec<HeteroProc>,
+}
+
+/// A work assignment: flops per processor, with its runtime and energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Flops assigned to each processor.
+    pub flops: Vec<Real>,
+    /// Makespan `max_i γt_i·f_i`, seconds.
+    pub time: Real,
+    /// Total energy `Σ γe_i·f_i + Σ εe_i·T`, joules.
+    pub energy: Real,
+}
+
+impl HeteroMachine {
+    /// Build a machine; every processor must have positive `γt` and
+    /// non-negative energy prices.
+    pub fn new(procs: Vec<HeteroProc>) -> Result<Self, CoreError> {
+        if procs.is_empty() {
+            return Err(CoreError::InvalidConfiguration(
+                "heterogeneous machine needs at least one processor".into(),
+            ));
+        }
+        for p in &procs {
+            if !(p.gamma_t > 0.0) || !p.gamma_t.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "gamma_t",
+                    value: p.gamma_t,
+                });
+            }
+            if p.gamma_e < 0.0 || p.gamma_e.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "gamma_e",
+                    value: p.gamma_e,
+                });
+            }
+            if p.epsilon_e < 0.0 || p.epsilon_e.is_nan() {
+                return Err(CoreError::InvalidParameter {
+                    name: "epsilon_e",
+                    value: p.epsilon_e,
+                });
+            }
+        }
+        Ok(HeteroMachine { procs })
+    }
+
+    /// The processors.
+    pub fn procs(&self) -> &[HeteroProc] {
+        &self.procs
+    }
+
+    /// Aggregate speed `Σ 1/γt_i` (flops per second at full load).
+    pub fn total_speed(&self) -> Real {
+        self.procs.iter().map(|p| 1.0 / p.gamma_t).sum()
+    }
+
+    fn price(&self, flops: &[Real], time: Real) -> Real {
+        self.procs
+            .iter()
+            .zip(flops)
+            .map(|(p, f)| p.gamma_e * f + p.epsilon_e * time)
+            .sum()
+    }
+
+    /// Minimum-runtime assignment: `f_i ∝ 1/γt_i`, all processors finish
+    /// simultaneously at `T* = F / Σ(1/γt_i)`.
+    pub fn min_time_split(&self, total_flops: Real) -> Assignment {
+        let t = total_flops / self.total_speed();
+        let flops: Vec<Real> = self.procs.iter().map(|p| t / p.gamma_t).collect();
+        let energy = self.price(&flops, t);
+        Assignment {
+            flops,
+            time: t,
+            energy,
+        }
+    }
+
+    /// Minimum-energy assignment under a deadline: fill processors in
+    /// ascending `γe` order, each up to its capacity `Tmax/γt_i`.
+    /// Returns [`CoreError::Infeasible`] when the machine cannot absorb
+    /// `F` flops within `Tmax`.
+    pub fn min_energy_split_given_tmax(
+        &self,
+        total_flops: Real,
+        tmax: Real,
+    ) -> Result<Assignment, CoreError> {
+        if !(tmax > 0.0) {
+            return Err(CoreError::Infeasible(format!(
+                "deadline Tmax = {tmax} must be positive"
+            )));
+        }
+        let capacity: Real = self.procs.iter().map(|p| tmax / p.gamma_t).sum();
+        if capacity < total_flops {
+            return Err(CoreError::Infeasible(format!(
+                "machine absorbs at most {capacity} flops in {tmax} s, \
+                 need {total_flops}"
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.procs.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.procs[a]
+                .gamma_e
+                .partial_cmp(&self.procs[b].gamma_e)
+                .unwrap()
+        });
+        let mut flops = vec![0.0; self.procs.len()];
+        let mut remaining = total_flops;
+        for &i in &order {
+            if remaining <= 0.0 {
+                break;
+            }
+            let cap = tmax / self.procs[i].gamma_t;
+            let take = cap.min(remaining);
+            flops[i] = take;
+            remaining -= take;
+        }
+        let time = self
+            .procs
+            .iter()
+            .zip(&flops)
+            .map(|(p, f)| p.gamma_t * f)
+            .fold(0.0_f64, Real::max);
+        // Leakage accrues until the deadline (processors cannot be
+        // powered down early in this model).
+        let energy = self.price(&flops, tmax);
+        Ok(Assignment {
+            flops,
+            time,
+            energy,
+        })
+    }
+
+    /// The energy/time Pareto frontier: sweep deadlines from the minimum
+    /// feasible (`min_time_split`) up to `slack_max` times it.
+    pub fn pareto(
+        &self,
+        total_flops: Real,
+        points: usize,
+        slack_max: Real,
+    ) -> Result<Vec<Assignment>, CoreError> {
+        if points < 2 || !(slack_max > 1.0) {
+            return Err(CoreError::InvalidConfiguration(
+                "need points >= 2 and slack_max > 1".into(),
+            ));
+        }
+        let t_min = self.min_time_split(total_flops).time;
+        (0..points)
+            .map(|i| {
+                let s = 1.0 + (slack_max - 1.0) * i as Real / (points - 1) as Real;
+                self.min_energy_split_given_tmax(total_flops, t_min * s)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> HeteroProc {
+        HeteroProc {
+            gamma_t: 1e-9,
+            gamma_e: 5e-9,
+            epsilon_e: 1.0,
+        }
+    }
+
+    fn gpu() -> HeteroProc {
+        HeteroProc {
+            gamma_t: 1e-10, // 10x faster
+            gamma_e: 2e-10, // 25x cheaper per flop
+            epsilon_e: 10.0,
+        }
+    }
+
+    #[test]
+    fn homogeneous_machine_splits_evenly() {
+        let m = HeteroMachine::new(vec![cpu(); 4]).unwrap();
+        let a = m.min_time_split(4e9);
+        for f in &a.flops {
+            assert!((f - 1e9).abs() < 1.0);
+        }
+        assert!((a.time - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_time_split_finishes_simultaneously() {
+        let m = HeteroMachine::new(vec![cpu(), gpu()]).unwrap();
+        let a = m.min_time_split(1e10);
+        let t0 = m.procs()[0].gamma_t * a.flops[0];
+        let t1 = m.procs()[1].gamma_t * a.flops[1];
+        assert!((t0 - t1).abs() / t0 < 1e-12);
+        // The GPU takes 10x the flops.
+        assert!((a.flops[1] / a.flops[0] - 10.0).abs() < 1e-9);
+        // Total is conserved.
+        assert!((a.flops.iter().sum::<Real>() - 1e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn deadline_greedy_prefers_cheap_flops() {
+        let m = HeteroMachine::new(vec![cpu(), gpu()]).unwrap();
+        // Loose deadline: the GPU (cheap γe) takes everything it can;
+        // with enough slack the CPU does nothing.
+        let f = 1e9;
+        let tmax = 1.0; // GPU alone absorbs 1e10 flops in 1 s
+        let a = m.min_energy_split_given_tmax(f, tmax).unwrap();
+        assert_eq!(a.flops[0], 0.0);
+        assert!((a.flops[1] - f).abs() < 1.0);
+    }
+
+    #[test]
+    fn tight_deadline_spills_to_expensive_processors() {
+        let m = HeteroMachine::new(vec![cpu(), gpu()]).unwrap();
+        // Deadline 0.9 s: GPU capacity 9e9 flops, CPU capacity 9e8.
+        // Ask for 9.5e9: the GPU fills, the CPU takes the 5e8 spill.
+        let f = 9.5e9;
+        let a = m.min_energy_split_given_tmax(f, 0.9).unwrap();
+        assert!((a.flops[1] - 9e9).abs() < 1.0);
+        assert!((a.flops[0] - 5e8).abs() < 1.0);
+        assert!(a.time <= 0.9 + 1e-12);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let m = HeteroMachine::new(vec![cpu(), gpu()]).unwrap();
+        assert!(matches!(
+            m.min_energy_split_given_tmax(1e12, 0.01),
+            Err(CoreError::Infeasible(_))
+        ));
+        assert!(matches!(
+            m.min_energy_split_given_tmax(1.0, -1.0),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_two_procs() {
+        // Exhaustive check of optimality over a fine split grid.
+        let m = HeteroMachine::new(vec![cpu(), gpu()]).unwrap();
+        let f = 5e9;
+        let tmax = 0.6;
+        let greedy = m.min_energy_split_given_tmax(f, tmax).unwrap();
+        let cap0 = tmax / m.procs()[0].gamma_t;
+        let cap1 = tmax / m.procs()[1].gamma_t;
+        let mut best = Real::MAX;
+        for i in 0..=1000 {
+            let f0 = cap0 * i as Real / 1000.0;
+            let f1 = f - f0;
+            if f1 < 0.0 || f1 > cap1 {
+                continue;
+            }
+            let e = m.procs()[0].gamma_e * f0
+                + m.procs()[1].gamma_e * f1
+                + (m.procs()[0].epsilon_e + m.procs()[1].epsilon_e) * tmax;
+            best = best.min(e);
+        }
+        assert!(
+            greedy.energy <= best * (1.0 + 1e-9),
+            "greedy {} vs brute {}",
+            greedy.energy,
+            best
+        );
+    }
+
+    #[test]
+    fn pareto_is_monotone() {
+        let m = HeteroMachine::new(vec![
+            cpu(),
+            gpu(),
+            HeteroProc {
+                gamma_t: 5e-10,
+                gamma_e: 1e-9,
+                epsilon_e: 2.0,
+            },
+        ])
+        .unwrap();
+        let frontier = m.pareto(1e10, 12, 10.0).unwrap();
+        // Looser deadlines never need more "active" energy... total
+        // energy can rise again because idle leakage accrues until the
+        // deadline; check the active part is non-increasing.
+        let active = |a: &Assignment| -> Real {
+            m.procs()
+                .iter()
+                .zip(&a.flops)
+                .map(|(p, f)| p.gamma_e * f)
+                .sum()
+        };
+        for w in frontier.windows(2) {
+            assert!(active(&w[1]) <= active(&w[0]) * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_processors() {
+        assert!(HeteroMachine::new(vec![]).is_err());
+        assert!(HeteroMachine::new(vec![HeteroProc {
+            gamma_t: 0.0,
+            gamma_e: 0.0,
+            epsilon_e: 0.0
+        }])
+        .is_err());
+        assert!(HeteroMachine::new(vec![HeteroProc {
+            gamma_t: 1e-9,
+            gamma_e: -1.0,
+            epsilon_e: 0.0
+        }])
+        .is_err());
+    }
+}

@@ -1,0 +1,1508 @@
+//! Energy/time/power optimization problems (paper §V).
+//!
+//! The paper poses five questions in its introduction:
+//!
+//! 1. What is the minimum energy required for a computation?
+//! 2. Given a maximum runtime `Tmax`, what is the minimum energy?
+//! 3. Given an energy budget `Emax`, what is the minimum runtime?
+//! 4. Given a bound on (total or per-processor) power, minimize energy or
+//!    runtime.
+//! 5. Given a target GFLOPS/W, constrain the machine parameters.
+//!
+//! [`nbody`] answers all of them **in closed form** for the direct n-body
+//! problem, following §V A–F line by line (with one sign fix relative to
+//! the paper's Eq. 20, documented at
+//! [`nbody::NBodyOptimizer::max_memory_given_proc_power`]).
+//! [`numeric`] answers the same questions for *any* [`Algorithm`]
+//! (classical and Strassen matmul in particular, cf. the technical report
+//! version of the paper) by golden-section search over `M` and
+//! logarithmic sweep over `p`; the n-body closed forms double as its test
+//! oracle.
+
+use crate::costs::Algorithm;
+use crate::error::CoreError;
+use crate::params::MachineParams;
+use crate::Real;
+
+/// A concrete choice of machine scale and memory, with its modelled
+/// runtime and energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Number of processors (continuous relaxation; round as needed).
+    pub p: Real,
+    /// Memory used per processor, in words.
+    pub mem: Real,
+    /// Modelled runtime, seconds.
+    pub time: Real,
+    /// Modelled energy, joules.
+    pub energy: Real,
+}
+
+/// Closed-form §V results for the direct n-body problem.
+pub mod nbody {
+    use super::*;
+    use crate::energy::e_nbody;
+    use crate::time::t_nbody;
+
+    /// Optimizer for the data-replicating direct n-body algorithm on a
+    /// fixed machine (all of paper §V A–F).
+    #[derive(Debug, Clone)]
+    pub struct NBodyOptimizer<'a> {
+        params: &'a MachineParams,
+        /// Flops per pairwise interaction (`f`).
+        pub f: Real,
+    }
+
+    impl<'a> NBodyOptimizer<'a> {
+        /// Create an optimizer for machine `params` and interaction cost
+        /// `f` flops.
+        pub fn new(params: &'a MachineParams, f: Real) -> Result<Self, CoreError> {
+            params.validate()?;
+            if !(f > 0.0) || !f.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "flops_per_interaction",
+                    value: f,
+                });
+            }
+            Ok(NBodyOptimizer { params, f })
+        }
+
+        /// Effective per-word time `βt + αt/m`.
+        fn bt(&self) -> Real {
+            self.params.beta_t_eff()
+        }
+
+        /// The coefficient `A = f·(γe + γt·εe) + δe·(βt + αt/m)` — the
+        /// `M`- and `p`-independent part of `E/n²` (§V.C).
+        pub fn coeff_a(&self) -> Real {
+            self.f * self.params.gamma_e_leak() + self.params.delta_e * self.bt()
+        }
+
+        /// The coefficient `B = (βe + βt·εe) + (αe + αt·εe)/m` — the
+        /// communication-energy coefficient of `n²/M` (§V.C).
+        pub fn coeff_b(&self) -> Real {
+            self.params.beta_e_leak()
+        }
+
+        /// The memory-energy coefficient `D = δe·γt·f` of `M·n²`.
+        pub fn coeff_d(&self) -> Real {
+            self.params.delta_e * self.params.gamma_t * self.f
+        }
+
+        /// §V.A: the energy-optimal memory per processor,
+        /// `M0 = sqrt(B / D)` — independent of both `n` and `p`.
+        ///
+        /// Using more memory than `M0` wastes energy keeping DRAM
+        /// powered; using less wastes energy on extra communication.
+        pub fn m0(&self) -> Result<Real, CoreError> {
+            let d = self.coeff_d();
+            if d <= 0.0 {
+                return Err(CoreError::Infeasible(
+                    "M0 undefined: no memory energy cost (delta_e·gamma_t·f = 0); \
+                     energy is minimized by unbounded memory"
+                        .into(),
+                ));
+            }
+            Ok((self.coeff_b() / d).sqrt())
+        }
+
+        /// §V.A, paper Eq. 18: the global minimum energy
+        /// `E* = n²·(A + 2·sqrt(D·B))`, attained at `M = M0` for any `p`
+        /// in [`Self::m0_processor_range`].
+        pub fn e_star(&self, n: u64) -> Result<Real, CoreError> {
+            let _ = self.m0()?; // validate D > 0
+            let nf = n as Real;
+            Ok(nf * nf * (self.coeff_a() + 2.0 * (self.coeff_d() * self.coeff_b()).sqrt()))
+        }
+
+        /// The processor counts at which `M = M0` is feasible:
+        /// `n/M0 ≤ p ≤ n²/M0²` (the green "minimum energy runs" line of
+        /// paper Fig. 4).
+        pub fn m0_processor_range(&self, n: u64) -> Result<(Real, Real), CoreError> {
+            let m0 = self.m0()?;
+            let nf = n as Real;
+            Ok((nf / m0, nf * nf / (m0 * m0)))
+        }
+
+        /// §V.A: minimum runtime uses as many processors as available and
+        /// the 2D limit `M = n/√p`.
+        pub fn min_time(&self, n: u64, p: u64) -> RunConfig {
+            let nf = n as Real;
+            let mem = nf / (p as Real).sqrt();
+            RunConfig {
+                p: p as Real,
+                mem,
+                time: t_nbody(self.params, n, p, mem, self.f),
+                energy: e_nbody(self.params, n, mem, self.f),
+            }
+        }
+
+        /// The runtime threshold of §V.B: the minimum energy `E*` is
+        /// attainable within a deadline `Tmax` iff
+        /// `Tmax ≥ γt·f·M0² + (βt + αt/m)·M0`
+        /// (the runtime at `M = M0`, `p = n²/M0²`).
+        pub fn tmax_threshold(&self) -> Result<Real, CoreError> {
+            let m0 = self.m0()?;
+            Ok(self.params.gamma_t * self.f * m0 * m0 + self.bt() * m0)
+        }
+
+        /// §V.B: minimize energy subject to `T ≤ Tmax`.
+        ///
+        /// If the deadline admits an `M0` run, returns the `E*` run at
+        /// `p = n²/M0²`. Otherwise the deadline forces
+        /// `p ≥ pmin(Tmax)` (paper's quadratic) and the cheapest compliant
+        /// run is the 2D run at exactly `p = pmin`.
+        pub fn min_energy_given_tmax(&self, n: u64, tmax: Real) -> Result<RunConfig, CoreError> {
+            if !(tmax > 0.0) {
+                return Err(CoreError::Infeasible(format!(
+                    "Tmax = {tmax} must be positive"
+                )));
+            }
+            let nf = n as Real;
+            let m0 = self.m0()?;
+            if tmax >= self.tmax_threshold()? {
+                let p = nf * nf / (m0 * m0);
+                return Ok(RunConfig {
+                    p,
+                    mem: m0,
+                    time: self.tmax_threshold()?,
+                    energy: self.e_star(n)?,
+                });
+            }
+            // pmin from the paper's quadratic: at the 2D limit M = n/√p,
+            // Tmax = γt·f·n²/p + bt·n/√p. With x = √p:
+            // Tmax·x² − bt·n·x − γt·f·n² = 0.
+            let bt = self.bt();
+            let disc = bt * bt * nf * nf + 4.0 * tmax * self.params.gamma_t * self.f * nf * nf;
+            let x = (bt * nf + disc.sqrt()) / (2.0 * tmax);
+            let p = x * x;
+            let mem = nf / x;
+            Ok(RunConfig {
+                p,
+                mem,
+                time: tmax,
+                energy: e_nbody(self.params, n, mem, self.f),
+            })
+        }
+
+        /// §V.C: minimize runtime subject to `E ≤ Emax`.
+        ///
+        /// The optimum is always a 2D run (`M = n/√p`): increasing `p`
+        /// from any replicating run until the 2D boundary decreases `T`
+        /// without changing `E`. The largest 2D-feasible `p` solves
+        /// `B·n·x² − (Emax − A·n²)·x + D·n³ = 0` with `x = √p`
+        /// (paper's quadratic, `A`/`B` as in §V.C).
+        pub fn min_time_given_emax(&self, n: u64, emax: Real) -> Result<RunConfig, CoreError> {
+            let e_star = self.e_star(n)?;
+            if emax < e_star {
+                return Err(CoreError::Infeasible(format!(
+                    "energy budget {emax} J below minimum attainable {e_star} J"
+                )));
+            }
+            let nf = n as Real;
+            let a = self.coeff_a();
+            let b = self.coeff_b();
+            let d = self.coeff_d();
+            let rhs = emax - a * nf * nf;
+            // Discriminant of B·n·x² − rhs·x + D·n³ = 0.
+            let disc = rhs * rhs - 4.0 * b * nf * d * nf * nf * nf;
+            if disc < 0.0 {
+                // Cannot happen when emax ≥ E*, guarded above; kept as a
+                // defensive check against floating-point cancellation.
+                return Err(CoreError::Infeasible(format!(
+                    "energy budget {emax} J unattainable by any 2D run"
+                )));
+            }
+            let x = (rhs + disc.sqrt()) / (2.0 * b * nf);
+            let p = x * x;
+            let mem = nf / x;
+            Ok(RunConfig {
+                p,
+                mem,
+                time: t_nbody(self.params, n, p.round().max(1.0) as u64, mem, self.f),
+                energy: e_nbody(self.params, n, mem, self.f),
+            })
+        }
+
+        /// §V.D: average power of a run,
+        /// `P = p·((γe·f + βe/M + αe/(m·M)) / (γt·f + βt/M + αt/(m·M))
+        ///        + δe·M + εe)`.
+        pub fn average_power(&self, p: Real, mem: Real) -> Real {
+            let mp = self.params;
+            let num =
+                mp.gamma_e * self.f + mp.beta_e / mem + mp.alpha_e / (mp.max_message_words * mem);
+            let den =
+                mp.gamma_t * self.f + mp.beta_t / mem + mp.alpha_t / (mp.max_message_words * mem);
+            p * (num / den + mp.delta_e * mem + mp.epsilon_e)
+        }
+
+        /// §V.D, paper Eq. 19: the largest processor count allowed by a
+        /// **total** power budget at memory `mem`.
+        pub fn max_p_given_total_power(&self, p_total_max: Real, mem: Real) -> Real {
+            let per_proc = self.average_power(1.0, mem);
+            p_total_max / per_proc
+        }
+
+        /// §V.E, paper Eq. 20 (sign-corrected): the largest memory per
+        /// processor allowed by a **per-processor** power budget `Pmax`.
+        ///
+        /// The feasibility condition `Pmax ≥ P(M)/p` reduces to the
+        /// quadratic `δe·γt·f·M² − C·M + D' ≤ 0` with
+        /// `C = γt·f·Pmax − γe·f − εe·γt·f − δe·(βt + αt/m)` and
+        /// `D' = βe + αe/m − (Pmax − εe)·(βt + αt/m)`.
+        ///
+        /// Note: the paper prints `D = βe + αe/m − (βt+αt/m)·Pmax −
+        /// εe·(βt+αt/m)` and a discriminant `C² − 4·γe·γt·f·D`; re-deriving
+        /// the quadratic gives `+εe·(βt+αt/m)` in `D'` and a
+        /// `4·δe·γt·f·D'` discriminant. We implement the re-derivation
+        /// (property-tested: the returned `M` satisfies the original
+        /// inequality with equality).
+        pub fn max_memory_given_proc_power(&self, p_max: Real) -> Result<Real, CoreError> {
+            let mp = self.params;
+            let bt = self.bt();
+            let be = mp.beta_e + mp.alpha_e / mp.max_message_words;
+            let a2 = mp.delta_e * mp.gamma_t * self.f; // quadratic coefficient
+            let c = mp.gamma_t * self.f * p_max
+                - mp.gamma_e * self.f
+                - mp.epsilon_e * mp.gamma_t * self.f
+                - mp.delta_e * bt;
+            let d = be - (p_max - mp.epsilon_e) * bt;
+            if a2 <= 0.0 {
+                // No memory energy cost: feasibility is monotone; any M
+                // works iff C ≥ 0 in the linear relaxation.
+                if c >= 0.0 {
+                    return Ok(Real::INFINITY);
+                }
+                return Err(CoreError::Infeasible(format!(
+                    "per-processor power budget {p_max} W below compute power floor"
+                )));
+            }
+            let disc = c * c - 4.0 * a2 * d;
+            if disc < 0.0 || (c < 0.0 && d > 0.0) {
+                return Err(CoreError::Infeasible(format!(
+                    "per-processor power budget {p_max} W infeasible at any memory size"
+                )));
+            }
+            Ok((c + disc.sqrt()) / (2.0 * a2))
+        }
+
+        /// §V.F: the machine's best-case energy efficiency for this
+        /// problem, `f·n²/E*` flops per joule — independent of `n`, `p`
+        /// and `M`, hence a pure constraint on machine parameters.
+        pub fn flops_per_joule_at_optimum(&self) -> Result<Real, CoreError> {
+            Ok(self.f / (self.coeff_a() + 2.0 * (self.coeff_d() * self.coeff_b()).sqrt()))
+        }
+
+        /// §V.F in GFLOPS/W (the paper's unit).
+        pub fn gflops_per_watt_at_optimum(&self) -> Result<Real, CoreError> {
+            Ok(self.flops_per_joule_at_optimum()? / 1e9)
+        }
+
+        /// §V.F inverted: the factor by which **all** energy parameters
+        /// (`γe`, `βe`, `αe`, `δe`, `εe`) must shrink (time parameters
+        /// fixed) to reach `target` GFLOPS/W. All three terms of `E*/n²`
+        /// scale linearly with the energy prices, so the answer is just
+        /// the ratio of target to current efficiency.
+        pub fn energy_improvement_for_target(
+            &self,
+            target_gflops_w: Real,
+        ) -> Result<Real, CoreError> {
+            let current = self.gflops_per_watt_at_optimum()?;
+            if current <= 0.0 {
+                return Err(CoreError::Infeasible(
+                    "current efficiency is zero; target unreachable by scaling".into(),
+                ));
+            }
+            Ok(target_gflops_w / current)
+        }
+
+        /// Paper §VII lists "minimizing average power for the
+        /// data-replicating n-body algorithm" as an open problem; this
+        /// solves it numerically. Since `P = p·(ratio(M) + δe·M + εe)`
+        /// and the feasible region requires `p ≥ n/M`, the minimum-power
+        /// run always sits on the 1D limit `p = n/M`; the remaining
+        /// one-dimensional profile `P(M) = (n/M)·g(M)` is minimized by a
+        /// log-grid scan refined with golden section. Returns the
+        /// configuration and its average power.
+        pub fn min_average_power(&self, n: u64) -> Result<(RunConfig, Real), CoreError> {
+            let nf = n as Real;
+            let profile = |m: Real| self.average_power(nf / m, m);
+            // Coarse scan over M ∈ [4, n].
+            let (lo, hi) = (4.0_f64, nf);
+            if hi <= lo {
+                return Err(CoreError::InvalidConfiguration(
+                    "n too small for a power profile".into(),
+                ));
+            }
+            let mut best_m = lo;
+            let mut best_p = profile(lo);
+            let steps = 400;
+            for i in 0..=steps {
+                let m = lo * (hi / lo).powf(i as Real / steps as Real);
+                let pw = profile(m);
+                if pw < best_p {
+                    best_p = pw;
+                    best_m = m;
+                }
+            }
+            // Refine around the best bracket.
+            let (m_ref, p_ref) = crate::optimize::numeric::golden_section_min(
+                profile,
+                (best_m / 4.0).max(lo),
+                (best_m * 4.0).min(hi),
+                1e-12,
+            );
+            let (m, pw) = if p_ref < best_p {
+                (m_ref, p_ref)
+            } else {
+                (best_m, best_p)
+            };
+            let p = (nf / m).max(1.0);
+            let cfg = RunConfig {
+                p,
+                mem: m,
+                time: crate::time::t_nbody(self.params, n, p.round().max(1.0) as u64, m, self.f),
+                energy: crate::energy::e_nbody(self.params, n, m, self.f),
+            };
+            Ok((cfg, pw))
+        }
+
+        /// Evaluate `(T, E)` at an explicit `(p, M)` (for region plots
+        /// like paper Fig. 4).
+        pub fn evaluate(&self, n: u64, p: u64, mem: Real) -> RunConfig {
+            RunConfig {
+                p: p as Real,
+                mem,
+                time: t_nbody(self.params, n, p, mem, self.f),
+                energy: e_nbody(self.params, n, mem, self.f),
+            }
+        }
+    }
+}
+
+/// Closed-form(ish) §V results for classical matrix multiplication — the
+/// analysis the paper defers to its technical report ("The same
+/// techniques give qualitatively similar, but more complicated, answers
+/// in the case of classical matrix multiplication").
+pub mod matmul {
+    use super::*;
+    use crate::energy::e_matmul_25d;
+    use crate::time::t_matmul_25d;
+
+    /// Optimizer for 2.5D classical matmul on a fixed machine.
+    ///
+    /// Writing `E(n, M) = n³·(A + B/√M + C·M + D·√M)` (Eq. 10) with
+    /// `A = γe + γt·εe`, `B = (βe + βt·εe) + (αe + αt·εe)/m`,
+    /// `C = δe·γt`, `D = δe·(βt + αt/m)`, the energy-optimal memory
+    /// satisfies the **cubic** `2C·x³ + D·x² − B = 0` in `x = √M`
+    /// (unique positive root), solved here by bisection + Newton.
+    #[derive(Debug, Clone)]
+    pub struct MatMulOptimizer<'a> {
+        params: &'a MachineParams,
+    }
+
+    impl<'a> MatMulOptimizer<'a> {
+        /// Create an optimizer for machine `params`.
+        pub fn new(params: &'a MachineParams) -> Result<Self, CoreError> {
+            params.validate()?;
+            Ok(MatMulOptimizer { params })
+        }
+
+        /// Coefficient `A = γe + γt·εe` (flop energy per flop).
+        pub fn coeff_a(&self) -> Real {
+            self.params.gamma_e_leak()
+        }
+
+        /// Coefficient `B` of `n³/√M` (communication energy).
+        pub fn coeff_b(&self) -> Real {
+            self.params.beta_e_leak()
+        }
+
+        /// Coefficient `C = δe·γt` of `M·n³` (memory held during flops).
+        pub fn coeff_c(&self) -> Real {
+            self.params.delta_e * self.params.gamma_t
+        }
+
+        /// Coefficient `D = δe·(βt + αt/m)` of `√M·n³` (memory held
+        /// during communication).
+        pub fn coeff_d(&self) -> Real {
+            self.params.delta_e * self.params.beta_t_eff()
+        }
+
+        /// §V.A for matmul: the energy-optimal memory per processor
+        /// `M0` — independent of `n` and `p`, like the n-body case.
+        pub fn m0(&self) -> Result<Real, CoreError> {
+            let b = self.coeff_b();
+            let c = self.coeff_c();
+            let d = self.coeff_d();
+            if c <= 0.0 && d <= 0.0 {
+                return Err(CoreError::Infeasible(
+                    "M0 undefined: no memory energy cost (delta_e = 0); \
+                     energy is minimized by unbounded memory"
+                        .into(),
+                ));
+            }
+            if b <= 0.0 {
+                // No communication energy: smallest memory is best, and
+                // there is no interior optimum.
+                return Err(CoreError::Infeasible(
+                    "M0 undefined: no communication energy cost; energy is \
+                     minimized by minimal memory"
+                        .into(),
+                ));
+            }
+            // f(x) = 2C·x³ + D·x² − B, increasing for x > 0 with
+            // f(0) = −B < 0: a unique positive root. Bracket then Newton.
+            let f = |x: Real| 2.0 * c * x * x * x + d * x * x - b;
+            let mut hi = 1.0;
+            while f(hi) < 0.0 {
+                hi *= 2.0;
+                if hi > 1e300 {
+                    return Err(CoreError::Infeasible("M0 overflow".into()));
+                }
+            }
+            let mut lo = 0.0;
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if f(mid) < 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let x = 0.5 * (lo + hi);
+            Ok(x * x)
+        }
+
+        /// The minimum energy `E*(n) = E(n, M0)`.
+        pub fn e_star(&self, n: u64) -> Result<Real, CoreError> {
+            Ok(e_matmul_25d(self.params, n, self.m0()?))
+        }
+
+        /// The processor counts at which `M0` is feasible,
+        /// `n²/M0 ≤ p ≤ n³/M0^(3/2)` — exactly `M0`'s perfect strong
+        /// scaling range.
+        pub fn m0_processor_range(&self, n: u64) -> Result<(Real, Real), CoreError> {
+            let m0 = self.m0()?;
+            let nf = n as Real;
+            Ok((nf * nf / m0, nf * nf * nf / m0.powf(1.5)))
+        }
+
+        /// Evaluate `(T, E)` at an explicit `(p, M)`.
+        pub fn evaluate(&self, n: u64, p: u64, mem: Real) -> RunConfig {
+            RunConfig {
+                p: p as Real,
+                mem,
+                time: t_matmul_25d(self.params, n, p, mem),
+                energy: e_matmul_25d(self.params, n, mem),
+            }
+        }
+
+        /// §V.B for matmul: the fastest runtime at which `E*` is still
+        /// attainable (the run at `M = M0`, `p = n³/M0^(3/2)`).
+        pub fn tmax_threshold(&self, n: u64) -> Result<Real, CoreError> {
+            let m0 = self.m0()?;
+            let nf = n as Real;
+            let p = nf * nf * nf / m0.powf(1.5);
+            // T = (γt + βt_eff/√M0)·n³/p with continuous p.
+            Ok((self.params.gamma_t + self.params.beta_t_eff() / m0.sqrt()) * nf * nf * nf / p)
+        }
+    }
+}
+
+/// §V results for fast (Strassen-like) matrix multiplication. The paper
+/// notes "analytic solutions are harder to obtain because ω0 appears in
+/// the powers of M"; the energy (Eq. 13) is still unimodal in `M`
+/// (decreasing communication term plus increasing memory terms), so the
+/// optimum is found by golden section with certified bracketing.
+pub mod strassen {
+    use super::*;
+    use crate::energy::e_matmul_fast_lm;
+    use crate::time::t_matmul_fast;
+
+    /// Optimizer for CAPS fast matmul with exponent `omega` on a fixed
+    /// machine.
+    #[derive(Debug, Clone)]
+    pub struct FastMatMulOptimizer<'a> {
+        params: &'a MachineParams,
+        /// The exponent `ω0 ∈ (2, 3]`.
+        pub omega: Real,
+    }
+
+    impl<'a> FastMatMulOptimizer<'a> {
+        /// Create an optimizer; `omega` must lie in `(2, 3]`.
+        pub fn new(params: &'a MachineParams, omega: Real) -> Result<Self, CoreError> {
+            params.validate()?;
+            if !(omega > 2.0 && omega <= 3.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "omega",
+                    value: omega,
+                });
+            }
+            Ok(FastMatMulOptimizer { params, omega })
+        }
+
+        /// The energy-optimal memory per processor (independent of `n`
+        /// and `p`): the unique minimum of
+        /// `B·M^(1−ω/2) + C·M + D·M^(2−ω/2)` (Eq. 13's M-dependent part,
+        /// divided by `n^ω`).
+        pub fn m0(&self) -> Result<Real, CoreError> {
+            let b = self.params.beta_e_leak();
+            let c = self.params.delta_e * self.params.gamma_t;
+            let d = self.params.delta_e * self.params.beta_t_eff();
+            if c <= 0.0 && d <= 0.0 {
+                return Err(CoreError::Infeasible(
+                    "M0 undefined: no memory energy cost".into(),
+                ));
+            }
+            if b <= 0.0 {
+                return Err(CoreError::Infeasible(
+                    "M0 undefined: no communication energy cost".into(),
+                ));
+            }
+            let omega = self.omega;
+            let per_unit =
+                |m: Real| b * m.powf(1.0 - omega / 2.0) + c * m + d * m.powf(2.0 - omega / 2.0);
+            // Bracket: the decreasing term dominates at small M, the
+            // increasing terms at large M.
+            let (mut lo, mut hi) = (1e-6, 1e6);
+            while per_unit(lo * 2.0) > per_unit(lo) && lo > 1e-300 {
+                lo /= 1e3;
+            }
+            while per_unit(hi / 2.0) > per_unit(hi) && hi < 1e300 {
+                hi *= 1e3;
+            }
+            let (m, _) = crate::optimize::numeric::golden_section_min(per_unit, lo, hi, 1e-13);
+            Ok(m)
+        }
+
+        /// The minimum energy `E*(n) = E(n, M0)` (Eq. 13 at the optimum).
+        pub fn e_star(&self, n: u64) -> Result<Real, CoreError> {
+            Ok(e_matmul_fast_lm(self.params, n, self.m0()?, self.omega))
+        }
+
+        /// Processor counts where `M0` is feasible:
+        /// `n²/M0 ≤ p ≤ n^ω/M0^(ω/2)` — `M0`'s perfect scaling range.
+        pub fn m0_processor_range(&self, n: u64) -> Result<(Real, Real), CoreError> {
+            let m0 = self.m0()?;
+            let nf = n as Real;
+            Ok((
+                nf * nf / m0,
+                nf.powf(self.omega) / m0.powf(self.omega / 2.0),
+            ))
+        }
+
+        /// Evaluate `(T, E)` at an explicit `(p, M)`.
+        pub fn evaluate(&self, n: u64, p: u64, mem: Real) -> RunConfig {
+            RunConfig {
+                p: p as Real,
+                mem,
+                time: t_matmul_fast(self.params, n, p, mem, self.omega),
+                energy: e_matmul_fast_lm(self.params, n, mem, self.omega),
+            }
+        }
+    }
+}
+
+/// Numeric optimizers valid for any [`Algorithm`] (used for classical and
+/// Strassen matmul, where closed forms are unwieldy because `ω0` appears
+/// in the exponents of `M`).
+pub mod numeric {
+    use super::*;
+
+    /// Golden-section minimization of a unimodal function on `[lo, hi]`.
+    ///
+    /// Returns `(argmin, min)`. Exposed because it is broadly useful for
+    /// the energy curves of this crate, all of which are unimodal in `M`
+    /// (sum of a decreasing communication term and increasing memory
+    /// terms).
+    pub fn golden_section_min(
+        mut f: impl FnMut(Real) -> Real,
+        mut lo: Real,
+        mut hi: Real,
+        rel_tol: Real,
+    ) -> (Real, Real) {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        const INV_PHI: Real = 0.618_033_988_749_894_8;
+        let mut x1 = hi - (hi - lo) * INV_PHI;
+        let mut x2 = lo + (hi - lo) * INV_PHI;
+        let mut f1 = f(x1);
+        let mut f2 = f(x2);
+        while (hi - lo) > rel_tol * hi.abs().max(1.0) {
+            if f1 <= f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - (hi - lo) * INV_PHI;
+                f1 = f(x1);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + (hi - lo) * INV_PHI;
+                f2 = f(x2);
+            }
+        }
+        let xm = 0.5 * (lo + hi);
+        let fm = f(xm);
+        if f1 < fm && f1 < f2 {
+            (x1, f1)
+        } else if f2 < fm {
+            (x2, f2)
+        } else {
+            (xm, fm)
+        }
+    }
+
+    /// Question 1 (minimum energy): find the memory `M ∈ [min_memory,
+    /// max_useful_memory]` minimizing energy for `alg` at `(n, p)`.
+    pub fn argmin_energy_memory(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p: u64,
+    ) -> Result<RunConfig, CoreError> {
+        let (lo, hi) = alg.memory_range(n, p)?;
+        let eval = |m: Real| -> Real {
+            match alg.costs(n, p, m, params) {
+                Ok(c) => {
+                    let t = params.time(&c);
+                    params.energy(p, &c, m, t)
+                }
+                Err(_) => Real::INFINITY,
+            }
+        };
+        let (m, e) = if hi / lo < 1.0 + 1e-12 {
+            (lo, eval(lo))
+        } else {
+            golden_section_min(eval, lo, hi, 1e-12)
+        };
+        let c = alg.costs(n, p, m, params)?;
+        Ok(RunConfig {
+            p: p as Real,
+            mem: m,
+            time: params.time(&c),
+            energy: e,
+        })
+    }
+
+    /// Question 2 (min energy under a deadline): sweep `p` over
+    /// `p_candidates` and, for each, minimize energy over `M` subject to
+    /// `T(p, M) ≤ tmax`; return the best compliant configuration.
+    pub fn min_energy_given_tmax(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p_candidates: &[u64],
+        tmax: Real,
+    ) -> Result<RunConfig, CoreError> {
+        let mut best: Option<RunConfig> = None;
+        for &p in p_candidates {
+            let Ok((lo, hi)) = alg.memory_range(n, p) else {
+                continue;
+            };
+            let eval = |m: Real| -> Real {
+                match alg.costs(n, p, m, params) {
+                    Ok(c) => {
+                        let t = params.time(&c);
+                        if t > tmax {
+                            Real::INFINITY
+                        } else {
+                            params.energy(p, &c, m, t)
+                        }
+                    }
+                    Err(_) => Real::INFINITY,
+                }
+            };
+            // Energy is unimodal in M, but the deadline clips the domain;
+            // golden section still finds the clipped minimum because the
+            // infeasible region (small M means *less* time for the
+            // replicating algorithms, large M less communication — both
+            // monotone) stays on one side.
+            let (m, e) = golden_section_min(eval, lo, hi.max(lo * (1.0 + 1e-9)), 1e-12);
+            if !e.is_finite() {
+                continue;
+            }
+            let c = alg.costs(n, p, m, params)?;
+            let cfg = RunConfig {
+                p: p as Real,
+                mem: m,
+                time: params.time(&c),
+                energy: e,
+            };
+            if best.as_ref().is_none_or(|b| cfg.energy < b.energy) {
+                best = Some(cfg);
+            }
+        }
+        best.ok_or_else(|| {
+            CoreError::Infeasible(format!("no candidate p meets the deadline Tmax = {tmax} s"))
+        })
+    }
+
+    /// Question 3 (min time under an energy budget): sweep `p`, minimize
+    /// time over `M` subject to `E ≤ emax`.
+    pub fn min_time_given_emax(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p_candidates: &[u64],
+        emax: Real,
+    ) -> Result<RunConfig, CoreError> {
+        let mut best: Option<RunConfig> = None;
+        for &p in p_candidates {
+            let Ok((lo, hi)) = alg.memory_range(n, p) else {
+                continue;
+            };
+            let eval = |m: Real| -> Real {
+                match alg.costs(n, p, m, params) {
+                    Ok(c) => {
+                        let t = params.time(&c);
+                        if params.energy(p, &c, m, t) > emax {
+                            Real::INFINITY
+                        } else {
+                            t
+                        }
+                    }
+                    Err(_) => Real::INFINITY,
+                }
+            };
+            let (m, t) = golden_section_min(eval, lo, hi.max(lo * (1.0 + 1e-9)), 1e-12);
+            if !t.is_finite() {
+                continue;
+            }
+            let c = alg.costs(n, p, m, params)?;
+            let cfg = RunConfig {
+                p: p as Real,
+                mem: m,
+                time: t,
+                energy: params.energy(p, &c, m, params.time(&c)),
+            };
+            if best.as_ref().is_none_or(|b| cfg.time < b.time) {
+                best = Some(cfg);
+            }
+        }
+        best.ok_or_else(|| {
+            CoreError::Infeasible(format!("no candidate p fits the budget Emax = {emax} J"))
+        })
+    }
+
+    /// Average power `E/T` of `alg` at an explicit `(p, M)`.
+    pub fn average_power(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p: u64,
+        m: Real,
+    ) -> Result<Real, CoreError> {
+        let c = alg.costs(n, p, m, params)?;
+        let t = params.time(&c);
+        Ok(params.energy(p, &c, m, t) / t)
+    }
+
+    /// Question 4a (min runtime under a **total** power cap): sweep `p`,
+    /// minimize time over `M` subject to `E/T ≤ p_total_max`.
+    pub fn min_time_given_total_power(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p_candidates: &[u64],
+        p_total_max: Real,
+    ) -> Result<RunConfig, CoreError> {
+        let mut best: Option<RunConfig> = None;
+        for &p in p_candidates {
+            let Ok((lo, hi)) = alg.memory_range(n, p) else {
+                continue;
+            };
+            let eval = |m: Real| -> Real {
+                match alg.costs(n, p, m, params) {
+                    Ok(c) => {
+                        let t = params.time(&c);
+                        if params.energy(p, &c, m, t) / t > p_total_max {
+                            Real::INFINITY
+                        } else {
+                            t
+                        }
+                    }
+                    Err(_) => Real::INFINITY,
+                }
+            };
+            let (m, t) = golden_section_min(eval, lo, hi.max(lo * (1.0 + 1e-9)), 1e-12);
+            if !t.is_finite() {
+                continue;
+            }
+            let c = alg.costs(n, p, m, params)?;
+            let cfg = RunConfig {
+                p: p as Real,
+                mem: m,
+                time: t,
+                energy: params.energy(p, &c, m, params.time(&c)),
+            };
+            if best.as_ref().is_none_or(|b| cfg.time < b.time) {
+                best = Some(cfg);
+            }
+        }
+        best.ok_or_else(|| {
+            CoreError::Infeasible(format!(
+                "no candidate p runs within the total power budget {p_total_max} W"
+            ))
+        })
+    }
+
+    /// Question 4b (min energy under a **per-processor** power cap):
+    /// sweep `p`, minimize energy over `M` subject to `E/(T·p) ≤ cap`.
+    pub fn min_energy_given_proc_power(
+        alg: &dyn Algorithm,
+        params: &MachineParams,
+        n: u64,
+        p_candidates: &[u64],
+        p_proc_max: Real,
+    ) -> Result<RunConfig, CoreError> {
+        let mut best: Option<RunConfig> = None;
+        for &p in p_candidates {
+            let Ok((lo, hi)) = alg.memory_range(n, p) else {
+                continue;
+            };
+            let eval = |m: Real| -> Real {
+                match alg.costs(n, p, m, params) {
+                    Ok(c) => {
+                        let t = params.time(&c);
+                        let e = params.energy(p, &c, m, t);
+                        if e / (t * p as Real) > p_proc_max {
+                            Real::INFINITY
+                        } else {
+                            e
+                        }
+                    }
+                    Err(_) => Real::INFINITY,
+                }
+            };
+            let (m, e) = golden_section_min(eval, lo, hi.max(lo * (1.0 + 1e-9)), 1e-12);
+            if !e.is_finite() {
+                continue;
+            }
+            let c = alg.costs(n, p, m, params)?;
+            let cfg = RunConfig {
+                p: p as Real,
+                mem: m,
+                time: params.time(&c),
+                energy: e,
+            };
+            if best.as_ref().is_none_or(|b| cfg.energy < b.energy) {
+                best = Some(cfg);
+            }
+        }
+        best.ok_or_else(|| {
+            CoreError::Infeasible(format!(
+                "no candidate p runs within the per-processor power budget {p_proc_max} W"
+            ))
+        })
+    }
+
+    /// Logarithmically spaced processor-count candidates in `[lo, hi]`,
+    /// for use with the sweeps above.
+    pub fn log_spaced_p(lo: u64, hi: u64, count: usize) -> Vec<u64> {
+        assert!(lo >= 1 && hi >= lo && count >= 2);
+        let (l0, l1) = ((lo as Real).ln(), (hi as Real).ln());
+        let mut v: Vec<u64> = (0..count)
+            .map(|i| {
+                let t = i as Real / (count - 1) as Real;
+                (l0 + t * (l1 - l0)).exp().round() as u64
+            })
+            .collect();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::nbody::NBodyOptimizer;
+    use super::numeric::*;
+    use super::*;
+    use crate::costs::{Algorithm, ClassicalMatMul, DirectNBody};
+    use crate::energy::e_nbody;
+    use crate::time::t_nbody;
+
+    fn params() -> MachineParams {
+        MachineParams::builder()
+            .gamma_t(2.5e-12)
+            .beta_t(1.6e-10)
+            .alpha_t(6e-8)
+            .gamma_e(3.8e-10)
+            .beta_e(3.8e-10)
+            .alpha_e(1e-8)
+            .delta_e(5.8e-9)
+            .epsilon_e(0.1)
+            .max_message_words(4096.0)
+            .build()
+            .unwrap()
+    }
+
+    const F: Real = 20.0;
+
+    #[test]
+    fn m0_is_the_argmin_of_energy() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let m0 = opt.m0().unwrap();
+        let n = 1u64 << 22;
+        let e0 = e_nbody(&mp, n, m0, F);
+        // Any perturbation of M increases energy.
+        for factor in [0.5, 0.9, 1.1, 2.0] {
+            assert!(e_nbody(&mp, n, m0 * factor, F) > e0, "factor={factor}");
+        }
+        // And the closed form matches a golden-section search. The
+        // energy curve is extremely flat near M0 (the M-dependent terms
+        // are a small fraction of E on this machine), which limits the
+        // numeric argmin to ~sqrt(machine-epsilon) relative precision.
+        let (m_num, e_num) =
+            golden_section_min(|m| e_nbody(&mp, n, m, F), m0 / 1e4, m0 * 1e4, 1e-12);
+        assert!((m_num - m0).abs() / m0 < 1e-2);
+        assert!((e_num - e0).abs() / e0 < 1e-12);
+    }
+
+    #[test]
+    fn e_star_matches_energy_at_m0() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let e_star = opt.e_star(n).unwrap();
+        let direct = e_nbody(&mp, n, opt.m0().unwrap(), F);
+        assert!((e_star - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn m0_processor_range_brackets_feasibility() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let (p_lo, p_hi) = opt.m0_processor_range(n).unwrap();
+        let m0 = opt.m0().unwrap();
+        let nb = DirectNBody {
+            flops_per_interaction: F,
+        };
+        // M0 is within [min_memory, max_useful] exactly for p in range.
+        let p_mid = ((p_lo * p_hi).sqrt()) as u64;
+        assert!(nb.min_memory(n, p_mid) <= m0 && m0 <= nb.max_useful_memory(n, p_mid));
+        let p_small = (p_lo * 0.5).max(1.0) as u64;
+        assert!(m0 < nb.min_memory(n, p_small) || p_small as Real >= p_lo);
+    }
+
+    #[test]
+    fn tmax_threshold_is_runtime_of_the_estar_run() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let m0 = opt.m0().unwrap();
+        let nf = n as Real;
+        let p = (nf * nf / (m0 * m0)).round() as u64;
+        let direct = t_nbody(&mp, n, p, m0, F);
+        let threshold = opt.tmax_threshold().unwrap();
+        // p is rounded to an integer, so allow O(1/p) relative slack.
+        assert!((direct - threshold).abs() / threshold < 1e-3);
+    }
+
+    #[test]
+    fn loose_deadline_returns_global_optimum() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let cfg = opt
+            .min_energy_given_tmax(n, opt.tmax_threshold().unwrap() * 10.0)
+            .unwrap();
+        assert!((cfg.energy - opt.e_star(n).unwrap()).abs() / cfg.energy < 1e-12);
+        assert!((cfg.mem - opt.m0().unwrap()).abs() / cfg.mem < 1e-12);
+    }
+
+    #[test]
+    fn tight_deadline_forces_more_processors_and_energy() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let threshold = opt.tmax_threshold().unwrap();
+        let cfg = opt.min_energy_given_tmax(n, threshold / 4.0).unwrap();
+        // Deadline met exactly by a 2D run with M = n/√p.
+        let nf = n as Real;
+        assert!((cfg.mem - nf / cfg.p.sqrt()).abs() / cfg.mem < 1e-9);
+        assert!(cfg.energy > opt.e_star(n).unwrap());
+        // And the reported runtime is the deadline.
+        let t = t_nbody(&mp, n, cfg.p.round() as u64, cfg.mem, F);
+        assert!((t - threshold / 4.0).abs() / t < 1e-3);
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        assert!(matches!(
+            opt.min_energy_given_tmax(1 << 22, -1.0),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn energy_budget_below_estar_is_rejected() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let e_star = opt.e_star(n).unwrap();
+        assert!(matches!(
+            opt.min_time_given_emax(n, e_star * 0.99),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn energy_budget_binds_with_equality_on_2d_boundary() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let emax = opt.e_star(n).unwrap() * 1.5;
+        let cfg = opt.min_time_given_emax(n, emax).unwrap();
+        // 2D run: M = n/√p.
+        let nf = n as Real;
+        assert!((cfg.mem - nf / cfg.p.sqrt()).abs() / cfg.mem < 1e-9);
+        // Budget used in full (quadratic solved with equality).
+        assert!((cfg.energy - emax).abs() / emax < 1e-9);
+        // Spending more budget must not slow us down.
+        let cfg2 = opt.min_time_given_emax(n, emax * 2.0).unwrap();
+        assert!(cfg2.time <= cfg.time);
+        assert!(cfg2.p > cfg.p);
+    }
+
+    #[test]
+    fn average_power_is_e_over_t() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let p = 256u64;
+        let nb = DirectNBody {
+            flops_per_interaction: F,
+        };
+        let mem = nb.max_useful_memory(n, p);
+        let e = e_nbody(&mp, n, mem, F);
+        let t = t_nbody(&mp, n, p, mem, F);
+        let pw = opt.average_power(p as Real, mem);
+        assert!((pw - e / t).abs() / pw < 1e-12);
+    }
+
+    #[test]
+    fn total_power_bound_caps_p_linearly() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let mem = 1e6;
+        let p1 = opt.max_p_given_total_power(1000.0, mem);
+        let p2 = opt.max_p_given_total_power(2000.0, mem);
+        assert!((p2 / p1 - 2.0).abs() < 1e-12);
+        // The bound is consistent: running at the cap uses ≤ the budget.
+        assert!(opt.average_power(p1, mem) <= 1000.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn proc_power_bound_satisfied_with_equality_at_max_memory() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        // Pick a budget comfortably above the M→small floor.
+        let floor = opt.average_power(1.0, 10.0);
+        let p_max = floor * 2.0;
+        let m_cap = opt.max_memory_given_proc_power(p_max).unwrap();
+        assert!(m_cap.is_finite() && m_cap > 0.0);
+        // Equality at the cap, feasible below, infeasible above.
+        let at = opt.average_power(1.0, m_cap);
+        assert!((at - p_max).abs() / p_max < 1e-9, "at={at}, p_max={p_max}");
+        assert!(opt.average_power(1.0, m_cap * 0.5) < p_max);
+        assert!(opt.average_power(1.0, m_cap * 2.0) > p_max);
+    }
+
+    #[test]
+    fn infeasible_proc_power_budget_is_rejected() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        // Below the asymptotic compute-power floor γe/γt·(…): impossible.
+        assert!(matches!(
+            opt.max_memory_given_proc_power(1e-12),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn gflops_per_watt_is_scale_invariant() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let g = opt.gflops_per_watt_at_optimum().unwrap();
+        // f·n²/E*(n) should equal it for any n.
+        for n in [1u64 << 16, 1 << 20, 1 << 24] {
+            let nf = n as Real;
+            let ratio = F * nf * nf / opt.e_star(n).unwrap() / 1e9;
+            assert!((ratio - g).abs() / g < 1e-12);
+        }
+    }
+
+    #[test]
+    fn improvement_factor_scales_energy_params() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let current = opt.gflops_per_watt_at_optimum().unwrap();
+        let target = current * 8.0;
+        let k = opt.energy_improvement_for_target(target).unwrap();
+        assert!((k - 8.0).abs() < 1e-12);
+        // Verify: dividing all energy prices by k reaches the target.
+        let scaled = MachineParams {
+            gamma_e: mp.gamma_e / k,
+            beta_e: mp.beta_e / k,
+            alpha_e: mp.alpha_e / k,
+            delta_e: mp.delta_e / k,
+            epsilon_e: mp.epsilon_e / k,
+            ..mp.clone()
+        };
+        let opt2 = NBodyOptimizer::new(&scaled, F).unwrap();
+        let achieved = opt2.gflops_per_watt_at_optimum().unwrap();
+        assert!((achieved - target).abs() / target < 1e-12);
+    }
+
+    #[test]
+    fn zero_delta_e_makes_m0_undefined() {
+        let mp = MachineParams::builder()
+            .gamma_t(1e-12)
+            .beta_e(1e-10)
+            .build()
+            .unwrap();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        assert!(matches!(opt.m0(), Err(CoreError::Infeasible(_))));
+        assert!(matches!(opt.e_star(1 << 20), Err(CoreError::Infeasible(_))));
+    }
+
+    // ---- matmul module ----
+
+    #[test]
+    fn matmul_m0_solves_the_cubic() {
+        use super::matmul::MatMulOptimizer;
+        let mp = params();
+        let opt = MatMulOptimizer::new(&mp).unwrap();
+        let m0 = opt.m0().unwrap();
+        // Root check: 2C·x³ + D·x² = B at x = √M0.
+        let x = m0.sqrt();
+        let lhs = 2.0 * opt.coeff_c() * x * x * x + opt.coeff_d() * x * x;
+        assert!((lhs / opt.coeff_b() - 1.0).abs() < 1e-9, "cubic residual");
+    }
+
+    #[test]
+    fn matmul_m0_is_the_argmin_of_eq10() {
+        use super::matmul::MatMulOptimizer;
+        use crate::energy::e_matmul_25d;
+        let mp = params();
+        let opt = MatMulOptimizer::new(&mp).unwrap();
+        let n = 8192u64;
+        let m0 = opt.m0().unwrap();
+        let e0 = opt.e_star(n).unwrap();
+        for f in [0.2, 0.5, 2.0, 5.0] {
+            assert!(e_matmul_25d(&mp, n, m0 * f) > e0, "f={f}");
+        }
+        // And the numeric search agrees on the energy.
+        let (_, e_num) = golden_section_min(|m| e_matmul_25d(&mp, n, m), m0 / 1e4, m0 * 1e4, 1e-12);
+        assert!((e_num / e0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_m0_range_and_threshold_are_consistent() {
+        use super::matmul::MatMulOptimizer;
+        use crate::time::t_matmul_25d;
+        let mp = params();
+        let opt = MatMulOptimizer::new(&mp).unwrap();
+        let n = 1u64 << 14;
+        let (p_lo, p_hi) = opt.m0_processor_range(n).unwrap();
+        assert!(p_lo < p_hi);
+        let m0 = opt.m0().unwrap();
+        // M0 lies inside the memory range exactly at p in [p_lo, p_hi].
+        let p_mid = ((p_lo * p_hi).sqrt()).round() as u64;
+        assert!(ClassicalMatMul.min_memory(n, p_mid) <= m0 * (1.0 + 1e-9));
+        assert!(m0 <= ClassicalMatMul.max_useful_memory(n, p_mid) * (1.0 + 1e-9));
+        // Threshold equals T at (M0, p_hi), continuous-p.
+        // p is rounded to an integer, so allow O(1/p_hi) relative slack.
+        let direct = t_matmul_25d(&mp, n, p_hi.round() as u64, m0);
+        let thr = opt.tmax_threshold(n).unwrap();
+        let slack = 2.0 / p_hi + 1e-6;
+        assert!((direct / thr - 1.0).abs() < slack, "{direct} vs {thr}");
+    }
+
+    #[test]
+    fn matmul_m0_degenerate_machines_rejected() {
+        use super::matmul::MatMulOptimizer;
+        let no_mem = MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_e(1e-8)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            MatMulOptimizer::new(&no_mem).unwrap().m0(),
+            Err(CoreError::Infeasible(_))
+        ));
+        let no_comm = MachineParams::builder()
+            .gamma_t(1e-9)
+            .delta_e(1e-8)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            MatMulOptimizer::new(&no_comm).unwrap().m0(),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn nbody_min_average_power_sits_on_the_1d_limit() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 20;
+        let (cfg, pw) = opt.min_average_power(n).unwrap();
+        // On the 1D limit p = n/M.
+        assert!((cfg.p * cfg.mem / n as Real - 1.0).abs() < 1e-6);
+        // Power is indeed P = E/T there.
+        let direct = opt.average_power(cfg.p, cfg.mem);
+        assert!((pw / direct - 1.0).abs() < 1e-9);
+        // No sampled feasible point beats it.
+        for i in 0..50 {
+            let m = 4.0 * ((n as Real) / 4.0).powf(i as Real / 49.0);
+            let p_min_feasible = n as Real / m;
+            assert!(
+                opt.average_power(p_min_feasible, m) >= pw * (1.0 - 1e-6),
+                "beaten at M = {m}"
+            );
+        }
+    }
+
+    // ---- strassen module ----
+
+    #[test]
+    fn strassen_m0_is_the_argmin_of_eq13() {
+        use super::strassen::FastMatMulOptimizer;
+        use crate::energy::e_matmul_fast_lm;
+        let mp = params();
+        for omega in [2.3, crate::STRASSEN_OMEGA, 3.0] {
+            let opt = FastMatMulOptimizer::new(&mp, omega).unwrap();
+            let m0 = opt.m0().unwrap();
+            let n = 1u64 << 13;
+            let e0 = opt.e_star(n).unwrap();
+            for f in [0.2, 0.5, 2.0, 5.0] {
+                assert!(
+                    e_matmul_fast_lm(&mp, n, m0 * f, omega) >= e0 * (1.0 - 1e-9),
+                    "omega={omega}, f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strassen_m0_at_omega_3_matches_classical() {
+        use super::matmul::MatMulOptimizer;
+        use super::strassen::FastMatMulOptimizer;
+        let mp = params();
+        let fast = FastMatMulOptimizer::new(&mp, 3.0).unwrap();
+        let classical = MatMulOptimizer::new(&mp).unwrap();
+        let a = fast.m0().unwrap();
+        let b = classical.m0().unwrap();
+        assert!((a / b - 1.0).abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn strassen_optimizer_rejects_bad_omega() {
+        use super::strassen::FastMatMulOptimizer;
+        let mp = params();
+        assert!(FastMatMulOptimizer::new(&mp, 2.0).is_err());
+        assert!(FastMatMulOptimizer::new(&mp, 3.5).is_err());
+    }
+
+    #[test]
+    fn strassen_m0_range_is_consistent() {
+        use super::strassen::FastMatMulOptimizer;
+        use crate::costs::StrassenMatMul;
+        let mp = params();
+        let opt = FastMatMulOptimizer::new(&mp, crate::STRASSEN_OMEGA).unwrap();
+        let n = 1u64 << 14;
+        let (p_lo, p_hi) = opt.m0_processor_range(n).unwrap();
+        assert!(p_lo < p_hi);
+        let m0 = opt.m0().unwrap();
+        let alg = StrassenMatMul::default();
+        let p_mid = ((p_lo * p_hi).sqrt()).round() as u64;
+        assert!(alg.min_memory(n, p_mid) <= m0 * (1.0 + 1e-9));
+        assert!(m0 <= alg.max_useful_memory(n, p_mid) * (1.0 + 1e-9));
+    }
+
+    // ---- numeric module ----
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let (x, fx) = golden_section_min(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.1, 10.0, 1e-12);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn numeric_argmin_matches_nbody_closed_form() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let m0 = opt.m0().unwrap();
+        // Pick p so that M0 is interior to the memory range.
+        let (p_lo, p_hi) = opt.m0_processor_range(n).unwrap();
+        let p = ((p_lo * p_hi).sqrt()).round() as u64;
+        let nb = DirectNBody {
+            flops_per_interaction: F,
+        };
+        let cfg = argmin_energy_memory(&nb, &mp, n, p).unwrap();
+        // Flat objective near the optimum: see m0_is_the_argmin_of_energy.
+        assert!((cfg.mem - m0).abs() / m0 < 1e-2);
+        assert!((cfg.energy - opt.e_star(n).unwrap()).abs() / cfg.energy < 1e-10);
+    }
+
+    #[test]
+    fn numeric_matmul_min_energy_is_interior_or_boundary() {
+        let mp = params();
+        let n = 8192u64;
+        let p = 64u64;
+        let cfg = argmin_energy_memory(&ClassicalMatMul, &mp, n, p).unwrap();
+        let (lo, hi) = ClassicalMatMul.memory_range(n, p).unwrap();
+        assert!(cfg.mem >= lo * 0.999 && cfg.mem <= hi * 1.001);
+        // It is a minimum: both boundaries cost at least as much.
+        let e_at = |m: Real| {
+            let c = ClassicalMatMul.costs(n, p, m, &mp).unwrap();
+            mp.energy(p, &c, m, mp.time(&c))
+        };
+        assert!(e_at(lo) >= cfg.energy * (1.0 - 1e-9));
+        assert!(e_at(hi) >= cfg.energy * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn numeric_deadline_sweep_monotone_in_tmax() {
+        let mp = params();
+        let n = 4096u64;
+        let ps = log_spaced_p(4, 4096, 24);
+        let loose = min_energy_given_tmax(&ClassicalMatMul, &mp, n, &ps, 1e6).unwrap();
+        let tight = min_energy_given_tmax(&ClassicalMatMul, &mp, n, &ps, loose.time / 8.0).unwrap();
+        assert!(tight.energy >= loose.energy * (1.0 - 1e-9));
+        assert!(tight.time <= loose.time);
+    }
+
+    #[test]
+    fn numeric_budget_sweep_monotone_in_emax() {
+        let mp = params();
+        let n = 4096u64;
+        let ps = log_spaced_p(4, 4096, 24);
+        let unconstrained = min_time_given_emax(&ClassicalMatMul, &mp, n, &ps, 1e12).unwrap();
+        let base = argmin_energy_memory(&ClassicalMatMul, &mp, n, 4).unwrap();
+        let constrained =
+            min_time_given_emax(&ClassicalMatMul, &mp, n, &ps, base.energy * 1.2).unwrap();
+        assert!(constrained.time >= unconstrained.time * (1.0 - 1e-9));
+        assert!(constrained.energy <= base.energy * 1.2 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn numeric_impossible_deadline_errors() {
+        let mp = params();
+        let ps = log_spaced_p(4, 64, 8);
+        assert!(matches!(
+            min_energy_given_tmax(&ClassicalMatMul, &mp, 8192, &ps, 1e-12),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_impossible_budget_errors() {
+        let mp = params();
+        let ps = log_spaced_p(4, 64, 8);
+        assert!(matches!(
+            min_time_given_emax(&ClassicalMatMul, &mp, 8192, &ps, 1e-6),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_power_matches_closed_form_nbody() {
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let nb = DirectNBody {
+            flops_per_interaction: F,
+        };
+        let p = 256u64;
+        let m = nb.max_useful_memory(n, p);
+        let numeric = average_power(&nb, &mp, n, p, m).unwrap();
+        let closed = opt.average_power(p as Real, m);
+        assert!((numeric - closed).abs() / closed < 1e-12);
+    }
+
+    #[test]
+    fn total_power_cap_limits_scale_out() {
+        let mp = params();
+        let n = 4096u64;
+        let ps = log_spaced_p(4, 16384, 28);
+        let fast = min_time_given_total_power(&ClassicalMatMul, &mp, n, &ps, 1e12).unwrap();
+        // A tight cap forces fewer processors and more time.
+        let cap = average_power(
+            &ClassicalMatMul,
+            &mp,
+            n,
+            64,
+            ClassicalMatMul.min_memory(n, 64),
+        )
+        .unwrap();
+        let capped = min_time_given_total_power(&ClassicalMatMul, &mp, n, &ps, cap).unwrap();
+        assert!(capped.time >= fast.time * (1.0 - 1e-9));
+        assert!(capped.p <= fast.p);
+        // The cap binds: the chosen run respects it.
+        let at = average_power(
+            &ClassicalMatMul,
+            &mp,
+            n,
+            capped.p.round() as u64,
+            capped.mem,
+        )
+        .unwrap();
+        assert!(at <= cap * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn proc_power_cap_infeasible_when_tiny() {
+        let mp = params();
+        let ps = log_spaced_p(4, 1024, 12);
+        assert!(matches!(
+            min_energy_given_proc_power(&ClassicalMatMul, &mp, 4096, &ps, 1e-20),
+            Err(CoreError::Infeasible(_))
+        ));
+        assert!(matches!(
+            min_time_given_total_power(&ClassicalMatMul, &mp, 4096, &ps, 1e-20),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn proc_power_cap_caps_memory_like_eq20() {
+        // For the n-body problem the numeric per-proc-power optimizer
+        // must agree with the closed-form Eq. 20 memory cap: the chosen
+        // M never exceeds it.
+        let mp = params();
+        let opt = NBodyOptimizer::new(&mp, F).unwrap();
+        let n = 1u64 << 22;
+        let nb = DirectNBody {
+            flops_per_interaction: F,
+        };
+        let floor = opt.average_power(1.0, 100.0);
+        let cap = floor * 1.2;
+        let m_cap = opt.max_memory_given_proc_power(cap).unwrap();
+        let ps = log_spaced_p(1 << 6, 1 << 16, 20);
+        let cfg = min_energy_given_proc_power(&nb, &mp, n, &ps, cap).unwrap();
+        assert!(
+            cfg.mem <= m_cap * (1.0 + 1e-6),
+            "numeric M {} vs Eq. 20 cap {}",
+            cfg.mem,
+            m_cap
+        );
+    }
+
+    #[test]
+    fn log_spaced_p_covers_range() {
+        let v = log_spaced_p(4, 4096, 11);
+        assert_eq!(*v.first().unwrap(), 4);
+        assert_eq!(*v.last().unwrap(), 4096);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,329 @@
+//! Technology-scaling study (paper §VI, Figs. 6 and 7).
+//!
+//! The paper asks: holding the *time* parameters of the Table I machine
+//! fixed, how does the GFLOPS/W of 2.5D matrix multiplication improve as
+//! the *energy* parameters shrink with future process generations?
+//!
+//! * **Fig. 6** halves one of `γe`, `βe`, `δe` per generation while the
+//!   others stay put. Findings reproduced here: scaling `βe` alone has
+//!   almost no effect; scaling `γe` alone saturates after ~5 generations.
+//! * **Fig. 7** scales all of them together by an improvement multiplier;
+//!   a target of 75 GFLOPS/W is reached after ~5 generations (multiplier
+//!   ≈ 32).
+//!
+//! The case study is evaluated at `p = 2` (two sockets) and `n = 35000`,
+//! as in the paper. The paper notes this point is outside the theoretical
+//! strong-scaling region; we evaluate the model at the largest memory the
+//! algorithm can exploit, `M = n²/p^(2/3)` (allocating more would only
+//! add `δe·M·T` energy with no communication savings).
+
+use crate::costs::{Algorithm, ClassicalMatMul};
+use crate::energy::{e_matmul_25d, gflops_per_watt};
+use crate::params::MachineParams;
+use crate::Real;
+
+/// The energy parameters that §VI scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyParam {
+    /// `γe`, joules per flop.
+    GammaE,
+    /// `βe`, joules per word.
+    BetaE,
+    /// `αe`, joules per message (zero on the Table I machine).
+    AlphaE,
+    /// `δe`, joules per stored word-second.
+    DeltaE,
+    /// `εe`, leakage joules per second (zero on the Table I machine).
+    EpsilonE,
+}
+
+impl EnergyParam {
+    /// All parameters swept by Fig. 6 (those nonzero on the Table I
+    /// machine).
+    pub fn fig6_set() -> [EnergyParam; 3] {
+        [EnergyParam::GammaE, EnergyParam::BetaE, EnergyParam::DeltaE]
+    }
+
+    /// Display name matching the paper's notation.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            EnergyParam::GammaE => "gamma_e",
+            EnergyParam::BetaE => "beta_e",
+            EnergyParam::AlphaE => "alpha_e",
+            EnergyParam::DeltaE => "delta_e",
+            EnergyParam::EpsilonE => "epsilon_e",
+        }
+    }
+}
+
+/// Return a copy of `base` with one energy parameter multiplied by
+/// `factor`.
+pub fn scale_param(base: &MachineParams, param: EnergyParam, factor: Real) -> MachineParams {
+    let mut p = base.clone();
+    match param {
+        EnergyParam::GammaE => p.gamma_e *= factor,
+        EnergyParam::BetaE => p.beta_e *= factor,
+        EnergyParam::AlphaE => p.alpha_e *= factor,
+        EnergyParam::DeltaE => p.delta_e *= factor,
+        EnergyParam::EpsilonE => p.epsilon_e *= factor,
+    }
+    p
+}
+
+/// Return a copy of `base` with **all** energy parameters multiplied by
+/// `factor` (the Fig. 7 sweep).
+pub fn scale_all_energy(base: &MachineParams, factor: Real) -> MachineParams {
+    let mut p = base.clone();
+    p.gamma_e *= factor;
+    p.beta_e *= factor;
+    p.alpha_e *= factor;
+    p.delta_e *= factor;
+    p.epsilon_e *= factor;
+    p
+}
+
+/// The §VI case-study workload: 2.5D classical matmul at fixed `(n, p)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseStudy {
+    /// Matrix dimension (35000 in the paper).
+    pub n: u64,
+    /// Processor count (2 sockets in the paper).
+    pub p: u64,
+}
+
+impl Default for CaseStudy {
+    fn default() -> Self {
+        CaseStudy { n: 35_000, p: 2 }
+    }
+}
+
+impl CaseStudy {
+    /// The memory per processor used for the evaluation: the largest the
+    /// algorithm can exploit, capped by the machine's physical memory.
+    pub fn memory(&self, params: &MachineParams) -> Real {
+        ClassicalMatMul
+            .max_useful_memory(self.n, self.p)
+            .min(params.mem_words)
+    }
+
+    /// GFLOPS/W of the case-study run on `params`.
+    pub fn gflops_per_watt(&self, params: &MachineParams) -> Real {
+        let mem = self.memory(params);
+        let e = e_matmul_25d(params, self.n, mem);
+        gflops_per_watt(ClassicalMatMul.total_flops(self.n), e)
+    }
+}
+
+/// One row of the Fig. 6 output: efficiency after `generation` halvings
+/// of each parameter independently.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Process generation (0 = today; each generation halves the swept
+    /// parameter).
+    pub generation: u32,
+    /// `(parameter, GFLOPS/W when only that parameter is scaled)`.
+    pub per_param: Vec<(EnergyParam, Real)>,
+    /// GFLOPS/W when all Fig. 6 parameters are scaled together (the
+    /// paper's "all three" reference line).
+    pub together: Real,
+}
+
+/// Regenerate paper **Fig. 6** (and the "together" line that motivates
+/// Fig. 7): GFLOPS/W over `generations` process generations, halving
+/// `γe`, `βe`, `δe` independently and jointly.
+pub fn fig6_series(base: &MachineParams, study: CaseStudy, generations: u32) -> Vec<Fig6Row> {
+    (0..=generations)
+        .map(|g| {
+            let factor = 0.5_f64.powi(g as i32);
+            let per_param = EnergyParam::fig6_set()
+                .into_iter()
+                .map(|param| {
+                    let scaled = scale_param(base, param, factor);
+                    (param, study.gflops_per_watt(&scaled))
+                })
+                .collect();
+            let mut all = base.clone();
+            for param in EnergyParam::fig6_set() {
+                all = scale_param(&all, param, factor);
+            }
+            Fig6Row {
+                generation: g,
+                per_param,
+                together: study.gflops_per_watt(&all),
+            }
+        })
+        .collect()
+}
+
+/// Regenerate paper **Fig. 7**: GFLOPS/W as a function of the joint
+/// improvement multiplier `k` (all energy parameters divided by `k`).
+pub fn fig7_series(
+    base: &MachineParams,
+    study: CaseStudy,
+    multipliers: &[Real],
+) -> Vec<(Real, Real)> {
+    multipliers
+        .iter()
+        .map(|&k| {
+            let scaled = scale_all_energy(base, 1.0 / k);
+            (k, study.gflops_per_watt(&scaled))
+        })
+        .collect()
+}
+
+/// The multiplier needed to reach `target` GFLOPS/W when all energy
+/// parameters scale together (bisection; the efficiency is monotone in
+/// the multiplier).
+pub fn multiplier_for_target(base: &MachineParams, study: CaseStudy, target: Real) -> Option<Real> {
+    let f = |k: Real| {
+        let scaled = scale_all_energy(base, 1.0 / k);
+        study.gflops_per_watt(&scaled)
+    };
+    let (mut lo, mut hi) = (1.0, 1.0);
+    if f(lo) >= target {
+        return Some(1.0);
+    }
+    // Energy → 0 as k → ∞, so efficiency is unbounded; still cap the
+    // search to avoid infinite loops on degenerate inputs.
+    for _ in 0..60 {
+        hi *= 2.0;
+        if f(hi) >= target {
+            for _ in 0..100 {
+                let mid = 0.5 * (lo + hi);
+                if f(mid) >= target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            return Some(hi);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::jaketown;
+
+    #[test]
+    fn baseline_efficiency_is_near_table2_value() {
+        // The Sandy Bridge peak efficiency is 2.645 GFLOPS/W; the modelled
+        // case-study run pays communication and memory energy on top of
+        // flops, so it lands a bit below that.
+        let eff = CaseStudy::default().gflops_per_watt(&jaketown());
+        assert!(eff > 1.5 && eff < 2.645, "eff = {eff}");
+    }
+
+    #[test]
+    fn fig6_beta_e_has_almost_no_effect() {
+        // Paper: "scaling βe has almost no effect."
+        let rows = fig6_series(&jaketown(), CaseStudy::default(), 8);
+        let first = &rows[0];
+        let last = &rows[8];
+        let eff_of = |row: &Fig6Row, p: EnergyParam| {
+            row.per_param
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, e)| *e)
+                .unwrap()
+        };
+        let beta_gain = eff_of(last, EnergyParam::BetaE) / eff_of(first, EnergyParam::BetaE);
+        assert!(
+            beta_gain < 1.10,
+            "beta_e scaling should improve efficiency < 10%, got ×{beta_gain}"
+        );
+    }
+
+    #[test]
+    fn fig6_gamma_e_saturates() {
+        // Paper: "the benefits of scaling γe saturate after about 5
+        // generations" — by generation 5 the flop energy has dropped to
+        // the level of the unscaled memory-energy term, and gains flatten
+        // out from there.
+        let rows = fig6_series(&jaketown(), CaseStudy::default(), 15);
+        let eff_of = |g: usize| {
+            rows[g]
+                .per_param
+                .iter()
+                .find(|(q, _)| *q == EnergyParam::GammaE)
+                .map(|(_, e)| *e)
+                .unwrap()
+        };
+        let early_gain = eff_of(5) / eff_of(0); // generations 0→5
+        let late_gain = eff_of(15) / eff_of(10); // generations 10→15
+        assert!(early_gain > 5.0, "early gain {early_gain}");
+        assert!(
+            late_gain < 1.1,
+            "gamma_e gains should saturate, got late gain ×{late_gain}"
+        );
+        // Saturation level: bounded by the unscaled βe + δe terms.
+        assert!(eff_of(15) < 200.0);
+    }
+
+    #[test]
+    fn fig6_together_dominates_each_individual() {
+        let rows = fig6_series(&jaketown(), CaseStudy::default(), 6);
+        for row in &rows {
+            for (_, eff) in &row.per_param {
+                assert!(row.together >= *eff * (1.0 - 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_target_75_gflops_per_watt_after_about_5_generations() {
+        // Paper: "we obtain a desired efficiency of 75 GFLOPS/W after 5
+        // generations if we are able to improve all three parameters
+        // together." Five generations is a ×32 multiplier.
+        let k = multiplier_for_target(&jaketown(), CaseStudy::default(), 75.0).unwrap();
+        let generations = k.log2();
+        assert!(
+            (4.0..=6.5).contains(&generations),
+            "target reached after {generations} generations (k = {k})"
+        );
+    }
+
+    #[test]
+    fn fig7_is_monotone_in_multiplier() {
+        let ks: Vec<Real> = (0..12).map(|i| 2f64.powi(i)).collect();
+        let series = fig7_series(&jaketown(), CaseStudy::default(), &ks);
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn fig7_efficiency_scales_linearly_when_all_params_scale() {
+        // With εe = αe = 0 on this machine, every energy term scales by
+        // 1/k, so efficiency is exactly k × baseline.
+        let base_eff = CaseStudy::default().gflops_per_watt(&jaketown());
+        let series = fig7_series(&jaketown(), CaseStudy::default(), &[8.0]);
+        assert!((series[0].1 - 8.0 * base_eff).abs() / (8.0 * base_eff) < 1e-9);
+    }
+
+    #[test]
+    fn scale_param_touches_only_its_target() {
+        let base = jaketown();
+        let scaled = scale_param(&base, EnergyParam::DeltaE, 0.25);
+        assert_eq!(scaled.delta_e, base.delta_e * 0.25);
+        assert_eq!(scaled.gamma_e, base.gamma_e);
+        assert_eq!(scaled.beta_e, base.beta_e);
+        assert_eq!(scaled.gamma_t, base.gamma_t);
+    }
+
+    #[test]
+    fn multiplier_for_target_already_met_returns_one() {
+        let k = multiplier_for_target(&jaketown(), CaseStudy::default(), 0.1).unwrap();
+        assert_eq!(k, 1.0);
+    }
+
+    #[test]
+    fn memory_respects_physical_limit() {
+        let mut mp = jaketown();
+        mp.mem_words = 1e6;
+        let study = CaseStudy::default();
+        assert_eq!(study.memory(&mp), 1e6);
+    }
+}

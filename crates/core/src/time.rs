@@ -1,0 +1,193 @@
+//! Closed-form runtime expressions (paper Eqs. 1, 9, 15 and the FFT
+//! runtime of §IV).
+//!
+//! All of these are instances of Eq. 1, `T = γt·F + βt·W + αt·S`, with the
+//! per-algorithm costs of [`crate::costs`] substituted in; the unit tests
+//! verify each closed form against the generic evaluation.
+
+use crate::params::MachineParams;
+use crate::Real;
+
+/// Runtime of 2.5D classical matrix multiplication, paper **Eq. 9**:
+///
+/// `T = γt·n³/p + βt·n³/(√M·p) + αt·n³/(m·√M·p)`.
+pub fn t_matmul_25d(params: &MachineParams, n: u64, p: u64, mem: Real) -> Real {
+    let nf = n as Real;
+    let pf = p as Real;
+    let n3 = nf * nf * nf;
+    params.gamma_t * n3 / pf
+        + params.beta_t * n3 / (mem.sqrt() * pf)
+        + params.alpha_t * n3 / (params.max_message_words * mem.sqrt() * pf)
+}
+
+/// Runtime of CAPS fast matrix multiplication with exponent `ω0`
+/// (the Strassen analogue of Eq. 9):
+///
+/// `T = γt·n^ω/p + (βt + αt/m)·n^ω/(M^(ω/2−1)·p)`.
+pub fn t_matmul_fast(params: &MachineParams, n: u64, p: u64, mem: Real, omega: Real) -> Real {
+    let nw = (n as Real).powf(omega);
+    let pf = p as Real;
+    let w = nw / (mem.powf(omega / 2.0 - 1.0) * pf);
+    params.gamma_t * nw / pf + params.beta_t * w + params.alpha_t * w / params.max_message_words
+}
+
+/// Runtime of the data-replicating direct n-body algorithm, paper
+/// **Eq. 15**:
+///
+/// `T = γt·f·n²/p + βt·n²/(M·p) + αt·n²/(m·M·p)`.
+pub fn t_nbody(params: &MachineParams, n: u64, p: u64, mem: Real, f: Real) -> Real {
+    let nf = n as Real;
+    let pf = p as Real;
+    let n2 = nf * nf;
+    params.gamma_t * f * n2 / pf
+        + params.beta_t * n2 / (mem * pf)
+        + params.alpha_t * n2 / (params.max_message_words * mem * pf)
+}
+
+/// Runtime of the parallel FFT with the tree all-to-all (paper §IV):
+///
+/// `T = γt·n·log₂n/p + βt·n·log₂p/p + αt·log₂p`.
+pub fn t_fft(params: &MachineParams, n: u64, p: u64) -> Real {
+    let nf = n as Real;
+    let pf = p as Real;
+    params.gamma_t * nf * nf.log2() / pf
+        + params.beta_t * nf * pf.log2() / pf
+        + params.alpha_t * pf.log2()
+}
+
+/// Runtime of 2.5D LU: bandwidth identical to 2.5D matmul, latency
+/// `αt·S` with `S = p·√M/n` (the non-scaling critical-path term).
+pub fn t_lu_25d(params: &MachineParams, n: u64, p: u64, mem: Real) -> Real {
+    let nf = n as Real;
+    let pf = p as Real;
+    let n3 = nf * nf * nf;
+    params.gamma_t * n3 / pf
+        + params.beta_t * n3 / (mem.sqrt() * pf)
+        + params.alpha_t * pf * mem.sqrt() / nf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::{Algorithm, ClassicalMatMul, DirectNBody, FftTree, Lu25d, StrassenMatMul};
+
+    fn params() -> MachineParams {
+        MachineParams::builder()
+            .gamma_t(2.5e-12)
+            .beta_t(1.6e-10)
+            .alpha_t(6e-8)
+            .max_message_words(4096.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq9_matches_generic_eq1() {
+        let mp = params();
+        let n = 8192u64;
+        for p in [16u64, 64, 256] {
+            for frac in [0.0, 0.5, 1.0] {
+                let lo = ClassicalMatMul.min_memory(n, p);
+                let hi = ClassicalMatMul.max_useful_memory(n, p);
+                let m = lo + frac * (hi - lo);
+                let closed = t_matmul_25d(&mp, n, p, m);
+                let generic = mp.time(&ClassicalMatMul.costs(n, p, m, &mp).unwrap());
+                assert!(
+                    (closed - generic).abs() / generic < 1e-12,
+                    "p={p} frac={frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matmul_time_matches_generic() {
+        let mp = params();
+        let alg = StrassenMatMul::default();
+        let n = 8192u64;
+        let p = 49u64;
+        let m = alg.max_useful_memory(n, p);
+        let closed = t_matmul_fast(&mp, n, p, m, alg.omega);
+        let generic = mp.time(&alg.costs(n, p, m, &mp).unwrap());
+        assert!((closed - generic).abs() / generic < 1e-12);
+    }
+
+    #[test]
+    fn eq15_matches_generic_eq1() {
+        let mp = params();
+        let nb = DirectNBody {
+            flops_per_interaction: 17.0,
+        };
+        let n = 1u64 << 22;
+        let p = 256u64;
+        let m = nb.max_useful_memory(n, p);
+        let closed = t_nbody(&mp, n, p, m, 17.0);
+        let generic = mp.time(&nb.costs(n, p, m, &mp).unwrap());
+        assert!((closed - generic).abs() / generic < 1e-12);
+    }
+
+    #[test]
+    fn fft_time_matches_generic() {
+        let mp = params();
+        let n = 1u64 << 24;
+        let p = 512u64;
+        let m = FftTree.min_memory(n, p);
+        let closed = t_fft(&mp, n, p);
+        let generic = mp.time(&FftTree.costs(n, p, m, &mp).unwrap());
+        assert!((closed - generic).abs() / generic < 1e-12);
+    }
+
+    #[test]
+    fn lu_time_matches_generic() {
+        let mp = params();
+        let n = 8192u64;
+        let p = 64u64;
+        let m = Lu25d.min_memory(n, p) * 2.0;
+        let closed = t_lu_25d(&mp, n, p, m);
+        let generic = mp.time(&Lu25d.costs(n, p, m, &mp).unwrap());
+        assert!((closed - generic).abs() / generic < 1e-12);
+    }
+
+    #[test]
+    fn perfect_scaling_of_runtime_in_range() {
+        // Paper §III: for fixed M, scaling p → c·p divides T by c exactly
+        // (every term is proportional to 1/p).
+        let mp = params();
+        let n = 8192u64;
+        let p0 = 16u64;
+        let m = ClassicalMatMul.min_memory(n, p0);
+        let t0 = t_matmul_25d(&mp, n, p0, m);
+        for c in [2u64, 4, 8] {
+            let t = t_matmul_25d(&mp, n, c * p0, m);
+            assert!((t * c as Real - t0).abs() / t0 < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_runtime_does_not_scale_perfectly() {
+        // The αt·log p term grows with p, so T(2p) > T(p)/2.
+        let mp = params();
+        let n = 1u64 << 20;
+        let t1 = t_fft(&mp, n, 64);
+        let t2 = t_fft(&mp, n, 128);
+        assert!(t2 > t1 / 2.0);
+    }
+
+    #[test]
+    fn lu_runtime_can_increase_at_large_p() {
+        // With a large enough latency price the LU critical-path term
+        // eventually dominates and runtime grows with p.
+        let mp = MachineParams::builder()
+            .gamma_t(1e-12)
+            .beta_t(1e-11)
+            .alpha_t(1e-3)
+            .max_message_words(1e6)
+            .build()
+            .unwrap();
+        let n = 4096u64;
+        let m = 1e6;
+        let t_small = t_lu_25d(&mp, n, 1 << 10, m);
+        let t_large = t_lu_25d(&mp, n, 1 << 20, m);
+        assert!(t_large > t_small);
+    }
+}

@@ -1,0 +1,42 @@
+//! # psse-kernels — local compute kernels
+//!
+//! Sequential building blocks used by the distributed algorithms of
+//! `psse-algos`:
+//!
+//! * [`matrix`] — a dense row-major [`matrix::Matrix`] with block
+//!   extraction/insertion (the unit of communication in the distributed
+//!   matmul/LU algorithms);
+//! * [`gemm`] — cache-blocked matrix multiplication (`C += A·B`);
+//! * [`strassen`] — Strassen's recursive matrix multiplication with a
+//!   classical-GEMM cutoff;
+//! * [`lu`] — LU factorization (with and without partial pivoting) and
+//!   triangular solves;
+//! * [`fft`] — an iterative radix-2 Cooley–Tukey FFT over our own
+//!   [`fft::Complex64`], plus a naive DFT reference;
+//! * [`nbody`] — softened gravitational pairwise force accumulation;
+//! * [`rng`] — a tiny deterministic xorshift generator for reproducible
+//!   workload construction without external dependencies.
+//!
+//! Everything here is deterministic and dependency-free; `rand` and
+//! `proptest` appear only in dev-dependencies for testing.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positive values;
+// `partial_cmp` would obscure that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Index-based loops are kept where the index participates in the math
+// (grid coordinates, butterfly strides); iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod nbody;
+pub mod qr;
+pub mod rng;
+pub mod strassen;
+
+pub use fft::Complex64;
+pub use matrix::Matrix;

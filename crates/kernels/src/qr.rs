@@ -1,0 +1,199 @@
+//! Householder QR factorization.
+//!
+//! QR is on the paper's §III list of factorizations covered by the
+//! communication lower bounds; the distributed counterpart
+//! (`psse-algos::tsqr`) is the communication-avoiding TSQR whose
+//! `log p` latency the CA-algorithms literature highlights. This module
+//! provides the local kernel: thin Householder QR with explicit `Q`
+//! formation and a sign convention (non-negative `R` diagonal) that
+//! makes the factorization unique — so distributed and sequential
+//! results can be compared elementwise.
+
+use crate::matrix::Matrix;
+
+/// Thin QR of an `m × n` matrix with `m ≥ n`: returns `(Q, R)` with
+/// `Q` of shape `m × n` (orthonormal columns), `R` upper triangular
+/// `n × n` with non-negative diagonal, and `Q·R = A`.
+///
+/// # Panics
+/// If `m < n`.
+pub fn householder_qr(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "thin QR requires m >= n (got {m} x {n})");
+    let mut r = a.clone();
+    // Accumulate reflectors: Q starts as the m×n identity pad and has
+    // every reflector applied from the left, in reverse.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the Householder vector for column k.
+        let mut norm2 = 0.0;
+        for i in k..m {
+            norm2 += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm2.sqrt();
+        let mut v = vec![0.0; m - k];
+        if norm == 0.0 {
+            vs.push(v);
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            // Apply I − 2vvᵀ/‖v‖² to R[k.., k..].
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i - k] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i - k];
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // Form thin Q by applying the reflectors to the first n columns of
+    // the identity, in reverse order.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * q[(i, j)];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                q[(i, j)] -= scale * v[i - k];
+            }
+        }
+    }
+    // Zero R's subdiagonal (numerically tiny but not exactly zero) and
+    // normalize signs so diag(R) ≥ 0.
+    let mut r_thin = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    for i in 0..n {
+        if r_thin[(i, i)] < 0.0 {
+            for j in i..n {
+                r_thin[(i, j)] = -r_thin[(i, j)];
+            }
+            for row in 0..m {
+                q[(row, i)] = -q[(row, i)];
+            }
+        }
+    }
+    (q, r_thin)
+}
+
+/// Flop count of thin Householder QR on `m × n`: `2mn² − (2/3)n³` to
+/// leading order (R only; forming thin Q costs about the same again).
+pub fn qr_flops(m: u64, n: u64) -> u64 {
+    2 * m * n * n - 2 * n * n * n / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn check_qr(a: &Matrix) {
+        let (q, r) = householder_qr(a);
+        let m = a.rows();
+        let n = a.cols();
+        assert_eq!(q.rows(), m);
+        assert_eq!(q.cols(), n);
+        assert_eq!(r.rows(), n);
+        assert_eq!(r.cols(), n);
+        // Q·R = A.
+        assert!(
+            matmul(&q, &r).relative_error(a) < 1e-10,
+            "QR should reconstruct A"
+        );
+        // QᵀQ = I.
+        let qtq = matmul(&q.transpose(), &q);
+        assert!(qtq.relative_error(&Matrix::identity(n)) < 1e-10);
+        // R upper triangular, non-negative diagonal.
+        for i in 0..n {
+            assert!(r[(i, i)] >= 0.0);
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_random_shapes() {
+        for (m, n) in [
+            (1usize, 1usize),
+            (4, 4),
+            (10, 3),
+            (32, 8),
+            (17, 17),
+            (64, 5),
+        ] {
+            check_qr(&Matrix::random(m, n, (m * 31 + n) as u64));
+        }
+    }
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let (q, r) = householder_qr(&Matrix::identity(5));
+        assert!(q.relative_error(&Matrix::identity(5)) < 1e-12);
+        assert!(r.relative_error(&Matrix::identity(5)) < 1e-12);
+    }
+
+    #[test]
+    fn qr_handles_rank_deficiency() {
+        // A zero column: still a valid factorization, just R with a zero
+        // on the diagonal.
+        let mut a = Matrix::random(8, 3, 9);
+        for i in 0..8 {
+            a[(i, 1)] = 0.0;
+        }
+        let (q, r) = householder_qr(&a);
+        assert!(matmul(&q, &r).relative_error(&a) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn qr_rejects_wide_matrices() {
+        let _ = householder_qr(&Matrix::random(3, 5, 1));
+    }
+
+    #[test]
+    fn unique_factorization_for_full_rank() {
+        // With diag(R) ≥ 0 the thin QR of a full-rank matrix is unique:
+        // factoring twice (or after a benign round trip) agrees.
+        let a = Matrix::random(20, 6, 11);
+        let (q1, r1) = householder_qr(&a);
+        let recon = matmul(&q1, &r1);
+        let (q2, r2) = householder_qr(&recon);
+        assert!(q1.max_abs_diff(&q2) < 1e-9);
+        assert!(r1.max_abs_diff(&r2) < 1e-9);
+    }
+
+    #[test]
+    fn flop_count_leading_order() {
+        let (m, n) = (10_000u64, 100u64);
+        let exact = qr_flops(m, n) as f64;
+        let asymptotic = 2.0 * (m as f64) * (n as f64) * (n as f64);
+        assert!((exact / asymptotic - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,305 @@
+//! Strassen's matrix multiplication (the `ω0 = log₂7` fast algorithm of
+//! paper §IV) with a classical-GEMM cutoff.
+//!
+//! This is the local kernel used at the leaves of the CAPS-style
+//! distributed algorithm in `psse-algos`; it also serves as the
+//! sequential baseline for the classical-vs-Strassen benchmarks.
+
+use crate::gemm;
+use crate::matrix::Matrix;
+
+/// Below this edge length the recursion falls back to classical blocked
+/// GEMM; Strassen's lower flop constant only pays off above it.
+pub const DEFAULT_CUTOFF: usize = 64;
+
+/// `C = A·B` via Strassen's algorithm. Handles arbitrary square sizes by
+/// padding odd dimensions at each level (peeling); non-square inputs are
+/// rejected.
+pub fn strassen(a: &Matrix, b: &Matrix) -> Matrix {
+    strassen_with_cutoff(a, b, DEFAULT_CUTOFF)
+}
+
+/// [`strassen`] with an explicit recursion cutoff (cutoff ≥ 1).
+pub fn strassen_with_cutoff(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "Strassen requires square A");
+    assert_eq!(b.rows(), b.cols(), "Strassen requires square B");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(cutoff >= 1);
+    let n = a.rows();
+    if n <= cutoff {
+        return gemm::matmul(a, b);
+    }
+    if n % 2 == 1 {
+        // Pad by one row/column of zeros and strip afterwards.
+        let mut ap = Matrix::zeros(n + 1, n + 1);
+        ap.set_block(0, 0, a);
+        let mut bp = Matrix::zeros(n + 1, n + 1);
+        bp.set_block(0, 0, b);
+        let cp = strassen_with_cutoff(&ap, &bp, cutoff);
+        return cp.block(0, 0, n, n);
+    }
+    let h = n / 2;
+    let a11 = a.block(0, 0, h, h);
+    let a12 = a.block(0, h, h, h);
+    let a21 = a.block(h, 0, h, h);
+    let a22 = a.block(h, h, h, h);
+    let b11 = b.block(0, 0, h, h);
+    let b12 = b.block(0, h, h, h);
+    let b21 = b.block(h, 0, h, h);
+    let b22 = b.block(h, h, h, h);
+
+    let m1 = strassen_with_cutoff(&a11.add(&a22), &b11.add(&b22), cutoff);
+    let m2 = strassen_with_cutoff(&a21.add(&a22), &b11, cutoff);
+    let m3 = strassen_with_cutoff(&a11, &b12.sub(&b22), cutoff);
+    let m4 = strassen_with_cutoff(&a22, &b21.sub(&b11), cutoff);
+    let m5 = strassen_with_cutoff(&a11.add(&a12), &b22, cutoff);
+    let m6 = strassen_with_cutoff(&a21.sub(&a11), &b11.add(&b12), cutoff);
+    let m7 = strassen_with_cutoff(&a12.sub(&a22), &b21.add(&b22), cutoff);
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+
+    let mut c = Matrix::zeros(n, n);
+    c.set_block(0, 0, &c11);
+    c.set_block(0, h, &c12);
+    c.set_block(h, 0, &c21);
+    c.set_block(h, h, &c22);
+    c
+}
+
+/// `C = A·B` via the **Winograd variant** of Strassen's algorithm: the
+/// same 7 recursive multiplications but only 15 block additions (vs 18),
+/// the best known constant for a 7-multiplication scheme. Same
+/// asymptotics (`ω0 = log₂7`), smaller constant — an ablation knob for
+/// the fast-matmul benches.
+pub fn strassen_winograd(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "Strassen requires square A");
+    assert_eq!(b.rows(), b.cols(), "Strassen requires square B");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(cutoff >= 1);
+    let n = a.rows();
+    if n <= cutoff {
+        return gemm::matmul(a, b);
+    }
+    if n % 2 == 1 {
+        let mut ap = Matrix::zeros(n + 1, n + 1);
+        ap.set_block(0, 0, a);
+        let mut bp = Matrix::zeros(n + 1, n + 1);
+        bp.set_block(0, 0, b);
+        let cp = strassen_winograd(&ap, &bp, cutoff);
+        return cp.block(0, 0, n, n);
+    }
+    let h = n / 2;
+    let a11 = a.block(0, 0, h, h);
+    let a12 = a.block(0, h, h, h);
+    let a21 = a.block(h, 0, h, h);
+    let a22 = a.block(h, h, h, h);
+    let b11 = b.block(0, 0, h, h);
+    let b12 = b.block(0, h, h, h);
+    let b21 = b.block(h, 0, h, h);
+    let b22 = b.block(h, h, h, h);
+
+    // 8 pre-additions.
+    let s1 = a21.add(&a22);
+    let s2 = s1.sub(&a11);
+    let s3 = a11.sub(&a21);
+    let s4 = a12.sub(&s2);
+    let t1 = b12.sub(&b11);
+    let t2 = b22.sub(&t1);
+    let t3 = b22.sub(&b12);
+    let t4 = t2.sub(&b21);
+
+    // 7 recursive multiplications.
+    let m1 = strassen_winograd(&a11, &b11, cutoff);
+    let m2 = strassen_winograd(&a12, &b21, cutoff);
+    let m3 = strassen_winograd(&s4, &b22, cutoff);
+    let m4 = strassen_winograd(&a22, &t4, cutoff);
+    let m5 = strassen_winograd(&s1, &t1, cutoff);
+    let m6 = strassen_winograd(&s2, &t2, cutoff);
+    let m7 = strassen_winograd(&s3, &t3, cutoff);
+
+    // 7 post-additions.
+    let u2 = m1.add(&m6);
+    let u3 = u2.add(&m7);
+    let u4 = u2.add(&m5);
+    let c11 = m1.add(&m2);
+    let c12 = u4.add(&m3);
+    let c21 = u3.sub(&m4);
+    let c22 = u3.add(&m5);
+
+    let mut c = Matrix::zeros(n, n);
+    c.set_block(0, 0, &c11);
+    c.set_block(0, h, &c12);
+    c.set_block(h, 0, &c21);
+    c.set_block(h, h, &c22);
+    c
+}
+
+/// Flop count of the Winograd variant with the given cutoff:
+/// `7^k` leaf GEMMs plus `15·(n/2^level)²` additions per internal node
+/// (vs Strassen's 18).
+pub fn strassen_winograd_flops(n: u64, cutoff: u64) -> u64 {
+    if n <= cutoff {
+        return 2 * n * n * n;
+    }
+    let h = n / 2;
+    7 * strassen_winograd_flops(h, cutoff) + 15 * h * h
+}
+
+/// The seven quadrant products `M1..M7` of one Strassen step, computed
+/// with a caller-supplied multiplier. Exposed so the distributed CAPS
+/// algorithm can form the linear combinations locally and delegate the
+/// products to remote subtrees.
+pub fn strassen_operands(a: &Matrix, b: &Matrix) -> [(Matrix, Matrix); 7] {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), b.cols());
+    assert_eq!(a.rows() % 2, 0, "one Strassen step needs an even size");
+    let h = a.rows() / 2;
+    let a11 = a.block(0, 0, h, h);
+    let a12 = a.block(0, h, h, h);
+    let a21 = a.block(h, 0, h, h);
+    let a22 = a.block(h, h, h, h);
+    let b11 = b.block(0, 0, h, h);
+    let b12 = b.block(0, h, h, h);
+    let b21 = b.block(h, 0, h, h);
+    let b22 = b.block(h, h, h, h);
+    [
+        (a11.add(&a22), b11.add(&b22)),
+        (a21.add(&a22), b11.clone()),
+        (a11.clone(), b12.sub(&b22)),
+        (a22.clone(), b21.sub(&b11)),
+        (a11.add(&a12), b22.clone()),
+        (a21.sub(&a11), b11.add(&b12)),
+        (a12.sub(&a22), b21.add(&b22)),
+    ]
+}
+
+/// Reassemble `C` from the seven products of [`strassen_operands`].
+pub fn strassen_combine(ms: &[Matrix; 7]) -> Matrix {
+    let h = ms[0].rows();
+    let c11 = ms[0].add(&ms[3]).sub(&ms[4]).add(&ms[6]);
+    let c12 = ms[2].add(&ms[4]);
+    let c21 = ms[1].add(&ms[3]);
+    let c22 = ms[0].sub(&ms[1]).add(&ms[2]).add(&ms[5]);
+    let mut c = Matrix::zeros(2 * h, 2 * h);
+    c.set_block(0, 0, &c11);
+    c.set_block(0, h, &c12);
+    c.set_block(h, 0, &c21);
+    c.set_block(h, h, &c22);
+    c
+}
+
+/// Flop count of Strassen with the given cutoff on an `n×n` problem
+/// (`n` a power of two times the cutoff): `7^k` leaf GEMMs of size
+/// `n/2^k` plus `18·(n/2^level)²` additions per internal node.
+pub fn strassen_flops(n: u64, cutoff: u64) -> u64 {
+    if n <= cutoff {
+        return 2 * n * n * n;
+    }
+    let h = n / 2;
+    7 * strassen_flops(h, cutoff) + 18 * h * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_naive;
+
+    #[test]
+    fn matches_naive_power_of_two() {
+        let a = Matrix::random(128, 128, 1);
+        let b = Matrix::random(128, 128, 2);
+        let s = strassen_with_cutoff(&a, &b, 16);
+        let c = matmul_naive(&a, &b);
+        assert!(s.max_abs_diff(&c) < 1e-10);
+    }
+
+    #[test]
+    fn matches_naive_odd_sizes() {
+        for n in [1usize, 3, 17, 30, 65, 100] {
+            let a = Matrix::random(n, n, n as u64);
+            let b = Matrix::random(n, n, (n + 1) as u64);
+            let s = strassen_with_cutoff(&a, &b, 8);
+            let c = matmul_naive(&a, &b);
+            assert!(s.max_abs_diff(&c) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cutoff_one_still_correct() {
+        let a = Matrix::random(32, 32, 5);
+        let b = Matrix::random(32, 32, 6);
+        let s = strassen_with_cutoff(&a, &b, 1);
+        assert!(s.max_abs_diff(&matmul_naive(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn operands_and_combine_equal_one_step() {
+        let a = Matrix::random(64, 64, 7);
+        let b = Matrix::random(64, 64, 8);
+        let ops = strassen_operands(&a, &b);
+        let ms: Vec<Matrix> = ops.iter().map(|(x, y)| matmul_naive(x, y)).collect();
+        let ms: [Matrix; 7] = ms.try_into().unwrap();
+        let c = strassen_combine(&ms);
+        assert!(c.max_abs_diff(&matmul_naive(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(4, 6);
+        let b = Matrix::zeros(6, 4);
+        let _ = strassen(&a, &b);
+    }
+
+    #[test]
+    fn flops_match_omega() {
+        // strassen_flops(2n)/strassen_flops(n) → 7 as n grows.
+        let r = strassen_flops(4096, 1) as f64 / strassen_flops(2048, 1) as f64;
+        assert!((r - 7.0).abs() < 0.05, "ratio {r}");
+        // And with cutoff = n it's exactly classical.
+        assert_eq!(strassen_flops(64, 64), 2 * 64 * 64 * 64);
+    }
+
+    #[test]
+    fn strassen_saves_flops_vs_classical() {
+        let n = 1 << 12;
+        assert!(strassen_flops(n, 64) < 2 * n * n * n);
+    }
+
+    #[test]
+    fn winograd_matches_naive() {
+        for n in [1usize, 2, 16, 30, 65, 128] {
+            let a = Matrix::random(n, n, n as u64 + 100);
+            let b = Matrix::random(n, n, n as u64 + 200);
+            let w = strassen_winograd(&a, &b, 8);
+            let c = matmul_naive(&a, &b);
+            assert!(w.max_abs_diff(&c) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn winograd_matches_strassen() {
+        let a = Matrix::random(96, 96, 1);
+        let b = Matrix::random(96, 96, 2);
+        let w = strassen_winograd(&a, &b, 16);
+        let s = strassen_with_cutoff(&a, &b, 16);
+        assert!(w.max_abs_diff(&s) < 1e-10);
+    }
+
+    #[test]
+    fn winograd_uses_fewer_adds() {
+        let n = 1 << 10;
+        let s = strassen_flops(n, 32);
+        let w = strassen_winograd_flops(n, 32);
+        assert!(w < s, "winograd {w} vs strassen {s}");
+        // Same leaf count: the gap is exactly the add savings
+        // (3 additions per internal node).
+        let gap = s - w;
+        assert!(gap > 0);
+        // And both still beat classical.
+        assert!(s < 2 * n * n * n);
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Configuration rejected before launch (zero ranks, bad parameters).
+    InvalidConfig(String),
+    /// A rank addressed a peer outside `0..p`.
+    RankOutOfRange {
+        /// The offending rank id.
+        rank: usize,
+        /// World size.
+        size: usize,
+    },
+    /// A rank's tracked allocation exceeded the configured per-rank
+    /// memory limit.
+    MemoryLimitExceeded {
+        /// Rank whose allocation failed.
+        rank: usize,
+        /// Words requested in total after the failing allocation.
+        requested: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+    /// More words freed than allocated — an accounting bug in the caller.
+    MemoryUnderflow {
+        /// Rank with broken accounting.
+        rank: usize,
+    },
+    /// A receive could not complete because a peer rank failed or the
+    /// program deadlocked (no matching message before the wall-clock
+    /// timeout).
+    RecvFailed {
+        /// Receiving rank.
+        rank: usize,
+        /// Expected source.
+        src: usize,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// Another rank returned an error or panicked, poisoning the run.
+    PeerFailed(String),
+    /// An algorithm-level precondition failed (used by `psse-algos`).
+    Algorithm(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(m) => write!(f, "invalid simulator config: {m}"),
+            SimError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for world size {size}")
+            }
+            SimError::MemoryLimitExceeded {
+                rank,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "rank {rank} exceeded memory limit: {requested} > {limit} words"
+            ),
+            SimError::MemoryUnderflow { rank } => {
+                write!(f, "rank {rank} freed more words than it allocated")
+            }
+            SimError::RecvFailed { rank, src, cause } => {
+                write!(f, "rank {rank} failed receiving from {src}: {cause}")
+            }
+            SimError::PeerFailed(m) => write!(f, "peer rank failed: {m}"),
+            SimError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (SimError::InvalidConfig("p = 0".into()), "p = 0"),
+            (SimError::RankOutOfRange { rank: 9, size: 4 }, "rank 9"),
+            (
+                SimError::MemoryLimitExceeded {
+                    rank: 1,
+                    requested: 100,
+                    limit: 50,
+                },
+                "100 > 50",
+            ),
+            (SimError::MemoryUnderflow { rank: 2 }, "rank 2"),
+            (
+                SimError::RecvFailed {
+                    rank: 0,
+                    src: 3,
+                    cause: "deadlock".into(),
+                },
+                "deadlock",
+            ),
+            (SimError::PeerFailed("boom".into()), "boom"),
+            (SimError::Algorithm("bad grid".into()), "bad grid"),
+        ];
+        for (e, frag) in cases {
+            assert!(e.to_string().contains(frag), "{e}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # psse-sim — a deterministic virtual-time distributed machine
+//!
+//! This crate is the executable substitute for the MPI clusters the paper
+//! targets: a simulated distributed-memory machine whose `p` ranks run as
+//! OS threads, exchange real data through tagged point-to-point messages
+//! and collectives, and account their **virtual time** with exactly the
+//! paper's cost model (Eq. 1):
+//!
+//! * `compute(f)` advances a rank's clock by `γt·f`;
+//! * sending `k` words advances the sender by `⌈k/m⌉·αt + k·βt` (long
+//!   transfers are split into messages of at most `m` words, matching the
+//!   paper's `S = W/m` accounting);
+//! * a receive completes no earlier than the message's departure time
+//!   (`t_recv = max(t_local, t_depart)` — the no-overlap postal model).
+//!
+//! The makespan (max over ranks of final clocks) is therefore determined
+//! **only by the message DAG**, never by OS scheduling: two runs of the
+//! same program produce bit-identical profiles (tested). Per-rank
+//! counters — flops, words/messages sent and received, memory high-water
+//! mark — are exactly the `F`, `W`, `S`, `M` that the energy model
+//! (Eq. 2) prices; `psse-algos` bridges a [`profile::Profile`] into
+//! `psse-core`'s `ExecutionSummary`.
+//!
+//! ## Example
+//!
+//! ```
+//! use psse_sim::prelude::*;
+//!
+//! let cfg = SimConfig::default();
+//! let outcome = Machine::run(4, cfg, |rank| {
+//!     // Each rank computes, then everyone sums everyone's value.
+//!     rank.compute(1000);
+//!     let me = rank.rank() as f64;
+//!     let sums = rank.allreduce_sum(Tag(7), vec![me])?;
+//!     Ok(sums[0])
+//! })
+//! .unwrap();
+//! assert!(outcome.results.iter().all(|&s| s == 6.0)); // 0+1+2+3
+//! assert!(outcome.profile.makespan > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positive values;
+// `partial_cmp` would obscure that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Index-based loops are kept where the index participates in the math
+// (grid coordinates, butterfly strides); iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod error;
+pub mod grid;
+pub mod machine;
+pub mod message;
+pub mod profile;
+pub mod rank;
+pub mod seqmem;
+
+pub use error::SimError;
+pub use machine::{Machine, SimConfig, SimOutcome};
+pub use message::Tag;
+pub use profile::{Profile, RankStats};
+pub use rank::Rank;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::collectives::Group;
+    pub use crate::error::SimError;
+    pub use crate::grid::{Grid2, Grid3};
+    pub use crate::machine::{Machine, SimConfig, SimOutcome};
+    pub use crate::message::Tag;
+    pub use crate::profile::{Profile, RankStats};
+    pub use crate::rank::Rank;
+    pub use crate::seqmem::{FastMemory, MemStats};
+}

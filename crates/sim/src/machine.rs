@@ -1,0 +1,343 @@
+//! The simulated machine: configuration and the thread-per-rank runner.
+
+use crate::error::{SimError, SimResult};
+use crate::message::Envelope;
+use crate::profile::{Profile, RankStats};
+use crate::rank::Rank;
+use crossbeam::channel::unbounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two-level machine hierarchy (paper Fig. 2): ranks are grouped into
+/// nodes of `cores_per_node` consecutive ids; messages between ranks of
+/// the same node use the (cheaper) intra-node link prices instead of the
+/// machine-level `beta_t`/`alpha_t`.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Ranks per node (`pl`); rank `r` lives on node `r / cores_per_node`.
+    pub cores_per_node: usize,
+    /// `βlt` — virtual seconds per word on intra-node links.
+    pub intra_beta_t: f64,
+    /// `αlt` — virtual seconds per message on intra-node links.
+    pub intra_alpha_t: f64,
+}
+
+/// Cost-model and safety configuration of a simulated machine. Time
+/// parameters follow paper Eq. 1.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// `γt` — virtual seconds per flop.
+    pub gamma_t: f64,
+    /// `βt` — virtual seconds per word sent (inter-node when a
+    /// [`Hierarchy`] is configured).
+    pub beta_t: f64,
+    /// `αt` — virtual seconds per message (inter-node when a
+    /// [`Hierarchy`] is configured).
+    pub alpha_t: f64,
+    /// `m` — maximum words per message; longer transfers are split (so a
+    /// `k`-word send counts `⌈k/m⌉` messages, the paper's `S = W/m`).
+    pub max_message_words: usize,
+    /// Optional per-rank tracked-allocation limit, in words. `None`
+    /// disables enforcement (peaks are still recorded).
+    pub mem_limit_words: Option<u64>,
+    /// Wall-clock patience for a blocking receive before the run is
+    /// declared deadlocked. (Wall-clock only; virtual time is unaffected.)
+    pub recv_timeout: Duration,
+    /// Optional two-level hierarchy (paper Fig. 2). `None` = flat
+    /// machine: all links priced at `beta_t`/`alpha_t`.
+    pub hierarchy: Option<Hierarchy>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            gamma_t: 1e-9,
+            beta_t: 1e-8,
+            alpha_t: 1e-6,
+            max_message_words: 1 << 16,
+            mem_limit_words: None,
+            recv_timeout: Duration::from_secs(30),
+            hierarchy: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> SimResult<()> {
+        if !(self.gamma_t >= 0.0) || !(self.beta_t >= 0.0) || !(self.alpha_t >= 0.0) {
+            return Err(SimError::InvalidConfig(
+                "time parameters must be non-negative and not NaN".into(),
+            ));
+        }
+        if self.max_message_words == 0 {
+            return Err(SimError::InvalidConfig(
+                "max_message_words must be at least 1".into(),
+            ));
+        }
+        if let Some(h) = &self.hierarchy {
+            if h.cores_per_node == 0 {
+                return Err(SimError::InvalidConfig(
+                    "hierarchy.cores_per_node must be at least 1".into(),
+                ));
+            }
+            if !(h.intra_beta_t >= 0.0) || !(h.intra_alpha_t >= 0.0) {
+                return Err(SimError::InvalidConfig(
+                    "intra-node link prices must be non-negative".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A configuration with all time prices zero — useful when only the
+    /// counters matter (fastest to simulate, still deterministic).
+    pub fn counters_only() -> Self {
+        SimConfig {
+            gamma_t: 0.0,
+            beta_t: 0.0,
+            alpha_t: 0.0,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// The outcome of a run: each rank's return value plus the accounting
+/// profile.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<R> {
+    /// Per-rank return values, indexed by rank id.
+    pub results: Vec<R>,
+    /// Per-rank counters and the virtual makespan.
+    pub profile: Profile,
+}
+
+/// The simulated distributed machine.
+pub struct Machine;
+
+impl Machine {
+    /// Run `f` on `p` ranks. Each rank executes `f(&mut rank)` on its own
+    /// OS thread; the function returns when all ranks complete.
+    ///
+    /// If any rank returns an error or panics, the run is poisoned:
+    /// peers blocked in `recv` are woken with
+    /// [`SimError::PeerFailed`]/[`SimError::RecvFailed`] and the error of
+    /// the lowest-numbered failing rank is returned.
+    pub fn run<F, R>(p: usize, cfg: SimConfig, f: F) -> SimResult<SimOutcome<R>>
+    where
+        F: Fn(&mut Rank) -> SimResult<R> + Sync,
+        R: Send,
+    {
+        if p == 0 {
+            return Err(SimError::InvalidConfig("world size p must be >= 1".into()));
+        }
+        cfg.validate()?;
+        let cfg = Arc::new(cfg);
+        let poison = Arc::new(AtomicBool::new(false));
+
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        let mut slots: Vec<Option<SimResult<(R, RankStats)>>> = Vec::with_capacity(p);
+        slots.resize_with(p, || None);
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (id, rx) in receivers.into_iter().enumerate() {
+                let cfg = Arc::clone(&cfg);
+                let senders = Arc::clone(&senders);
+                let poison = Arc::clone(&poison);
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let mut rank = Rank::new(id, p, cfg, rx, senders, Arc::clone(&poison));
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mut rank)));
+                    match out {
+                        Ok(Ok(v)) => Ok((v, rank.into_stats())),
+                        Ok(Err(e)) => {
+                            poison.store(true, std::sync::atomic::Ordering::SeqCst);
+                            Err(e)
+                        }
+                        Err(panic) => {
+                            poison.store(true, std::sync::atomic::Ordering::SeqCst);
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "rank panicked".into());
+                            Err(SimError::PeerFailed(format!("rank {id} panicked: {msg}")))
+                        }
+                    }
+                }));
+            }
+            for (id, h) in handles.into_iter().enumerate() {
+                slots[id] = Some(h.join().unwrap_or_else(|_| {
+                    Err(SimError::PeerFailed(format!("rank {id} thread died")))
+                }));
+            }
+        })
+        .map_err(|_| SimError::PeerFailed("simulator scope panicked".into()))?;
+
+        let mut results = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        // Prefer reporting a "real" error over the PeerFailed noise that
+        // poisoned peers produce.
+        let mut first_peer_failed: Option<SimError> = None;
+        let mut first_real: Option<SimError> = None;
+        for slot in slots {
+            match slot.expect("every rank slot filled") {
+                Ok((r, s)) => {
+                    results.push(r);
+                    stats.push(s);
+                }
+                Err(e @ SimError::PeerFailed(_)) | Err(e @ SimError::RecvFailed { .. })
+                    if first_real.is_none() =>
+                {
+                    if first_peer_failed.is_none() {
+                        first_peer_failed = Some(e);
+                    }
+                }
+                Err(e) => {
+                    if first_real.is_none() {
+                        first_real = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_real.or(first_peer_failed) {
+            return Err(e);
+        }
+        Ok(SimOutcome {
+            results,
+            profile: Profile::new(stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+
+    #[test]
+    fn zero_ranks_rejected() {
+        let r = Machine::run(0, SimConfig::default(), |_| Ok(()));
+        assert!(matches!(r, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let cfg = SimConfig {
+            max_message_words: 0,
+            ..SimConfig::default()
+        };
+        let r = Machine::run(2, cfg, |_| Ok(()));
+        assert!(matches!(r, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn single_rank_compute_only() {
+        let out = Machine::run(1, SimConfig::default(), |rank| {
+            rank.compute(1_000_000);
+            Ok(rank.now())
+        })
+        .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert!((out.results[0] - 1e-3).abs() < 1e-12); // 1e6 flops × 1e-9 s
+        assert_eq!(out.profile.per_rank[0].flops, 1_000_000);
+        assert!((out.profile.makespan - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = Machine::run(5, SimConfig::default(), |rank| Ok(rank.rank() * 10)).unwrap();
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn rank_error_propagates() {
+        let r = Machine::run(3, SimConfig::default(), |rank| {
+            if rank.rank() == 1 {
+                Err(SimError::Algorithm("deliberate".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(r, Err(SimError::Algorithm(_))), "{r:?}");
+    }
+
+    #[test]
+    fn rank_panic_is_contained() {
+        let r: SimResult<SimOutcome<()>> = Machine::run(2, SimConfig::default(), |rank| {
+            if rank.rank() == 0 {
+                panic!("deliberate panic");
+            }
+            Ok(())
+        });
+        match r {
+            Err(SimError::PeerFailed(m)) => assert!(m.contains("deliberate")),
+            other => panic!("expected PeerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_rank_unblocks_waiting_peer() {
+        // Rank 1 waits forever for a message that rank 0 never sends
+        // because rank 0 errors out. The poison flag must wake rank 1.
+        let cfg = SimConfig {
+            recv_timeout: Duration::from_secs(5),
+            ..SimConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let r: SimResult<SimOutcome<Vec<f64>>> = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                Err(SimError::Algorithm("poisoner".into()))
+            } else {
+                rank.recv(0, Tag(1))
+            }
+        });
+        assert!(matches!(r, Err(SimError::Algorithm(_))), "{r:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "peer should be woken promptly, not time out"
+        );
+    }
+
+    #[test]
+    fn deadlock_times_out() {
+        let cfg = SimConfig {
+            recv_timeout: Duration::from_millis(200),
+            ..SimConfig::default()
+        };
+        let r: SimResult<SimOutcome<Vec<f64>>> =
+            Machine::run(2, cfg, |rank| rank.recv(1 - rank.rank(), Tag(0)));
+        assert!(
+            matches!(r, Err(SimError::RecvFailed { .. })),
+            "expected deadlock detection, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn counters_only_config_has_zero_makespan() {
+        let out = Machine::run(2, SimConfig::counters_only(), |rank| {
+            rank.compute(100);
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0, 2.0])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.profile.makespan, 0.0);
+        assert_eq!(out.profile.total_flops(), 200);
+        assert_eq!(out.profile.total_words_sent(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Message envelope and tag types.
+
+/// A user-level message tag. Point-to-point receives match on
+/// `(source, tag)`; collectives consume a contiguous tag window starting
+/// at the caller-supplied base tag (see [`crate::collectives`]), so give
+/// concurrent communication phases tags at least
+/// [`crate::collectives::TAG_WINDOW`] apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// A derived tag, `self + offset` (used by collectives for their
+    /// internal rounds).
+    pub fn offset(self, off: u64) -> Tag {
+        Tag(self.0 + off)
+    }
+}
+
+/// One wire message: a chunk of a (possibly split) user-level transfer.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag of the transfer this chunk belongs to.
+    pub tag: Tag,
+    /// Chunk index within the transfer.
+    pub chunk: usize,
+    /// Total number of chunks in the transfer.
+    pub n_chunks: usize,
+    /// Total payload length of the whole transfer, in words.
+    pub total_words: usize,
+    /// Virtual departure time at the sender (seconds).
+    pub depart_time: f64,
+    /// This chunk's payload.
+    pub payload: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_offset() {
+        assert_eq!(Tag(10).offset(5), Tag(15));
+    }
+
+    #[test]
+    fn tags_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Tag(1));
+        s.insert(Tag(1));
+        s.insert(Tag(2));
+        assert_eq!(s.len(), 2);
+        assert!(Tag(1) < Tag(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-rank counters and whole-run profiles.
+
+/// Counters accumulated by one rank over a run. All units are words,
+/// messages, flops and (virtual) seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankStats {
+    /// Floating-point operations charged via `Rank::compute`.
+    pub flops: u64,
+    /// Words sent across links (self-sends excluded; includes intra-node
+    /// traffic on hierarchical machines).
+    pub words_sent: u64,
+    /// Messages sent across links (after splitting at `m` words).
+    pub msgs_sent: u64,
+    /// Of `words_sent`, the words that stayed within the sender's node
+    /// (zero on flat machines).
+    pub words_sent_intra: u64,
+    /// Of `msgs_sent`, the messages that stayed within the sender's node.
+    pub msgs_sent_intra: u64,
+    /// Words received across links.
+    pub words_recvd: u64,
+    /// Messages received across links.
+    pub msgs_recvd: u64,
+    /// Current tracked allocation, words.
+    pub mem_current: u64,
+    /// High-water mark of tracked allocation, words.
+    pub mem_peak: u64,
+    /// The rank's virtual clock at the end of its program.
+    pub finish_time: f64,
+}
+
+/// The complete accounting of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Per-rank counters, indexed by rank id.
+    pub per_rank: Vec<RankStats>,
+    /// Virtual makespan: max over ranks of `finish_time`.
+    pub makespan: f64,
+}
+
+impl Profile {
+    pub(crate) fn new(per_rank: Vec<RankStats>) -> Self {
+        let makespan = per_rank
+            .iter()
+            .map(|r| r.finish_time)
+            .fold(0.0_f64, f64::max);
+        Profile { per_rank, makespan }
+    }
+
+    /// World size.
+    pub fn p(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Sum over ranks of flops.
+    pub fn total_flops(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.flops).sum()
+    }
+
+    /// Max over ranks of flops (critical-path `F`).
+    pub fn max_flops(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.flops).max().unwrap_or(0)
+    }
+
+    /// Sum over ranks of words sent (total traffic).
+    pub fn total_words_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.words_sent).sum()
+    }
+
+    /// Max over ranks of words sent (critical-path `W`).
+    pub fn max_words_sent(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.words_sent)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over ranks of messages sent.
+    pub fn total_msgs_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Max over ranks of messages sent (critical-path `S`).
+    pub fn max_msgs_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).max().unwrap_or(0)
+    }
+
+    /// Max over ranks of the memory high-water mark (the model's `M`).
+    pub fn max_mem_peak(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.mem_peak).max().unwrap_or(0)
+    }
+
+    /// Sum over ranks of intra-node words sent (hierarchical machines).
+    pub fn total_words_intra(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.words_sent_intra).sum()
+    }
+
+    /// Sum over ranks of inter-node words sent.
+    pub fn total_words_inter(&self) -> u64 {
+        self.total_words_sent() - self.total_words_intra()
+    }
+
+    /// Sum over ranks of intra-node messages sent.
+    pub fn total_msgs_intra(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent_intra).sum()
+    }
+
+    /// Combine with the profile of a run executed *after* this one on
+    /// the same machine: counters add; the makespan is the sum of the
+    /// two makespans (phase 2 starts when phase 1 completes globally).
+    pub fn then(&self, later: &Profile) -> Profile {
+        assert_eq!(
+            self.p(),
+            later.p(),
+            "profiles must have the same world size"
+        );
+        let per_rank = self
+            .per_rank
+            .iter()
+            .zip(&later.per_rank)
+            .map(|(a, b)| RankStats {
+                flops: a.flops + b.flops,
+                words_sent: a.words_sent + b.words_sent,
+                msgs_sent: a.msgs_sent + b.msgs_sent,
+                words_sent_intra: a.words_sent_intra + b.words_sent_intra,
+                msgs_sent_intra: a.msgs_sent_intra + b.msgs_sent_intra,
+                words_recvd: a.words_recvd + b.words_recvd,
+                msgs_recvd: a.msgs_recvd + b.msgs_recvd,
+                mem_current: b.mem_current,
+                mem_peak: a.mem_peak.max(b.mem_peak),
+                finish_time: a.finish_time + b.finish_time,
+            })
+            .collect();
+        Profile {
+            per_rank,
+            makespan: self.makespan + later.makespan,
+        }
+    }
+
+    /// Consistency check: every word sent across a link is received.
+    pub fn words_balance(&self) -> (u64, u64) {
+        (
+            self.total_words_sent(),
+            self.per_rank.iter().map(|r| r.words_recvd).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(flops: u64, words: u64, t: f64) -> RankStats {
+        RankStats {
+            flops,
+            words_sent: words,
+            msgs_sent: words / 10,
+            words_recvd: words,
+            msgs_recvd: words / 10,
+            mem_current: 0,
+            mem_peak: 2 * words,
+            finish_time: t,
+            ..RankStats::default()
+        }
+    }
+
+    #[test]
+    fn intra_accessors_default_to_zero() {
+        let p = Profile::new(vec![stats(1, 100, 1.0), stats(2, 50, 2.0)]);
+        assert_eq!(p.total_words_intra(), 0);
+        assert_eq!(p.total_msgs_intra(), 0);
+        assert_eq!(p.total_words_inter(), 150);
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = Profile::new(vec![
+            stats(100, 10, 1.0),
+            stats(300, 30, 2.5),
+            stats(200, 0, 0.5),
+        ]);
+        assert_eq!(p.p(), 3);
+        assert_eq!(p.total_flops(), 600);
+        assert_eq!(p.max_flops(), 300);
+        assert_eq!(p.total_words_sent(), 40);
+        assert_eq!(p.max_words_sent(), 30);
+        assert_eq!(p.total_msgs_sent(), 4);
+        assert_eq!(p.max_msgs_sent(), 3);
+        assert_eq!(p.max_mem_peak(), 60);
+        assert_eq!(p.makespan, 2.5);
+        assert_eq!(p.words_balance(), (40, 40));
+    }
+
+    #[test]
+    fn then_composes_counters_and_makespan() {
+        let a = Profile::new(vec![stats(100, 10, 1.0), stats(50, 20, 2.0)]);
+        let b = Profile::new(vec![stats(10, 1, 0.5), stats(20, 2, 0.25)]);
+        let c = a.then(&b);
+        assert_eq!(c.total_flops(), 180);
+        assert_eq!(c.per_rank[0].flops, 110);
+        assert_eq!(c.per_rank[1].words_sent, 22);
+        assert_eq!(c.makespan, 2.5);
+        assert_eq!(c.per_rank[0].mem_peak, 20); // max of phases
+    }
+
+    #[test]
+    #[should_panic(expected = "same world size")]
+    fn then_requires_matching_worlds() {
+        let a = Profile::new(vec![stats(1, 1, 1.0)]);
+        let b = Profile::new(vec![stats(1, 1, 1.0), stats(1, 1, 1.0)]);
+        let _ = a.then(&b);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = Profile::new(vec![]);
+        assert_eq!(p.total_flops(), 0);
+        assert_eq!(p.max_flops(), 0);
+        assert_eq!(p.makespan, 0.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! The per-rank handle: virtual clock, counters, and point-to-point
+//! messaging.
+
+use crate::error::{SimError, SimResult};
+use crate::machine::SimConfig;
+use crate::message::{Envelope, Tag};
+use crate::profile::RankStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A rank of the simulated machine. Handed by [`crate::Machine::run`] to
+/// the per-rank program; owns the rank's virtual clock and counters.
+pub struct Rank {
+    id: usize,
+    p: usize,
+    cfg: Arc<SimConfig>,
+    time: f64,
+    stats: RankStats,
+    rx: Receiver<Envelope>,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    pending: Vec<Envelope>,
+    poison: Arc<AtomicBool>,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        id: usize,
+        p: usize,
+        cfg: Arc<SimConfig>,
+        rx: Receiver<Envelope>,
+        txs: Arc<Vec<Sender<Envelope>>>,
+        poison: Arc<AtomicBool>,
+    ) -> Self {
+        Rank {
+            id,
+            p,
+            cfg,
+            time: 0.0,
+            stats: RankStats::default(),
+            rx,
+            txs,
+            pending: Vec::new(),
+            poison,
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// The rank's current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    pub(crate) fn into_stats(mut self) -> RankStats {
+        self.stats.finish_time = self.time;
+        self.stats
+    }
+
+    /// Execute `flops` floating-point operations: advances the virtual
+    /// clock by `γt·flops` and the flop counter.
+    pub fn compute(&mut self, flops: u64) {
+        self.stats.flops += flops;
+        self.time += self.cfg.gamma_t * flops as f64;
+    }
+
+    /// Track an allocation of `words` words. Errors if the configured
+    /// per-rank memory limit would be exceeded.
+    pub fn alloc(&mut self, words: u64) -> SimResult<()> {
+        let new = self.stats.mem_current + words;
+        if let Some(limit) = self.cfg.mem_limit_words {
+            if new > limit {
+                return Err(SimError::MemoryLimitExceeded {
+                    rank: self.id,
+                    requested: new,
+                    limit,
+                });
+            }
+        }
+        self.stats.mem_current = new;
+        self.stats.mem_peak = self.stats.mem_peak.max(new);
+        Ok(())
+    }
+
+    /// Track the release of `words` words.
+    pub fn free(&mut self, words: u64) -> SimResult<()> {
+        if words > self.stats.mem_current {
+            return Err(SimError::MemoryUnderflow { rank: self.id });
+        }
+        self.stats.mem_current -= words;
+        Ok(())
+    }
+
+    fn check_peer(&self, peer: usize) -> SimResult<()> {
+        if peer >= self.p {
+            return Err(SimError::RankOutOfRange {
+                rank: peer,
+                size: self.p,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether `peer` lives on the same node as this rank (always false
+    /// on a flat machine).
+    pub fn same_node(&self, peer: usize) -> bool {
+        match &self.cfg.hierarchy {
+            Some(h) => self.id / h.cores_per_node == peer / h.cores_per_node,
+            None => false,
+        }
+    }
+
+    /// Send `payload` to `dest` under `tag`. Never blocks (eager,
+    /// unbounded buffering). Transfers longer than the machine's maximum
+    /// message size are split; the sender's clock advances by
+    /// `αt + k·βt` per chunk — at the intra-node prices when a
+    /// [`crate::machine::Hierarchy`] is configured and `dest` shares this
+    /// rank's node. A self-send is free (no link is crossed) and the
+    /// payload becomes immediately receivable.
+    pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<f64>) -> SimResult<()> {
+        self.check_peer(dest)?;
+        if dest == self.id {
+            self.pending.push(Envelope {
+                src: self.id,
+                tag,
+                chunk: 0,
+                n_chunks: 1,
+                total_words: payload.len(),
+                depart_time: self.time,
+                payload,
+            });
+            return Ok(());
+        }
+        let intra = self.same_node(dest);
+        let (alpha, beta) = match (&self.cfg.hierarchy, intra) {
+            (Some(h), true) => (h.intra_alpha_t, h.intra_beta_t),
+            _ => (self.cfg.alpha_t, self.cfg.beta_t),
+        };
+        let m = self.cfg.max_message_words;
+        let total = payload.len();
+        let n_chunks = if total == 0 { 1 } else { total.div_ceil(m) };
+        let mut chunks: Vec<Vec<f64>> = if total == 0 {
+            vec![Vec::new()]
+        } else {
+            payload.chunks(m).map(|c| c.to_vec()).collect()
+        };
+        for (i, chunk) in chunks.drain(..).enumerate() {
+            let k = chunk.len();
+            self.time += alpha + beta * k as f64;
+            self.stats.msgs_sent += 1;
+            self.stats.words_sent += k as u64;
+            if intra {
+                self.stats.msgs_sent_intra += 1;
+                self.stats.words_sent_intra += k as u64;
+            }
+            let env = Envelope {
+                src: self.id,
+                tag,
+                chunk: i,
+                n_chunks,
+                total_words: total,
+                depart_time: self.time,
+                payload: chunk,
+            };
+            self.txs[dest]
+                .send(env)
+                .map_err(|_| SimError::PeerFailed(format!("rank {dest} is gone")))?;
+        }
+        Ok(())
+    }
+
+    /// Receive the transfer sent by `src` under `tag`, blocking until all
+    /// of its chunks have arrived. The rank's clock advances to the
+    /// latest chunk departure time (`max(t_local, t_depart)`).
+    pub fn recv(&mut self, src: usize, tag: Tag) -> SimResult<Vec<f64>> {
+        self.check_peer(src)?;
+        let deadline = Instant::now() + self.cfg.recv_timeout;
+        // Collect the chunks of (src, tag).
+        let mut have: Vec<Envelope> = Vec::new();
+        let mut needed = usize::MAX;
+        loop {
+            // Harvest matching chunks from the pending buffer.
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.pending[i].src == src && self.pending[i].tag == tag {
+                    let env = self.pending.swap_remove(i);
+                    needed = env.n_chunks;
+                    have.push(env);
+                } else {
+                    i += 1;
+                }
+            }
+            if have.len() == needed {
+                break;
+            }
+            // Block for more traffic.
+            match self.rx.recv_timeout(std::time::Duration::from_millis(25)) {
+                Ok(env) => self.pending.push(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poison.load(Ordering::SeqCst) {
+                        return Err(SimError::RecvFailed {
+                            rank: self.id,
+                            src,
+                            cause: "a peer rank failed".into(),
+                        });
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(SimError::RecvFailed {
+                            rank: self.id,
+                            src,
+                            cause: format!(
+                                "no matching message for tag {tag:?} within {:?} (deadlock?)",
+                                self.cfg.recv_timeout
+                            ),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(SimError::RecvFailed {
+                        rank: self.id,
+                        src,
+                        cause: "all peers disconnected".into(),
+                    });
+                }
+            }
+        }
+        // Reassemble in chunk order; clock advances to the last arrival.
+        have.sort_by_key(|e| e.chunk);
+        let total = have[0].total_words;
+        let mut out = Vec::with_capacity(total);
+        let mut latest = self.time;
+        for env in &have {
+            latest = latest.max(env.depart_time);
+        }
+        for env in have {
+            out.extend_from_slice(&env.payload);
+        }
+        self.time = latest;
+        if src != self.id {
+            self.stats.words_recvd += out.len() as u64;
+            self.stats.msgs_recvd += needed as u64;
+        }
+        debug_assert_eq!(out.len(), total);
+        Ok(out)
+    }
+
+    /// Send to `dest` and receive from `src` in one call. Safe in rings
+    /// and shifts because sends are eager.
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: Tag,
+        payload: Vec<f64>,
+        src: usize,
+        recv_tag: Tag,
+    ) -> SimResult<Vec<f64>> {
+        self.send(dest, send_tag, payload)?;
+        self.recv(src, recv_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, SimConfig};
+
+    #[test]
+    fn ping_pong_times_and_counters() {
+        let cfg = SimConfig {
+            gamma_t: 0.0,
+            beta_t: 1e-6,
+            alpha_t: 1e-3,
+            max_message_words: 1 << 20,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(1), vec![0.0; 1000])?;
+                let back = rank.recv(1, Tag(2))?;
+                assert_eq!(back.len(), 1000);
+            } else {
+                let data = rank.recv(0, Tag(1))?;
+                rank.send(0, Tag(2), data)?;
+            }
+            Ok(rank.now())
+        })
+        .unwrap();
+        // Each direction costs α + 1000β = 1e-3 + 1e-3 = 2e-3.
+        let expect = 2.0 * (1e-3 + 1000.0 * 1e-6);
+        assert!((out.profile.makespan - expect).abs() < 1e-12);
+        let s = &out.profile.per_rank[0];
+        assert_eq!(s.words_sent, 1000);
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.words_recvd, 1000);
+        assert_eq!(s.msgs_recvd, 1);
+    }
+
+    #[test]
+    fn long_transfers_split_into_messages() {
+        let cfg = SimConfig {
+            max_message_words: 100,
+            ..SimConfig::counters_only()
+        };
+        let out = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0; 450])?;
+            } else {
+                let v = rank.recv(0, Tag(0))?;
+                assert_eq!(v.len(), 450);
+                assert!(v.iter().all(|&x| x == 1.0));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.profile.per_rank[0].msgs_sent, 5); // ceil(450/100)
+        assert_eq!(out.profile.per_rank[0].words_sent, 450);
+        assert_eq!(out.profile.per_rank[1].msgs_recvd, 5);
+    }
+
+    #[test]
+    fn payload_order_is_preserved_across_chunks() {
+        let cfg = SimConfig {
+            max_message_words: 7,
+            ..SimConfig::counters_only()
+        };
+        Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                let payload: Vec<f64> = (0..100).map(|i| i as f64).collect();
+                rank.send(1, Tag(3), payload)?;
+            } else {
+                let v = rank.recv(0, Tag(3))?;
+                for (i, &x) in v.iter().enumerate() {
+                    assert_eq!(x, i as f64);
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        Machine::run(2, SimConfig::counters_only(), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(10), vec![10.0])?;
+                rank.send(1, Tag(20), vec![20.0])?;
+            } else {
+                // Receive in reverse order of sending.
+                let b = rank.recv(0, Tag(20))?;
+                let a = rank.recv(0, Tag(10))?;
+                assert_eq!(a, vec![10.0]);
+                assert_eq!(b, vec![20.0]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_message_costs_one_latency() {
+        let cfg = SimConfig {
+            gamma_t: 0.0,
+            beta_t: 1e-6,
+            alpha_t: 0.5,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![])?;
+            } else {
+                let v = rank.recv(0, Tag(0))?;
+                assert!(v.is_empty());
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!((out.profile.makespan - 0.5).abs() < 1e-12);
+        assert_eq!(out.profile.per_rank[0].msgs_sent, 1);
+        assert_eq!(out.profile.per_rank[0].words_sent, 0);
+    }
+
+    #[test]
+    fn self_send_is_free_and_receivable() {
+        let out = Machine::run(1, SimConfig::default(), |rank| {
+            rank.send(0, Tag(5), vec![42.0])?;
+            let v = rank.recv(0, Tag(5))?;
+            assert_eq!(v, vec![42.0]);
+            Ok(rank.now())
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 0.0);
+        assert_eq!(out.profile.per_rank[0].words_sent, 0);
+        assert_eq!(out.profile.per_rank[0].msgs_sent, 0);
+    }
+
+    #[test]
+    fn rank_out_of_range_is_caught() {
+        let r = Machine::run(2, SimConfig::default(), |rank| rank.send(5, Tag(0), vec![]));
+        assert!(matches!(
+            r,
+            Err(SimError::RankOutOfRange { rank: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn receive_waits_for_virtual_arrival() {
+        // Sender computes for a long virtual time before sending; the
+        // receiver's clock must jump to the arrival time.
+        let cfg = SimConfig {
+            gamma_t: 1e-6,
+            beta_t: 0.0,
+            alpha_t: 0.0,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.compute(1_000_000); // 1.0 virtual second
+                rank.send(1, Tag(0), vec![1.0])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(rank.now())
+        })
+        .unwrap();
+        assert!((out.results[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_time_ignores_wall_clock_waiting() {
+        // Receiver that waits (wall-clock) for a sender does not accrue
+        // virtual time beyond the message arrival.
+        let cfg = SimConfig {
+            gamma_t: 0.0,
+            beta_t: 0.0,
+            alpha_t: 1e-3,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                rank.send(1, Tag(0), vec![])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(rank.now())
+        })
+        .unwrap();
+        assert!((out.results[1] - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_tracking_and_limits() {
+        let cfg = SimConfig {
+            mem_limit_words: Some(1000),
+            ..SimConfig::default()
+        };
+        let out = Machine::run(1, cfg.clone(), |rank| {
+            rank.alloc(600)?;
+            rank.alloc(300)?;
+            rank.free(500)?;
+            rank.alloc(400)?;
+            Ok(())
+        })
+        .unwrap();
+        let s = &out.profile.per_rank[0];
+        assert_eq!(s.mem_peak, 900);
+        assert_eq!(s.mem_current, 800);
+
+        let r = Machine::run(1, cfg, |rank| {
+            rank.alloc(600)?;
+            rank.alloc(600)?;
+            Ok(())
+        });
+        assert!(matches!(r, Err(SimError::MemoryLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn memory_underflow_is_caught() {
+        let r = Machine::run(1, SimConfig::default(), |rank| {
+            rank.alloc(10)?;
+            rank.free(20)
+        });
+        assert!(matches!(r, Err(SimError::MemoryUnderflow { rank: 0 })));
+    }
+
+    #[test]
+    fn sendrecv_ring_shift_does_not_deadlock() {
+        let p = 8;
+        let out = Machine::run(p, SimConfig::default(), |rank| {
+            let right = (rank.rank() + 1) % rank.size();
+            let left = (rank.rank() + rank.size() - 1) % rank.size();
+            let v = rank.sendrecv(right, Tag(0), vec![rank.rank() as f64], left, Tag(0))?;
+            Ok(v[0])
+        })
+        .unwrap();
+        for (r, v) in out.results.iter().enumerate() {
+            assert_eq!(*v, ((r + p - 1) % p) as f64);
+        }
+    }
+
+    #[test]
+    fn hierarchy_prices_intra_node_links_cheaper() {
+        use crate::machine::Hierarchy;
+        let cfg = SimConfig {
+            gamma_t: 0.0,
+            beta_t: 1e-6,
+            alpha_t: 1e-3,
+            hierarchy: Some(Hierarchy {
+                cores_per_node: 2,
+                intra_beta_t: 1e-8,
+                intra_alpha_t: 1e-5,
+            }),
+            ..SimConfig::default()
+        };
+        // Ranks 0,1 share node 0; rank 2,3 share node 1.
+        let out = Machine::run(4, cfg, |rank| {
+            match rank.rank() {
+                0 => {
+                    rank.send(1, Tag(0), vec![0.0; 1000])?; // intra
+                    rank.send(2, Tag(1), vec![0.0; 1000])?; // inter
+                }
+                1 => {
+                    rank.recv(0, Tag(0))?;
+                }
+                2 => {
+                    rank.recv(0, Tag(1))?;
+                }
+                _ => {}
+            }
+            Ok(rank.now())
+        })
+        .unwrap();
+        // Rank 0 paid intra (1e-5 + 1000·1e-8 = 2e-5) then inter
+        // (1e-3 + 1000·1e-6 = 2e-3).
+        assert!((out.results[0] - (2e-5 + 2e-3)).abs() < 1e-12);
+        // Rank 1's arrival: after the intra send only.
+        assert!((out.results[1] - 2e-5).abs() < 1e-12);
+        // Counters split by level.
+        let s0 = &out.profile.per_rank[0];
+        assert_eq!(s0.words_sent, 2000);
+        assert_eq!(s0.words_sent_intra, 1000);
+        assert_eq!(s0.msgs_sent_intra, 1);
+        assert!(out.profile.per_rank[0].msgs_sent == 2);
+        assert_eq!(out.profile.total_words_inter(), 1000);
+    }
+
+    #[test]
+    fn same_node_logic() {
+        use crate::machine::Hierarchy;
+        let cfg = SimConfig {
+            hierarchy: Some(Hierarchy {
+                cores_per_node: 4,
+                intra_beta_t: 0.0,
+                intra_alpha_t: 0.0,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Machine::run(8, cfg, |rank| Ok((rank.same_node(0), rank.same_node(7)))).unwrap();
+        assert_eq!(out.results[0], (true, false));
+        assert_eq!(out.results[3], (true, false));
+        assert_eq!(out.results[4], (false, true));
+    }
+
+    #[test]
+    fn flat_machine_has_no_same_node_pairs() {
+        let out = Machine::run(2, SimConfig::default(), |rank| Ok(rank.same_node(0))).unwrap();
+        assert_eq!(out.results, vec![false, false]);
+    }
+
+    #[test]
+    fn invalid_hierarchy_rejected() {
+        use crate::machine::Hierarchy;
+        let cfg = SimConfig {
+            hierarchy: Some(Hierarchy {
+                cores_per_node: 0,
+                intra_beta_t: 0.0,
+                intra_alpha_t: 0.0,
+            }),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            Machine::run(2, cfg, |_| Ok(())),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn determinism_bit_identical_profiles() {
+        let run = || {
+            Machine::run(6, SimConfig::default(), |rank| {
+                let me = rank.rank();
+                rank.compute((me as u64 + 1) * 1000);
+                let right = (me + 1) % rank.size();
+                let left = (me + rank.size() - 1) % rank.size();
+                let mut block = vec![me as f64; 64];
+                for step in 0..rank.size() {
+                    block =
+                        rank.sendrecv(right, Tag(step as u64), block, left, Tag(step as u64))?;
+                    rank.compute(500);
+                }
+                Ok(())
+            })
+            .unwrap()
+            .profile
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "profiles must be bit-identical across runs");
+    }
+}

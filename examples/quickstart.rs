@@ -1,0 +1,67 @@
+//! Quickstart: model a machine, price an algorithm, and see the paper's
+//! headline — perfect strong scaling using no additional energy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psse::prelude::*;
+
+fn main() {
+    // 1. Describe a machine (here: the paper's Table I server; build
+    //    your own with MachineParams::builder()).
+    let machine = jaketown();
+    println!(
+        "machine: gamma_t = {:.3e} s/flop, beta_t = {:.3e} s/word",
+        machine.gamma_t, machine.beta_t
+    );
+
+    // 2. Pick an algorithm and a problem.
+    let alg = ClassicalMatMul;
+    let n: u64 = 1 << 14;
+
+    // 3. The smallest machine that fits one copy of the data with
+    //    M = 2^26 words per processor, and the largest that can still
+    //    trade memory for communication.
+    let mem = (1u64 << 26) as f64;
+    let range = alg.strong_scaling_range(n, mem).unwrap();
+    println!(
+        "\nwith M = {mem:.0} words/processor, perfect strong scaling holds for\n\
+         p in [{:.0}, {:.0}]  (headroom: {:.0}x)",
+        range.p_min,
+        range.p_max,
+        range.headroom()
+    );
+
+    // 4. Walk the range: runtime drops with p, energy does not move.
+    println!("\n       p        T (s)        E (J)   E/E0");
+    let p0 = range.p_min.ceil() as u64;
+    let e0 = {
+        let costs = alg.costs(n, p0, mem, &machine).unwrap();
+        machine.energy(p0, &costs, mem, machine.time(&costs))
+    };
+    for k in 0..6 {
+        let p = p0 << k;
+        if (p as f64) > range.p_max {
+            break;
+        }
+        let costs = alg.costs(n, p, mem, &machine).unwrap();
+        let t = machine.time(&costs);
+        let e = machine.energy(p, &costs, mem, t);
+        println!("{p:>8}   {t:>10.4}   {e:>10.1}  {:.4}", e / e0);
+        assert!((e / e0 - 1.0).abs() < 1e-9, "energy must not move");
+    }
+
+    // 5. The same effect, measured: run the real 2.5D algorithm on the
+    //    simulated machine (toy size) and price the counters.
+    println!("\nmeasured on the simulator (n = 256, q = 8 fixed => fixed M/rank):");
+    let a = psse::kernels::Matrix::random(256, 256, 1);
+    let b = psse::kernels::Matrix::random(256, 256, 2);
+    let cfg = sim_config_from(&machine);
+    println!("       p   c        T (s)        E (J)");
+    for c in [1usize, 2, 4] {
+        let p = 64 * c;
+        let (_, profile) = matmul_25d(&a, &b, p, c, cfg.clone()).unwrap();
+        let m = measure(&profile, &machine);
+        println!("{p:>8}  {c:>2}   {:>10.3e}   {:>10.3e}", m.time, m.energy);
+    }
+    println!("\nRuntime falls ~1/p; energy stays ~constant. That is the paper.");
+}

@@ -1,0 +1,33 @@
+//! # psse — Perfect Strong Scaling Using No Additional Energy
+//!
+//! A Rust reproduction of Demmel, Gearhart, Lipshitz and Schwartz,
+//! *"Perfect Strong Scaling Using No Additional Energy"* (IPDPS 2013).
+//!
+//! This facade crate re-exports the four member crates of the workspace:
+//!
+//! * [`core`] (`psse-core`) — the paper's analytical models: time/energy
+//!   models, communication lower bounds, strong-scaling analysis, the §V
+//!   optimization suite, the §VI case study and machine database.
+//! * [`sim`] (`psse-sim`) — a deterministic virtual-time distributed
+//!   machine simulator with per-rank flop/word/message/memory counters.
+//! * [`kernels`] (`psse-kernels`) — local dense kernels (GEMM, Strassen,
+//!   LU, FFT, n-body forces).
+//! * [`algos`] (`psse-algos`) — the distributed algorithms executed on
+//!   the simulator: Cannon, SUMMA, 2.5D/3D matmul, CAPS Strassen,
+//!   distributed LU, replicated n-body, parallel FFT.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use psse_algos as algos;
+pub use psse_core as core;
+pub use psse_kernels as kernels;
+pub use psse_sim as sim;
+
+/// Convenience prelude: the core model prelude plus the most common
+/// simulator and algorithm entry points.
+pub mod prelude {
+    pub use psse_algos::prelude::*;
+    pub use psse_core::prelude::*;
+    pub use psse_sim::prelude::*;
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the distributed algorithms and the simulator:
+//! correctness on random inputs and shapes, conservation laws, and
+//! determinism.
+
+use proptest::prelude::*;
+use psse::kernels::fft::{fft, Complex64};
+use psse::kernels::gemm::matmul;
+use psse::kernels::lu::split_lu;
+use psse::kernels::nbody::{accumulate_forces, random_particles};
+use psse::kernels::rng::XorShift64;
+use psse::kernels::Matrix;
+use psse::prelude::*;
+use psse::sim::machine::SimConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cannon, SUMMA and 2.5D all compute the true product for random
+    /// inputs and random compatible grid shapes.
+    #[test]
+    fn matmul_family_is_correct(
+        seed in 0u64..1_000_000,
+        q in 1usize..5,
+        blocks in 1usize..4,
+        c_pick in 0usize..3,
+    ) {
+        let n = q * blocks * 4;
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed.wrapping_add(1));
+        let reference = matmul(&a, &b);
+        let p = q * q;
+
+        let (cm, _) = cannon_matmul(&a, &b, p, SimConfig::counters_only()).unwrap();
+        prop_assert!(cm.max_abs_diff(&reference) < 1e-9);
+
+        let (sm, _) = summa_matmul(&a, &b, p, blocks * 4, SimConfig::counters_only()).unwrap();
+        prop_assert!(sm.max_abs_diff(&reference) < 1e-9);
+
+        // A replication factor compatible with q.
+        let divisors: Vec<usize> = (1..=q).filter(|d| q % d == 0).collect();
+        let c = divisors[c_pick % divisors.len()];
+        let (m25, _) = matmul_25d(&a, &b, p * c, c, SimConfig::counters_only()).unwrap();
+        prop_assert!(m25.max_abs_diff(&reference) < 1e-9);
+    }
+
+    /// Distributed LU reconstructs random diagonally dominant inputs.
+    #[test]
+    fn lu_reconstructs(seed in 0u64..1_000_000, q in 1usize..5, bs in 2usize..5) {
+        let n = q * bs;
+        let a = Matrix::random_diagonally_dominant(n, seed);
+        let (packed, _) = lu_2d(&a, q * q, SimConfig::counters_only()).unwrap();
+        let (l, u) = split_lu(&packed);
+        prop_assert!(matmul(&l, &u).relative_error(&a) < 1e-9);
+    }
+
+    /// The distributed FFT matches the sequential kernel for random
+    /// signals and rank counts, under both all-to-all strategies.
+    #[test]
+    fn distributed_fft_is_correct(
+        seed in 0u64..1_000_000,
+        log_n in 6u32..11,
+        log_p in 0u32..3,
+        hyper in any::<bool>(),
+    ) {
+        let n = 1usize << log_n;
+        let p = 1usize << log_p;
+        let mut rng = XorShift64::new(seed);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect();
+        let kind = if hyper { AllToAllKind::Hypercube } else { AllToAllKind::Pairwise };
+        let (spec, profile) = distributed_fft(&x, p, kind, SimConfig::counters_only()).unwrap();
+        let reference = fft(&x);
+        for (a, b) in spec.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+        let (sent, recvd) = profile.words_balance();
+        prop_assert_eq!(sent, recvd);
+    }
+
+    /// TSQR matches the sequential QR for random tall matrices and any
+    /// rank count dividing the rows.
+    #[test]
+    fn tsqr_matches_sequential(
+        seed in 0u64..1_000_000,
+        p in 1usize..9,
+        cols in 1usize..6,
+        extra in 1usize..4,
+    ) {
+        use psse::kernels::qr::householder_qr;
+        let rows = p * cols * extra;
+        let a = psse::kernels::Matrix::random(rows, cols, seed);
+        let (r_dist, profile) = tsqr(&a, p, SimConfig::counters_only()).unwrap();
+        let (_, r_seq) = householder_qr(&a);
+        prop_assert!(r_dist.max_abs_diff(&r_seq) < 1e-7);
+        let (sent, recvd) = profile.words_balance();
+        prop_assert_eq!(sent, recvd);
+    }
+
+    /// Distributed Cholesky reconstructs random SPD inputs on random
+    /// grids.
+    #[test]
+    fn cholesky_2d_reconstructs(seed in 0u64..1_000_000, q in 1usize..5, bs in 2usize..5) {
+        let n = q * bs;
+        let b = psse::kernels::Matrix::random(n, n, seed);
+        let mut a = matmul(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let (l, _) = cholesky_2d(&a, q * q, SimConfig::counters_only()).unwrap();
+        prop_assert!(matmul(&l, &l.transpose()).relative_error(&a) < 1e-9);
+    }
+
+    /// The replicating n-body algorithm matches serial forces for every
+    /// compatible (pr, c).
+    #[test]
+    fn nbody_replication_is_correct(
+        seed in 0u64..1_000_000,
+        pr_exp in 1u32..4,
+        c_exp in 0u32..3,
+        blocks in 1usize..4,
+    ) {
+        let pr = 1usize << pr_exp;
+        let c = 1usize << c_exp.min(pr_exp);
+        let n = pr * blocks * 2;
+        let ps = random_particles(n, seed);
+        let mut serial = vec![[0.0; 3]; n];
+        accumulate_forces(&ps, &ps, &mut serial);
+        let (acc, _) = nbody_replicated(&ps, pr, c, SimConfig::counters_only()).unwrap();
+        for (x, y) in acc.iter().zip(&serial) {
+            for d in 0..3 {
+                prop_assert!((x[d] - y[d]).abs() < 1e-9 * (1.0 + y[d].abs()));
+            }
+        }
+    }
+
+    /// Energy priced from measured counters scales linearly with the
+    /// energy parameters — a sanity link between simulator and model.
+    #[test]
+    fn measured_energy_scales_with_prices(scale in 1.0..100.0f64) {
+        let base = MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_t(1e-8)
+            .alpha_t(1e-7)
+            .gamma_e(1e-9)
+            .beta_e(1e-8)
+            .alpha_e(1e-7)
+            .delta_e(1e-8)
+            .epsilon_e(0.0)
+            .max_message_words(1024.0)
+            .build()
+            .unwrap();
+        let a = Matrix::random(16, 16, 1);
+        let b = Matrix::random(16, 16, 2);
+        let (_, profile) = cannon_matmul(&a, &b, 16, sim_config_from(&base)).unwrap();
+        let m1 = measure(&profile, &base);
+        let scaled = MachineParams {
+            gamma_e: base.gamma_e * scale,
+            beta_e: base.beta_e * scale,
+            alpha_e: base.alpha_e * scale,
+            delta_e: base.delta_e * scale,
+            ..base.clone()
+        };
+        let m2 = measure(&profile, &scaled);
+        prop_assert!((m2.energy / m1.energy / scale - 1.0).abs() < 1e-9);
+        prop_assert!((m2.time - m1.time).abs() < 1e-15);
+    }
+}
