@@ -323,6 +323,61 @@ pub fn write_svg(name: &str, svg: &str) {
     }
 }
 
+/// Tabulate a recorded trace's events, one row per event — the compact
+/// CSV companion to `psse_trace::Trace::to_chrome_json`. Render with
+/// [`Table::render`] or dump with [`Table::write_csv`].
+pub fn trace_events_table(trace: &psse_trace::Trace) -> Table {
+    use psse_sim::record::EventKind;
+    let mut t = Table::new(&["rank", "t_start", "t_end", "kind", "detail"]);
+    for (rank, events) in trace.events.iter().enumerate() {
+        for e in events {
+            let (kind, detail) = match &e.kind {
+                EventKind::Compute { flops } => ("compute", format!("flops={flops}")),
+                EventKind::Send { dest, tag, words } => {
+                    ("send", format!("dest={dest} tag={tag} words={words}"))
+                }
+                EventKind::Recv {
+                    src,
+                    tag,
+                    words,
+                    msgs,
+                } => (
+                    "recv",
+                    format!("src={src} tag={tag} words={words} msgs={msgs}"),
+                ),
+                EventKind::Alloc { words } => ("alloc", format!("words={words}")),
+                EventKind::Free { words } => ("free", format!("words={words}")),
+                EventKind::CollBegin { op } => ("coll_begin", format!("op={op}")),
+                EventKind::CollEnd { op } => ("coll_end", format!("op={op}")),
+            };
+            t.row(&[
+                rank.to_string(),
+                sci(e.t_start),
+                sci(e.t_end),
+                kind.to_string(),
+                detail,
+            ]);
+        }
+    }
+    t
+}
+
+/// Tabulate a critical-path report's per-rank compute/comm/idle
+/// breakdown (seconds), ready for [`Table::render`]/[`Table::write_csv`].
+pub fn trace_breakdown_table(report: &psse_trace::CriticalPathReport) -> Table {
+    let mut t = Table::new(&["rank", "compute_s", "comm_s", "idle_s", "makespan_s"]);
+    for b in &report.breakdown {
+        t.row(&[
+            b.rank.to_string(),
+            sci(b.compute),
+            sci(b.comm),
+            sci(b.idle),
+            sci(report.makespan),
+        ]);
+    }
+    t
+}
+
 /// The output directory: `bench_results/` at the workspace root.
 /// Benches run with the package directory as cwd, so resolve via
 /// `CARGO_MANIFEST_DIR` (two levels up from `crates/bench`); fall back
@@ -368,6 +423,36 @@ mod tests {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn trace_tables_cover_events_and_breakdown() {
+        use psse_sim::machine::{Machine, SimConfig};
+        use psse_sim::Tag;
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(2, cfg.clone(), |rank| {
+            rank.compute(100);
+            let v = rank.allreduce_sum(Tag(0), vec![rank.rank() as f64])?;
+            Ok(v[0])
+        })
+        .unwrap();
+        let trace = psse_trace::Trace::from_run(&cfg, &out.profile).unwrap();
+
+        let events = trace_events_table(&trace);
+        let csv = events.to_csv();
+        assert_eq!(csv.lines().count(), trace.n_events() + 1);
+        assert!(csv.contains("compute"));
+        assert!(csv.contains("send"));
+        assert!(csv.contains("recv"));
+        assert!(csv.contains("coll_begin"));
+
+        let report = trace.critical_path(&trace.params).unwrap();
+        let breakdown = trace_breakdown_table(&report);
+        assert_eq!(breakdown.to_csv().lines().count(), 3); // header + 2 ranks
+        assert!(breakdown.to_csv().starts_with("rank,compute_s,comm_s"));
     }
 
     #[test]

@@ -13,6 +13,8 @@ use psse_kernels::fft::fft as kernel_fft;
 use psse_kernels::matrix::Matrix;
 use psse_kernels::nbody::{accumulate_forces, random_particles};
 use psse_kernels::rng::XorShift64;
+use psse_sim::profile::Profile;
+use psse_trace::Trace;
 use std::fmt::Write as _;
 
 type CmdResult = Result<(), String>;
@@ -271,9 +273,13 @@ pub fn optimize(args: &Args, out: &mut String) -> CmdResult {
     Ok(())
 }
 
-pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
-    let (mp, mname) = machine_from(args)?;
-    let cfg = sim_config_from(&mp);
+/// Run the algorithm selected by `--alg` on the virtual machine under
+/// `cfg`, returning its profile and whether the numerics matched the
+/// sequential reference. Shared by `simulate` and `trace record`.
+fn run_algorithm(
+    args: &Args,
+    cfg: psse_sim::machine::SimConfig,
+) -> Result<(Profile, bool), String> {
     let n = args.req_u64("n")? as usize;
     let p = args.u64_or("p", 4)? as usize;
     let c = args.u64_or("c", 1)? as usize;
@@ -388,6 +394,14 @@ pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
             ))
         }
     };
+    Ok((profile, verified))
+}
+
+pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, mname) = machine_from(args)?;
+    let cfg = sim_config_from(&mp);
+    let alg = args.req("alg")?;
+    let (profile, verified) = run_algorithm(args, cfg)?;
 
     let m = measure(&profile, &mp);
     let _ = writeln!(
@@ -473,6 +487,141 @@ pub fn tech(args: &Args, out: &mut String) -> CmdResult {
         out,
         "  all three, 5 generations: {} GFLOPS/W",
         fmt(last.together)
+    );
+    Ok(())
+}
+
+/// `psse trace <action>`: record an algorithm run as an event trace,
+/// replay/re-price it on another machine, analyse its critical path, or
+/// export it as Chrome trace-event JSON.
+pub fn trace_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
+    match action {
+        "record" => trace_record(args, out),
+        "replay" => trace_replay(args, out),
+        "critical-path" => trace_critical_path(args, out),
+        "export" => trace_export(args, out),
+        other => Err(format!(
+            "unknown trace action `{other}` (record|replay|critical-path|export)"
+        )),
+    }
+}
+
+fn trace_record(args: &Args, out: &mut String) -> CmdResult {
+    let (mp, mname) = machine_from(args)?;
+    let mut cfg = sim_config_from(&mp);
+    cfg.record_trace = true;
+    let alg = args.req("alg")?.to_string();
+    let (profile, verified) = run_algorithm(args, cfg.clone())?;
+    if !verified {
+        return Err("numerical verification failed; not saving the trace".into());
+    }
+    let trace = Trace::from_run(&cfg, &profile).map_err(|e| e.to_string())?;
+    trace
+        .check_consistency(&profile)
+        .map_err(|e| e.to_string())?;
+    let default_out = format!("{alg}.trace");
+    let path = args.str_or("out", &default_out).to_string();
+    trace.save(&path).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "recorded {alg} on {} ranks (machine `{mname}`)",
+        trace.p
+    );
+    let _ = writeln!(out, "events    : {}", trace.n_events());
+    let _ = writeln!(out, "makespan  : {} s (virtual)", fmt(trace.makespan));
+    let _ = writeln!(out, "replay    : verified (bit-identical to the live run)");
+    let _ = writeln!(out, "saved to  : {path}");
+    Ok(())
+}
+
+fn trace_replay(args: &Args, out: &mut String) -> CmdResult {
+    let trace = Trace::load(args.req("in")?).map_err(|e| e.to_string())?;
+    // Self-replay under the recorded parameters must reproduce the
+    // recorded makespan exactly.
+    let self_prof = trace.replay(&trace.params).map_err(|e| e.to_string())?;
+    if self_prof.makespan.to_bits() != trace.makespan.to_bits() {
+        return Err(format!(
+            "self-replay makespan {} differs from recorded {}",
+            self_prof.makespan, trace.makespan
+        ));
+    }
+    let (mp, mname) = machine_from(args)?;
+    let m = trace.reprice(&mp).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "trace     : {} ranks, {} events",
+        trace.p,
+        trace.n_events()
+    );
+    let _ = writeln!(
+        out,
+        "recorded  : T = {} s (self-replay verified)",
+        fmt(trace.makespan)
+    );
+    let _ = writeln!(out, "re-priced on `{mname}`:");
+    let _ = writeln!(out, "  runtime T = {} s   (Eq. 1 per event)", fmt(m.time));
+    let _ = writeln!(out, "  energy  E = {} J   (Eq. 2)", fmt(m.energy));
+    let _ = writeln!(out, "  power   P = {} W", fmt(m.power));
+    Ok(())
+}
+
+fn trace_critical_path(args: &Args, out: &mut String) -> CmdResult {
+    let trace = Trace::load(args.req("in")?).map_err(|e| e.to_string())?;
+    let rep = trace
+        .critical_path(&trace.params)
+        .map_err(|e| e.to_string())?;
+    let k = args.u64_or("top", 5)? as usize;
+    let _ = writeln!(out, "makespan  : {} s", fmt(rep.makespan));
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>12}",
+        "rank", "compute(s)", "comm(s)", "idle(s)"
+    );
+    for b in &rep.breakdown {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12} {:>12} {:>12}",
+            b.rank,
+            fmt(b.compute),
+            fmt(b.comm),
+            fmt(b.idle)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "critical path: {} segments totalling {} s",
+        rep.path.len(),
+        fmt(rep.path_total())
+    );
+    for seg in rep.top_segments(k) {
+        let _ = writeln!(
+            out,
+            "  rank {:>3}  {:<12} [{} .. {}]  {} s",
+            seg.rank,
+            seg.label,
+            fmt(seg.t_start),
+            fmt(seg.t_end),
+            fmt(seg.duration())
+        );
+    }
+    Ok(())
+}
+
+fn trace_export(args: &Args, out: &mut String) -> CmdResult {
+    let input = args.req("in")?.to_string();
+    let trace = Trace::load(&input).map_err(|e| e.to_string())?;
+    let default_out = format!("{input}.json");
+    let path = args.str_or("out", &default_out).to_string();
+    std::fs::write(&path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote Chrome trace-event JSON for {} ranks ({} events) to {path}",
+        trace.p,
+        trace.n_events()
+    );
+    let _ = writeln!(
+        out,
+        "load it at https://ui.perfetto.dev or chrome://tracing"
     );
     Ok(())
 }

@@ -12,6 +12,10 @@
 //! psse optimize --n 1e5 [--f 20] [--tmax 1e-2] [--emax 5.0]
 //! psse simulate --alg mm25d --n 64 --p 32 --c 2
 //! psse tech     --target 75
+//! psse trace    record --alg mm25d --n 16 --p 8 --c 2 --out run.trace
+//! psse trace    replay --in run.trace --gamma-t 1e-10
+//! psse trace    critical-path --in run.trace --top 5
+//! psse trace    export --in run.trace --out run.trace.json
 //! ```
 //!
 //! All logic lives in [`run`] so it can be tested without spawning the
@@ -31,6 +35,16 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
     if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
         let _ = write!(out, "{}", HELP);
         return Ok(());
+    }
+    if argv[0] == "trace" {
+        if argv.len() < 2 {
+            return Err(
+                "usage: psse trace <record|replay|critical-path|export> [--option value]...".into(),
+            );
+        }
+        let args = Args::parse(&argv[1..])?;
+        let action = args.command.clone();
+        return commands::trace_cmd(&action, &args, out);
     }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
@@ -68,6 +82,16 @@ COMMANDS:
                --n N --p P [--c C] [--panel W] [--seed S]
   tech       Technology scaling (Figs. 6-7): generations to a target.
                [--target GFLOPS_W]
+  trace      Record, replay, analyse and export event traces.
+               record        --alg ... --n N --p P [--c C] [--out FILE]
+                             run once with recording on, verify that replay
+                             reproduces the live run, save the trace
+               replay        --in FILE [--machine jaketown + overrides]
+                             re-price the recorded DAG on another machine
+               critical-path --in FILE [--top K]
+                             longest chain and per-rank compute/comm/idle
+               export        --in FILE [--out FILE.json]
+                             Chrome trace-event JSON (Perfetto-loadable)
   help       This message.
 ";
 
@@ -161,6 +185,56 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_grids() {
         assert!(call("simulate --alg cannon --n 16 --p 3").is_err());
+    }
+
+    #[test]
+    fn trace_record_replay_analyse_export() {
+        let dir = std::env::temp_dir().join("psse-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mm25d.trace");
+        let tp = path.to_str().unwrap();
+
+        let out = call(&format!(
+            "trace record --alg mm25d --n 16 --p 8 --c 2 --out {tp}"
+        ))
+        .unwrap();
+        assert!(out.contains("verified (bit-identical"), "{out}");
+        assert!(out.contains("makespan"), "{out}");
+
+        let out = call(&format!("trace replay --in {tp}")).unwrap();
+        assert!(out.contains("self-replay verified"), "{out}");
+        assert!(out.contains("re-priced on `jaketown`"), "{out}");
+        // A 10x cheaper network must not report a longer runtime.
+        let fast = call(&format!(
+            "trace replay --in {tp} --beta-t 1e-12 --alpha-t 1e-9"
+        ))
+        .unwrap();
+        assert_ne!(out, fast);
+
+        let out = call(&format!("trace critical-path --in {tp} --top 3")).unwrap();
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("idle(s)"), "{out}");
+
+        let json_path = dir.join("mm25d.trace.json");
+        let out = call(&format!(
+            "trace export --in {tp} --out {}",
+            json_path.to_str().unwrap()
+        ))
+        .unwrap();
+        assert!(out.contains("Chrome trace-event JSON"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn trace_requires_action_and_input() {
+        assert!(call("trace").is_err());
+        assert!(call("trace frobnicate").is_err());
+        assert!(call("trace replay").is_err());
+        assert!(call("trace replay --in /nonexistent/path.trace").is_err());
     }
 
     #[test]

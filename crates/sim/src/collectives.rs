@@ -89,6 +89,10 @@ impl Rank {
     /// Barrier over `group` (dissemination algorithm, `⌈log₂g⌉` rounds of
     /// empty messages).
     pub fn barrier(&mut self, tag: Tag, group: &Group) -> SimResult<()> {
+        self.with_collective("barrier", |rk| rk.barrier_impl(tag, group))
+    }
+
+    fn barrier_impl(&mut self, tag: Tag, group: &Group) -> SimResult<()> {
         let g = group.len();
         let me = group.my_index(self)?;
         let mut round = 0u64;
@@ -108,6 +112,16 @@ impl Rank {
     /// passes `Some(data)`, everyone else `None`; all members return the
     /// broadcast data. Binomial tree: `⌈log₂g⌉` rounds.
     pub fn broadcast(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        data: Option<Vec<f64>>,
+    ) -> SimResult<Vec<f64>> {
+        self.with_collective("broadcast", |rk| rk.broadcast_impl(tag, group, root, data))
+    }
+
+    fn broadcast_impl(
         &mut self,
         tag: Tag,
         group: &Group,
@@ -172,6 +186,18 @@ impl Rank {
         root: usize,
         data: Vec<f64>,
     ) -> SimResult<Option<Vec<f64>>> {
+        self.with_collective("reduce_sum", |rk| {
+            rk.reduce_sum_impl(tag, group, root, data)
+        })
+    }
+
+    fn reduce_sum_impl(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        data: Vec<f64>,
+    ) -> SimResult<Option<Vec<f64>>> {
         let g = group.len();
         let me = group.my_index(self)?;
         let root_idx = group
@@ -224,9 +250,11 @@ impl Rank {
         group: &Group,
         data: Vec<f64>,
     ) -> SimResult<Vec<f64>> {
-        let root = group.member(0);
-        let reduced = self.reduce_sum(tag, group, root, data)?;
-        self.broadcast(tag.offset(64), group, root, reduced)
+        self.with_collective("allreduce_sum", |rk| {
+            let root = group.member(0);
+            let reduced = rk.reduce_sum(tag, group, root, data)?;
+            rk.broadcast(tag.offset(64), group, root, reduced)
+        })
     }
 
     /// Ring allgather: every member contributes a block; all members
@@ -234,6 +262,15 @@ impl Rank {
     /// rounds; each rank sends every block once (total `g·(g−1)` block
     /// transfers — the bandwidth-optimal ring).
     pub fn allgather(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        block: Vec<f64>,
+    ) -> SimResult<Vec<Vec<f64>>> {
+        self.with_collective("allgather", |rk| rk.allgather_impl(tag, group, block))
+    }
+
+    fn allgather_impl(
         &mut self,
         tag: Tag,
         group: &Group,
@@ -269,6 +306,15 @@ impl Rank {
     /// group position). `g − 1` exchange rounds — the "naive" all-to-all
     /// whose costs (`W = data`, `S = p`) the paper's FFT analysis quotes.
     pub fn alltoall(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        blocks: Vec<Vec<f64>>,
+    ) -> SimResult<Vec<Vec<f64>>> {
+        self.with_collective("alltoall", |rk| rk.alltoall_impl(tag, group, blocks))
+    }
+
+    fn alltoall_impl(
         &mut self,
         tag: Tag,
         group: &Group,
@@ -313,6 +359,16 @@ impl Rank {
         root: usize,
         blocks: Option<Vec<Vec<f64>>>,
     ) -> SimResult<Vec<f64>> {
+        self.with_collective("scatter", |rk| rk.scatter_impl(tag, group, root, blocks))
+    }
+
+    fn scatter_impl(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        blocks: Option<Vec<Vec<f64>>>,
+    ) -> SimResult<Vec<f64>> {
         let g = group.len();
         let me = group.my_index(self)?;
         let root_idx = group
@@ -341,6 +397,16 @@ impl Rank {
     /// Linear gather to `root`: every member contributes a block; the
     /// root returns all blocks in group order, others `None`.
     pub fn gather(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        block: Vec<f64>,
+    ) -> SimResult<Option<Vec<Vec<f64>>>> {
+        self.with_collective("gather", |rk| rk.gather_impl(tag, group, root, block))
+    }
+
+    fn gather_impl(
         &mut self,
         tag: Tag,
         group: &Group,
@@ -379,6 +445,17 @@ impl Rank {
     /// sum. Bandwidth-optimal: `g − 1` rounds, each moving `≈ len/g`
     /// words per rank (`(g−1)/g · len` total per rank).
     pub fn reduce_scatter_sum(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        data: Vec<f64>,
+    ) -> SimResult<Vec<f64>> {
+        self.with_collective("reduce_scatter_sum", |rk| {
+            rk.reduce_scatter_sum_impl(tag, group, data)
+        })
+    }
+
+    fn reduce_scatter_sum_impl(
         &mut self,
         tag: Tag,
         group: &Group,
@@ -439,6 +516,18 @@ impl Rank {
         root: usize,
         data: Option<Vec<f64>>,
     ) -> SimResult<Vec<f64>> {
+        self.with_collective("broadcast_large", |rk| {
+            rk.broadcast_large_impl(tag, group, root, data)
+        })
+    }
+
+    fn broadcast_large_impl(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        data: Option<Vec<f64>>,
+    ) -> SimResult<Vec<f64>> {
         let g = group.len();
         if g as u64 >= TAG_WINDOW {
             return Err(SimError::Algorithm(format!(
@@ -492,6 +581,18 @@ impl Rank {
         root: usize,
         data: Vec<f64>,
     ) -> SimResult<Option<Vec<f64>>> {
+        self.with_collective("reduce_sum_large", |rk| {
+            rk.reduce_sum_large_impl(tag, group, root, data)
+        })
+    }
+
+    fn reduce_sum_large_impl(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        root: usize,
+        data: Vec<f64>,
+    ) -> SimResult<Option<Vec<f64>>> {
         let g = group.len();
         if g > 64 {
             return Err(SimError::Algorithm(format!(
@@ -522,6 +623,10 @@ impl Rank {
     /// Inclusive prefix sum across the group (Hillis–Steele over ranks):
     /// member `i` returns `Σ_{j ≤ i} contribution_j`. `⌈log₂g⌉` rounds.
     pub fn scan_sum(&mut self, tag: Tag, group: &Group, data: Vec<f64>) -> SimResult<Vec<f64>> {
+        self.with_collective("scan_sum", |rk| rk.scan_sum_impl(tag, group, data))
+    }
+
+    fn scan_sum_impl(&mut self, tag: Tag, group: &Group, data: Vec<f64>) -> SimResult<Vec<f64>> {
         let g = group.len();
         let me = group.my_index(self)?;
         let len = data.len();
@@ -556,6 +661,17 @@ impl Rank {
     /// (`W = (data/2)·log p`, `S = log p` per rank). Requires a
     /// power-of-two group and equal-length blocks.
     pub fn alltoall_hypercube(
+        &mut self,
+        tag: Tag,
+        group: &Group,
+        blocks: Vec<Vec<f64>>,
+    ) -> SimResult<Vec<Vec<f64>>> {
+        self.with_collective("alltoall_hypercube", |rk| {
+            rk.alltoall_hypercube_impl(tag, group, blocks)
+        })
+    }
+
+    fn alltoall_hypercube_impl(
         &mut self,
         tag: Tag,
         group: &Group,

@@ -42,6 +42,15 @@ pub enum SimError {
     },
     /// Another rank returned an error or panicked, poisoning the run.
     PeerFailed(String),
+    /// The run's traffic did not balance: words sent across links and
+    /// words received differ (a program left transfers unreceived, or
+    /// counters were corrupted). Raised by `Profile::assert_balanced`.
+    UnbalancedProfile {
+        /// Total words sent across links.
+        sent: u64,
+        /// Total words received.
+        recvd: u64,
+    },
     /// An algorithm-level precondition failed (used by `psse-algos`).
     Algorithm(String),
 }
@@ -68,6 +77,10 @@ impl fmt::Display for SimError {
                 write!(f, "rank {rank} failed receiving from {src}: {cause}")
             }
             SimError::PeerFailed(m) => write!(f, "peer rank failed: {m}"),
+            SimError::UnbalancedProfile { sent, recvd } => write!(
+                f,
+                "unbalanced profile: {sent} words sent but {recvd} received"
+            ),
             SimError::Algorithm(m) => write!(f, "algorithm error: {m}"),
         }
     }
@@ -105,6 +118,13 @@ mod tests {
                 "deadlock",
             ),
             (SimError::PeerFailed("boom".into()), "boom"),
+            (
+                SimError::UnbalancedProfile {
+                    sent: 70,
+                    recvd: 30,
+                },
+                "70 words sent but 30 received",
+            ),
             (SimError::Algorithm("bad grid".into()), "bad grid"),
         ];
         for (e, frag) in cases {

@@ -21,6 +21,17 @@
 //! (Eq. 2) prices; `psse-algos` bridges a [`profile::Profile`] into
 //! `psse-core`'s `ExecutionSummary`.
 //!
+//! ## Trace recording (opt-in)
+//!
+//! Setting [`machine::SimConfig::record_trace`] makes every rank record
+//! a typed [`record::TimedEvent`] log (compute, send, recv, alloc/free,
+//! collective markers) returned via [`profile::Profile::events`]. The
+//! `psse-trace` crate replays such logs to re-price a run under
+//! different machine parameters without re-executing the algorithm.
+//! The flag is **off by default**: recording costs one `Vec` push per
+//! operation (payload data is never copied); with it off the only
+//! overhead is one branch per operation.
+//!
 //! ## Example
 //!
 //! ```
@@ -55,6 +66,7 @@ pub mod machine;
 pub mod message;
 pub mod profile;
 pub mod rank;
+pub mod record;
 pub mod seqmem;
 
 pub use error::SimError;
@@ -72,5 +84,6 @@ pub mod prelude {
     pub use crate::message::Tag;
     pub use crate::profile::{Profile, RankStats};
     pub use crate::rank::Rank;
+    pub use crate::record::{EventKind, TimedEvent};
     pub use crate::seqmem::{FastMemory, MemStats};
 }

@@ -4,7 +4,6 @@ use crate::error::{SimError, SimResult};
 use crate::message::Envelope;
 use crate::profile::{Profile, RankStats};
 use crate::rank::Rank;
-use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -48,6 +47,11 @@ pub struct SimConfig {
     /// Optional two-level hierarchy (paper Fig. 2). `None` = flat
     /// machine: all links priced at `beta_t`/`alpha_t`.
     pub hierarchy: Option<Hierarchy>,
+    /// Record a typed event log per rank (see [`crate::record`]) for
+    /// trace replay. Off by default: with the flag off the only cost is
+    /// one branch per operation; with it on, one `Vec` push per
+    /// operation (payloads are never copied).
+    pub record_trace: bool,
 }
 
 impl Default for SimConfig {
@@ -60,6 +64,7 @@ impl Default for SimConfig {
             mem_limit_words: None,
             recv_timeout: Duration::from_secs(30),
             hierarchy: None,
+            record_trace: false,
         }
     }
 }
@@ -140,27 +145,31 @@ impl Machine {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = std::sync::mpsc::channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
 
-        let mut slots: Vec<Option<SimResult<(R, RankStats)>>> = Vec::with_capacity(p);
+        type RankOutput<R> = (R, RankStats, Vec<crate::record::TimedEvent>);
+        let mut slots: Vec<Option<SimResult<RankOutput<R>>>> = Vec::with_capacity(p);
         slots.resize_with(p, || None);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (id, rx) in receivers.into_iter().enumerate() {
                 let cfg = Arc::clone(&cfg);
                 let senders = Arc::clone(&senders);
                 let poison = Arc::clone(&poison);
                 let f = &f;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut rank = Rank::new(id, p, cfg, rx, senders, Arc::clone(&poison));
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut rank)));
                     match out {
-                        Ok(Ok(v)) => Ok((v, rank.into_stats())),
+                        Ok(Ok(v)) => {
+                            let (stats, events) = rank.into_parts();
+                            Ok((v, stats, events))
+                        }
                         Ok(Err(e)) => {
                             poison.store(true, std::sync::atomic::Ordering::SeqCst);
                             Err(e)
@@ -182,20 +191,21 @@ impl Machine {
                     Err(SimError::PeerFailed(format!("rank {id} thread died")))
                 }));
             }
-        })
-        .map_err(|_| SimError::PeerFailed("simulator scope panicked".into()))?;
+        });
 
         let mut results = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
+        let mut events = Vec::with_capacity(p);
         // Prefer reporting a "real" error over the PeerFailed noise that
         // poisoned peers produce.
         let mut first_peer_failed: Option<SimError> = None;
         let mut first_real: Option<SimError> = None;
         for slot in slots {
             match slot.expect("every rank slot filled") {
-                Ok((r, s)) => {
+                Ok((r, s, e)) => {
                     results.push(r);
                     stats.push(s);
+                    events.push(e);
                 }
                 Err(e @ SimError::PeerFailed(_)) | Err(e @ SimError::RecvFailed { .. })
                     if first_real.is_none() =>
@@ -214,10 +224,13 @@ impl Machine {
         if let Some(e) = first_real.or(first_peer_failed) {
             return Err(e);
         }
-        Ok(SimOutcome {
-            results,
-            profile: Profile::new(stats),
-        })
+        let profile = Profile::with_events(stats, events);
+        // In debug builds, catch programs that leave transfers
+        // unreceived — every word sent across a link must be received
+        // (`Profile::words_balance`). Release builds skip the check.
+        #[cfg(debug_assertions)]
+        profile.assert_balanced()?;
+        Ok(SimOutcome { results, profile })
     }
 }
 

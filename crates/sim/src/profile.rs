@@ -1,5 +1,8 @@
 //! Per-rank counters and whole-run profiles.
 
+use crate::error::{SimError, SimResult};
+use crate::record::TimedEvent;
+
 /// Counters accumulated by one rank over a run. All units are words,
 /// messages, flops and (virtual) seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -35,15 +38,34 @@ pub struct Profile {
     pub per_rank: Vec<RankStats>,
     /// Virtual makespan: max over ranks of `finish_time`.
     pub makespan: f64,
+    /// Per-rank event logs, indexed by rank id. Empty unless the run
+    /// was executed with [`crate::machine::SimConfig::record_trace`]
+    /// set (see [`crate::record`]).
+    pub events: Vec<Vec<TimedEvent>>,
 }
 
 impl Profile {
     pub(crate) fn new(per_rank: Vec<RankStats>) -> Self {
+        Profile::with_events(per_rank, Vec::new())
+    }
+
+    pub(crate) fn with_events(per_rank: Vec<RankStats>, events: Vec<Vec<TimedEvent>>) -> Self {
         let makespan = per_rank
             .iter()
             .map(|r| r.finish_time)
             .fold(0.0_f64, f64::max);
-        Profile { per_rank, makespan }
+        Profile {
+            per_rank,
+            makespan,
+            events,
+        }
+    }
+
+    /// Build a profile directly from per-rank counters (makespan is the
+    /// max of the `finish_time`s). Used by replay engines that
+    /// reconstruct counters outside the simulator.
+    pub fn from_stats(per_rank: Vec<RankStats>) -> Self {
+        Profile::new(per_rank)
     }
 
     /// World size.
@@ -108,6 +130,8 @@ impl Profile {
     /// Combine with the profile of a run executed *after* this one on
     /// the same machine: counters add; the makespan is the sum of the
     /// two makespans (phase 2 starts when phase 1 completes globally).
+    /// Event logs are dropped — composing them would require
+    /// time-shifting phase 2; record the composite run instead.
     pub fn then(&self, later: &Profile) -> Profile {
         assert_eq!(
             self.p(),
@@ -134,6 +158,7 @@ impl Profile {
         Profile {
             per_rank,
             makespan: self.makespan + later.makespan,
+            events: Vec::new(),
         }
     }
 
@@ -143,6 +168,18 @@ impl Profile {
             self.total_words_sent(),
             self.per_rank.iter().map(|r| r.words_recvd).sum(),
         )
+    }
+
+    /// Enforce [`Profile::words_balance`]: error with
+    /// [`SimError::UnbalancedProfile`] when a program left transfers
+    /// unreceived (or counters were corrupted). Called automatically by
+    /// `Machine::run` in debug builds.
+    pub fn assert_balanced(&self) -> SimResult<()> {
+        let (sent, recvd) = self.words_balance();
+        if sent != recvd {
+            return Err(SimError::UnbalancedProfile { sent, recvd });
+        }
+        Ok(())
     }
 }
 

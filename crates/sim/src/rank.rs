@@ -5,8 +5,9 @@ use crate::error::{SimError, SimResult};
 use crate::machine::SimConfig;
 use crate::message::{Envelope, Tag};
 use crate::profile::RankStats;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crate::record::{EventKind, TimedEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,6 +23,7 @@ pub struct Rank {
     txs: Arc<Vec<Sender<Envelope>>>,
     pending: Vec<Envelope>,
     poison: Arc<AtomicBool>,
+    events: Vec<TimedEvent>,
 }
 
 impl Rank {
@@ -43,6 +45,7 @@ impl Rank {
             txs,
             pending: Vec::new(),
             poison,
+            events: Vec::new(),
         }
     }
 
@@ -71,16 +74,50 @@ impl Rank {
         &self.stats
     }
 
-    pub(crate) fn into_stats(mut self) -> RankStats {
+    pub(crate) fn into_parts(mut self) -> (RankStats, Vec<TimedEvent>) {
         self.stats.finish_time = self.time;
-        self.stats
+        (self.stats, self.events)
+    }
+
+    /// Append an event to the trace log (no-op unless recording).
+    #[inline]
+    fn record(&mut self, t_start: f64, kind: EventKind) {
+        if self.cfg.record_trace {
+            self.events.push(TimedEvent {
+                t_start,
+                t_end: self.time,
+                kind,
+            });
+        }
+    }
+
+    /// Record a collective begin/end marker pair around `body`. The end
+    /// marker is only written when the collective succeeds; a failing
+    /// collective aborts the run anyway.
+    pub(crate) fn with_collective<T>(
+        &mut self,
+        op: &str,
+        body: impl FnOnce(&mut Self) -> SimResult<T>,
+    ) -> SimResult<T> {
+        if self.cfg.record_trace {
+            let t = self.time;
+            self.record(t, EventKind::CollBegin { op: op.to_string() });
+        }
+        let out = body(self)?;
+        if self.cfg.record_trace {
+            let t = self.time;
+            self.record(t, EventKind::CollEnd { op: op.to_string() });
+        }
+        Ok(out)
     }
 
     /// Execute `flops` floating-point operations: advances the virtual
     /// clock by `γt·flops` and the flop counter.
     pub fn compute(&mut self, flops: u64) {
+        let t0 = self.time;
         self.stats.flops += flops;
         self.time += self.cfg.gamma_t * flops as f64;
+        self.record(t0, EventKind::Compute { flops });
     }
 
     /// Track an allocation of `words` words. Errors if the configured
@@ -98,6 +135,8 @@ impl Rank {
         }
         self.stats.mem_current = new;
         self.stats.mem_peak = self.stats.mem_peak.max(new);
+        let t = self.time;
+        self.record(t, EventKind::Alloc { words });
         Ok(())
     }
 
@@ -107,6 +146,8 @@ impl Rank {
             return Err(SimError::MemoryUnderflow { rank: self.id });
         }
         self.stats.mem_current -= words;
+        let t = self.time;
+        self.record(t, EventKind::Free { words });
         Ok(())
     }
 
@@ -138,16 +179,26 @@ impl Rank {
     /// payload becomes immediately receivable.
     pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<f64>) -> SimResult<()> {
         self.check_peer(dest)?;
+        let t0 = self.time;
         if dest == self.id {
+            let words = payload.len();
             self.pending.push(Envelope {
                 src: self.id,
                 tag,
                 chunk: 0,
                 n_chunks: 1,
-                total_words: payload.len(),
+                total_words: words,
                 depart_time: self.time,
                 payload,
             });
+            self.record(
+                t0,
+                EventKind::Send {
+                    dest,
+                    tag: tag.0,
+                    words,
+                },
+            );
             return Ok(());
         }
         let intra = self.same_node(dest);
@@ -185,6 +236,14 @@ impl Rank {
                 .send(env)
                 .map_err(|_| SimError::PeerFailed(format!("rank {dest} is gone")))?;
         }
+        self.record(
+            t0,
+            EventKind::Send {
+                dest,
+                tag: tag.0,
+                words: total,
+            },
+        );
         Ok(())
     }
 
@@ -193,6 +252,7 @@ impl Rank {
     /// latest chunk departure time (`max(t_local, t_depart)`).
     pub fn recv(&mut self, src: usize, tag: Tag) -> SimResult<Vec<f64>> {
         self.check_peer(src)?;
+        let t0 = self.time;
         let deadline = Instant::now() + self.cfg.recv_timeout;
         // Collect the chunks of (src, tag).
         let mut have: Vec<Envelope> = Vec::new();
@@ -259,6 +319,15 @@ impl Rank {
             self.stats.words_recvd += out.len() as u64;
             self.stats.msgs_recvd += needed as u64;
         }
+        self.record(
+            t0,
+            EventKind::Recv {
+                src,
+                tag: tag.0,
+                words: out.len(),
+                msgs: needed,
+            },
+        );
         debug_assert_eq!(out.len(), total);
         Ok(out)
     }

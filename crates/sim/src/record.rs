@@ -1,0 +1,103 @@
+//! Typed event recording for trace replay.
+//!
+//! When [`crate::machine::SimConfig::record_trace`] is set, every rank
+//! appends one [`TimedEvent`] per clock-advancing (or memory-tracking)
+//! operation to a per-rank log, returned through
+//! [`crate::profile::Profile::events`]. The log captures the complete
+//! message DAG of the run: `psse-trace` re-walks it to re-price the run
+//! under different machine parameters without re-executing the
+//! algorithm.
+//!
+//! Recording is **opt-in** and costs one `Vec` push per operation (no
+//! payload data is copied — only peer ids, tags and word counts). With
+//! the flag off (the default) the only overhead is one branch per
+//! operation.
+
+/// What happened during one recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// `flops` floating-point operations (`Rank::compute`).
+    Compute {
+        /// Operations charged.
+        flops: u64,
+    },
+    /// One whole transfer to `dest` (before splitting into messages).
+    /// Self-sends are recorded too (they are free but must be present so
+    /// the matching self-receive can be replayed).
+    Send {
+        /// Destination rank.
+        dest: usize,
+        /// Transfer tag.
+        tag: u64,
+        /// Total payload words (chunk sizes are re-derived from `m`).
+        words: usize,
+    },
+    /// One whole transfer received from `src`.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Transfer tag.
+        tag: u64,
+        /// Total payload words.
+        words: usize,
+        /// Messages (chunks) the transfer arrived in.
+        msgs: usize,
+    },
+    /// Tracked allocation (`Rank::alloc`).
+    Alloc {
+        /// Words allocated.
+        words: u64,
+    },
+    /// Tracked release (`Rank::free`).
+    Free {
+        /// Words freed.
+        words: u64,
+    },
+    /// A collective operation began on this rank.
+    CollBegin {
+        /// Collective name (e.g. `"allreduce_sum"`).
+        op: String,
+    },
+    /// The matching collective completed on this rank.
+    CollEnd {
+        /// Collective name.
+        op: String,
+    },
+}
+
+/// One recorded event with its virtual time span on the recording rank.
+///
+/// `t_start` is the rank's clock when the operation began, `t_end` when
+/// it completed. For `Recv`, `t_end - t_start` is the wait for the
+/// transfer's last chunk; for markers the two are equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Rank clock at the start of the operation, virtual seconds.
+    pub t_start: f64,
+    /// Rank clock at the end of the operation, virtual seconds.
+    pub t_end: f64,
+    /// The operation.
+    pub kind: EventKind,
+}
+
+impl TimedEvent {
+    /// Duration of the event on the recording rank's clock.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_is_span() {
+        let e = TimedEvent {
+            t_start: 1.5,
+            t_end: 4.0,
+            kind: EventKind::Compute { flops: 10 },
+        };
+        assert_eq!(e.duration(), 2.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Each rank becomes one process (`pid = rank`, `tid = 0`); computes,
+//! sends and receives become complete (`"X"`) events; alloc/free become
+//! instants (`"i"`); collective markers become begin/end (`"B"`/`"E"`)
+//! pairs so nested collectives render as a flame stack. Timestamps are
+//! the trace's recorded virtual times, converted to microseconds as the
+//! format requires. The JSON is hand-rolled (the build has no serde);
+//! the emitted subset is plain ASCII with escaped strings.
+
+use crate::trace::Trace;
+use psse_sim::record::EventKind;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seconds → microseconds (the unit of `ts`/`dur`).
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+impl Trace {
+    /// Serialise the recorded events as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut ev: Vec<String> = Vec::with_capacity(self.n_events() + self.p);
+        for r in 0..self.p {
+            ev.push(format!(
+                r#"{{"ph":"M","name":"process_name","pid":{r},"tid":0,"args":{{"name":"rank {r}"}}}}"#
+            ));
+        }
+        for (r, evs) in self.events.iter().enumerate() {
+            for e in evs {
+                let (ts, dur) = (us(e.t_start), us(e.t_end - e.t_start));
+                match &e.kind {
+                    EventKind::Compute { flops } => ev.push(format!(
+                        r#"{{"ph":"X","name":"compute","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"flops":{flops}}}}}"#
+                    )),
+                    EventKind::Send { dest, tag, words } => ev.push(format!(
+                        r#"{{"ph":"X","name":"send->{dest}","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"dest":{dest},"tag":{tag},"words":{words}}}}}"#
+                    )),
+                    EventKind::Recv {
+                        src,
+                        tag,
+                        words,
+                        msgs,
+                    } => ev.push(format!(
+                        r#"{{"ph":"X","name":"recv<-{src}","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"src":{src},"tag":{tag},"words":{words},"msgs":{msgs}}}}}"#
+                    )),
+                    EventKind::Alloc { words } => ev.push(format!(
+                        r#"{{"ph":"i","name":"alloc","pid":{r},"tid":0,"ts":{ts},"s":"t","args":{{"words":{words}}}}}"#
+                    )),
+                    EventKind::Free { words } => ev.push(format!(
+                        r#"{{"ph":"i","name":"free","pid":{r},"tid":0,"ts":{ts},"s":"t","args":{{"words":{words}}}}}"#
+                    )),
+                    EventKind::CollBegin { op } => ev.push(format!(
+                        r#"{{"ph":"B","name":"{}","pid":{r},"tid":0,"ts":{ts}}}"#,
+                        escape(op)
+                    )),
+                    EventKind::CollEnd { op } => ev.push(format!(
+                        r#"{{"ph":"E","name":"{}","pid":{r},"tid":0,"ts":{ts}}}"#,
+                        escape(op)
+                    )),
+                }
+            }
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+            ev.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use psse_sim::machine::{Machine, SimConfig};
+    use psse_sim::message::Tag;
+
+    /// A minimal structural JSON validator: checks balanced braces and
+    /// brackets outside string literals and legal escape sequences.
+    fn check_json_structure(s: &str) {
+        let mut depth: Vec<char> = Vec::new();
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    assert!(
+                        matches!(c, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                        "bad escape \\{c}"
+                    );
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth.push(c),
+                '}' => assert_eq!(depth.pop(), Some('{'), "unbalanced brace"),
+                ']' => assert_eq!(depth.pop(), Some('['), "unbalanced bracket"),
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert!(depth.is_empty(), "unbalanced nesting: {depth:?}");
+    }
+
+    #[test]
+    fn export_is_structurally_valid_and_complete() {
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let out = Machine::run(4, cfg.clone(), |rank| {
+            rank.alloc(100)?;
+            rank.compute(1000);
+            let v = rank.allreduce_sum(Tag(0), vec![rank.rank() as f64; 8])?;
+            rank.free(100)?;
+            Ok(v[0])
+        })
+        .unwrap();
+        let tr = Trace::from_run(&cfg, &out.profile).unwrap();
+        let json = tr.to_chrome_json();
+        check_json_structure(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"rank 3\""));
+        assert!(json.contains("\"name\":\"compute\""));
+        assert!(json.contains("\"ph\":\"B\"")); // collective begin marker
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("allreduce_sum"));
+        // One metadata record per rank plus one record per event.
+        assert_eq!(json.matches("\"ph\":").count(), tr.n_events() + tr.p);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -1,0 +1,303 @@
+//! Critical-path analysis over a replayed trace.
+//!
+//! Per-rank events tile each rank's timeline (every operation starts
+//! where the previous one ended), and a waiting receive ends exactly
+//! when its matched send completes, so walking backwards from the
+//! makespan — jumping to the sender whenever a receive waited — yields
+//! a chain of work segments (computes and sends) whose durations sum
+//! to the makespan.
+
+use crate::error::TraceResult;
+use crate::replay::{schedule, Schedule};
+use crate::trace::{ReplayParams, Trace};
+use psse_sim::record::EventKind;
+
+/// How one rank spent the makespan: computing, paying for sends, or
+/// idle (receive waits plus the tail after the rank finished). The
+/// three components sum to the makespan by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankBreakdown {
+    /// Rank id.
+    pub rank: usize,
+    /// Seconds spent in `compute`.
+    pub compute: f64,
+    /// Seconds spent paying `α + β·k` for message chunks.
+    pub comm: f64,
+    /// `makespan − compute − comm`: receive waits and post-finish slack.
+    pub idle: f64,
+}
+
+/// One work segment on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Rank the work executed on.
+    pub rank: usize,
+    /// What the work was (`compute`, `send->3`).
+    pub label: String,
+    /// Replay start time, seconds.
+    pub t_start: f64,
+    /// Replay end time, seconds.
+    pub t_end: f64,
+}
+
+impl PathSegment {
+    /// Segment length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// The result of [`Trace::critical_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// Replayed makespan, seconds.
+    pub makespan: f64,
+    /// Per-rank compute/comm/idle split, indexed by rank id.
+    pub breakdown: Vec<RankBreakdown>,
+    /// The dependency chain from `t = 0` to the makespan, in
+    /// chronological order. Segment durations sum to the makespan
+    /// (each waiting receive hands off to the send that released it).
+    pub path: Vec<PathSegment>,
+}
+
+impl CriticalPathReport {
+    /// The `k` longest segments of the critical path, longest first.
+    pub fn top_segments(&self, k: usize) -> Vec<&PathSegment> {
+        let mut v: Vec<&PathSegment> = self.path.iter().collect();
+        v.sort_by(|a, b| {
+            b.duration()
+                .partial_cmp(&a.duration())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Sum of path segment durations (equals the makespan up to
+    /// floating-point addition order).
+    pub fn path_total(&self) -> f64 {
+        self.path.iter().map(|s| s.duration()).sum()
+    }
+}
+
+impl Trace {
+    /// Replay under `params` and analyse the critical path: which chain
+    /// of computes and sends determines the makespan, and how each rank
+    /// splits its time between compute, communication and idling.
+    pub fn critical_path(&self, params: &ReplayParams) -> TraceResult<CriticalPathReport> {
+        params.validate()?;
+        let sched = schedule(self.p, &self.events, params)?;
+        Ok(analyse(self, &sched))
+    }
+}
+
+fn analyse(trace: &Trace, sched: &Schedule) -> CriticalPathReport {
+    let p = trace.p;
+    let finish: Vec<f64> = (0..p)
+        .map(|r| sched.ends[r].last().copied().unwrap_or(0.0))
+        .collect();
+    let makespan = finish.iter().copied().fold(0.0_f64, f64::max);
+
+    let mut breakdown = Vec::with_capacity(p);
+    for r in 0..p {
+        let mut compute = 0.0;
+        let mut comm = 0.0;
+        for (i, e) in trace.events[r].iter().enumerate() {
+            let d = sched.ends[r][i] - sched.starts[r][i];
+            match e.kind {
+                EventKind::Compute { .. } => compute += d,
+                EventKind::Send { .. } => comm += d,
+                _ => {}
+            }
+        }
+        breakdown.push(RankBreakdown {
+            rank: r,
+            compute,
+            comm,
+            idle: makespan - compute - comm,
+        });
+    }
+
+    // Backward walk from the rank that set the makespan.
+    let mut path = Vec::new();
+    if makespan > 0.0 {
+        let mut r = (0..p)
+            .find(|&r| finish[r] == makespan)
+            .expect("some rank attains the makespan");
+        let mut i = trace.events[r].len();
+        while i > 0 {
+            i -= 1;
+            let st = sched.starts[r][i];
+            let en = sched.ends[r][i];
+            if en <= st {
+                continue; // zero-duration event: markers, alloc/free, prompt recv
+            }
+            match &trace.events[r][i].kind {
+                EventKind::Recv { .. } => {
+                    // The clock jumped to the matched send's completion:
+                    // the critical predecessor lives on the sender.
+                    let (s, j) = sched.matched[r][i].expect("recv is matched");
+                    r = s;
+                    i = j + 1; // next iteration processes event j
+                }
+                EventKind::Compute { .. } => path.push(PathSegment {
+                    rank: r,
+                    label: "compute".into(),
+                    t_start: st,
+                    t_end: en,
+                }),
+                EventKind::Send { dest, .. } => path.push(PathSegment {
+                    rank: r,
+                    label: format!("send->{dest}"),
+                    t_start: st,
+                    t_end: en,
+                }),
+                _ => {}
+            }
+        }
+        path.reverse();
+    }
+
+    CriticalPathReport {
+        makespan,
+        breakdown,
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_sim::machine::{Machine, SimConfig};
+    use psse_sim::message::Tag;
+
+    fn record<F>(p: usize, cfg: SimConfig, f: F) -> Trace
+    where
+        F: Fn(&mut psse_sim::rank::Rank) -> Result<(), psse_sim::error::SimError> + Sync,
+    {
+        let cfg = SimConfig {
+            record_trace: true,
+            ..cfg
+        };
+        let out = Machine::run(p, cfg.clone(), f).unwrap();
+        Trace::from_run(&cfg, &out.profile).unwrap()
+    }
+
+    #[test]
+    fn breakdown_sums_to_makespan() {
+        let tr = record(
+            4,
+            SimConfig {
+                gamma_t: 1e-9,
+                beta_t: 1e-7,
+                alpha_t: 1e-5,
+                ..SimConfig::default()
+            },
+            |rank| {
+                let me = rank.rank();
+                rank.compute((me as u64 + 1) * 10_000);
+                let right = (me + 1) % rank.size();
+                let left = (me + rank.size() - 1) % rank.size();
+                rank.sendrecv(right, Tag(0), vec![me as f64; 200], left, Tag(0))?;
+                Ok(())
+            },
+        );
+        let rep = tr.critical_path(&tr.params).unwrap();
+        assert!(rep.makespan > 0.0);
+        for b in &rep.breakdown {
+            let sum = b.compute + b.comm + b.idle;
+            assert!(
+                (sum - rep.makespan).abs() <= 1e-12 * rep.makespan.max(1.0),
+                "rank {}: {sum} vs {}",
+                b.rank,
+                rep.makespan
+            );
+            assert!(b.idle >= -1e-12, "idle must be non-negative");
+        }
+    }
+
+    #[test]
+    fn path_tiles_the_makespan() {
+        let tr = record(
+            3,
+            SimConfig {
+                gamma_t: 1e-9,
+                beta_t: 1e-7,
+                alpha_t: 1e-5,
+                ..SimConfig::default()
+            },
+            |rank| {
+                // A pipeline: 0 computes then sends to 1, 1 computes
+                // then sends to 2, 2 computes.
+                match rank.rank() {
+                    0 => {
+                        rank.compute(50_000);
+                        rank.send(1, Tag(0), vec![1.0; 100])?;
+                    }
+                    1 => {
+                        rank.recv(0, Tag(0))?;
+                        rank.compute(50_000);
+                        rank.send(2, Tag(1), vec![2.0; 100])?;
+                    }
+                    _ => {
+                        rank.recv(1, Tag(1))?;
+                        rank.compute(50_000);
+                    }
+                }
+                Ok(())
+            },
+        );
+        let rep = tr.critical_path(&tr.params).unwrap();
+        // The chain crosses all three ranks.
+        let ranks: std::collections::HashSet<usize> = rep.path.iter().map(|s| s.rank).collect();
+        assert_eq!(ranks.len(), 3, "{:?}", rep.path);
+        // Chronological, contiguous from 0 to the makespan.
+        assert_eq!(rep.path.first().unwrap().t_start, 0.0);
+        assert_eq!(rep.path.last().unwrap().t_end, rep.makespan);
+        for w in rep.path.windows(2) {
+            assert!(w[0].t_end <= w[1].t_end);
+        }
+        let total = rep.path_total();
+        assert!(
+            (total - rep.makespan).abs() <= 1e-12 * rep.makespan,
+            "{total} vs {}",
+            rep.makespan
+        );
+    }
+
+    #[test]
+    fn top_segments_are_sorted() {
+        let tr = record(2, SimConfig::default(), |rank| {
+            rank.compute(1000);
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![0.0; 5000])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+                rank.compute(100);
+            }
+            Ok(())
+        });
+        let rep = tr.critical_path(&tr.params).unwrap();
+        let top = rep.top_segments(2);
+        assert!(top.len() <= 2);
+        if top.len() == 2 {
+            assert!(top[0].duration() >= top[1].duration());
+        }
+    }
+
+    #[test]
+    fn zero_price_trace_has_empty_path() {
+        let tr = record(2, SimConfig::counters_only(), |rank| {
+            rank.compute(100);
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(())
+        });
+        let rep = tr.critical_path(&tr.params).unwrap();
+        assert_eq!(rep.makespan, 0.0);
+        assert!(rep.path.is_empty());
+    }
+}

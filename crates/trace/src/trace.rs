@@ -1,0 +1,333 @@
+//! The trace container and replay parameters.
+
+use crate::error::{TraceError, TraceResult};
+use psse_core::params::MachineParams;
+use psse_core::summary::{ExecutionSummary, Measured};
+use psse_core::twolevel::TwoLevelParams;
+use psse_sim::machine::SimConfig;
+use psse_sim::profile::Profile;
+use psse_sim::record::TimedEvent;
+
+/// Intra-node link prices for replaying on a two-level machine
+/// (mirrors `psse_sim::machine::Hierarchy`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayHierarchy {
+    /// Ranks per node; rank `r` lives on node `r / cores_per_node`.
+    pub cores_per_node: usize,
+    /// `βlt` — seconds per word on intra-node links.
+    pub intra_beta_t: f64,
+    /// `αlt` — seconds per message on intra-node links.
+    pub intra_alpha_t: f64,
+}
+
+/// The machine-time parameters a trace is replayed under: the Eq. 1
+/// prices plus the maximum message size (which controls how transfers
+/// split into messages, the paper's `S = W/m`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayParams {
+    /// `γt` — seconds per flop.
+    pub gamma_t: f64,
+    /// `βt` — seconds per word (inter-node when `hierarchy` is set).
+    pub beta_t: f64,
+    /// `αt` — seconds per message (inter-node when `hierarchy` is set).
+    pub alpha_t: f64,
+    /// `m` — maximum words per message.
+    pub max_message_words: usize,
+    /// Optional two-level hierarchy; `None` = flat machine.
+    pub hierarchy: Option<ReplayHierarchy>,
+}
+
+impl ReplayParams {
+    /// Validate parameter ranges (non-negative prices, `m ≥ 1`).
+    pub fn validate(&self) -> TraceResult<()> {
+        if !(self.gamma_t >= 0.0) || !(self.beta_t >= 0.0) || !(self.alpha_t >= 0.0) {
+            return Err(TraceError::InvalidParams(
+                "time parameters must be non-negative and not NaN".into(),
+            ));
+        }
+        if self.max_message_words == 0 {
+            return Err(TraceError::InvalidParams(
+                "max_message_words must be at least 1".into(),
+            ));
+        }
+        if let Some(h) = &self.hierarchy {
+            if h.cores_per_node == 0 {
+                return Err(TraceError::InvalidParams(
+                    "hierarchy.cores_per_node must be at least 1".into(),
+                ));
+            }
+            if !(h.intra_beta_t >= 0.0) || !(h.intra_alpha_t >= 0.0) {
+                return Err(TraceError::InvalidParams(
+                    "intra-node link prices must be non-negative".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&SimConfig> for ReplayParams {
+    fn from(cfg: &SimConfig) -> Self {
+        ReplayParams {
+            gamma_t: cfg.gamma_t,
+            beta_t: cfg.beta_t,
+            alpha_t: cfg.alpha_t,
+            max_message_words: cfg.max_message_words,
+            hierarchy: cfg.hierarchy.as_ref().map(|h| ReplayHierarchy {
+                cores_per_node: h.cores_per_node,
+                intra_beta_t: h.intra_beta_t,
+                intra_alpha_t: h.intra_alpha_t,
+            }),
+        }
+    }
+}
+
+impl From<&MachineParams> for ReplayParams {
+    /// Mirrors `psse_algos::bridge::sim_config_from`: same prices, same
+    /// finite-to-`usize` conversion of the message-size cap.
+    fn from(params: &MachineParams) -> Self {
+        ReplayParams {
+            gamma_t: params.gamma_t,
+            beta_t: params.beta_t,
+            alpha_t: params.alpha_t,
+            max_message_words: if params.max_message_words.is_finite() {
+                (params.max_message_words as usize).max(1)
+            } else {
+                usize::MAX
+            },
+            hierarchy: None,
+        }
+    }
+}
+
+impl From<&TwoLevelParams> for ReplayParams {
+    /// Mirrors `psse_algos::bridge::sim_config_two_level`: inter-node
+    /// words at `βnt`, intra-node at `βlt`, latency elided as in the
+    /// paper's two-level equations.
+    fn from(tl: &TwoLevelParams) -> Self {
+        ReplayParams {
+            gamma_t: tl.gamma_t,
+            beta_t: tl.beta_n_t,
+            alpha_t: 0.0,
+            max_message_words: SimConfig::default().max_message_words,
+            hierarchy: Some(ReplayHierarchy {
+                cores_per_node: tl.cores_per_node as usize,
+                intra_beta_t: tl.beta_l_t,
+                intra_alpha_t: 0.0,
+            }),
+        }
+    }
+}
+
+/// A recorded run: per-rank typed event logs plus the parameters and
+/// makespan of the live execution.
+///
+/// Build one with [`Trace::from_run`] from a run executed with
+/// `SimConfig::record_trace` set; replay it under any
+/// [`ReplayParams`] with [`Trace::replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// World size of the recorded run.
+    pub p: usize,
+    /// The parameters the run was recorded under.
+    pub params: ReplayParams,
+    /// The live run's virtual makespan (seconds).
+    pub makespan: f64,
+    /// Per-rank event logs, indexed by rank id.
+    pub events: Vec<Vec<TimedEvent>>,
+}
+
+impl Trace {
+    /// Capture a trace from a recorded run. Errors with
+    /// [`TraceError::NotRecorded`] when the configuration did not have
+    /// `record_trace` set (the profile then carries empty logs).
+    pub fn from_run(cfg: &SimConfig, profile: &Profile) -> TraceResult<Trace> {
+        if !cfg.record_trace {
+            return Err(TraceError::NotRecorded);
+        }
+        if profile.events.len() != profile.p() {
+            return Err(TraceError::Corrupt(format!(
+                "profile has {} event logs for {} ranks",
+                profile.events.len(),
+                profile.p()
+            )));
+        }
+        Ok(Trace {
+            p: profile.p(),
+            params: ReplayParams::from(cfg),
+            makespan: profile.makespan,
+            events: profile.events.clone(),
+        })
+    }
+
+    /// Replay the event DAG under `params`, producing the profile the
+    /// simulator would have produced had the run executed on that
+    /// machine. Under the trace's own recorded parameters the result is
+    /// **bit-identical** to the live profile (same floating-point
+    /// operations in the same order); see [`Trace::check_consistency`].
+    ///
+    /// Memory limits are not re-enforced during replay: the recorded
+    /// run already succeeded, and replay only re-prices time.
+    pub fn replay(&self, params: &ReplayParams) -> TraceResult<Profile> {
+        params.validate()?;
+        let sched = crate::replay::schedule(self.p, &self.events, params)?;
+        Ok(Profile::from_stats(sched.into_stats()))
+    }
+
+    /// Verify that replaying under the recorded parameters reproduces
+    /// `live` exactly — bitwise-equal per-rank counters, finish times
+    /// and makespan.
+    pub fn check_consistency(&self, live: &Profile) -> TraceResult<()> {
+        let replayed = self.replay(&self.params)?;
+        if replayed.per_rank.len() != live.per_rank.len() {
+            return Err(TraceError::Inconsistent(format!(
+                "world size {} replayed vs {} live",
+                replayed.per_rank.len(),
+                live.per_rank.len()
+            )));
+        }
+        for (r, (a, b)) in replayed.per_rank.iter().zip(&live.per_rank).enumerate() {
+            if a != b {
+                return Err(TraceError::Inconsistent(format!(
+                    "rank {r}: replayed {a:?} vs live {b:?}"
+                )));
+            }
+        }
+        if replayed.makespan.to_bits() != live.makespan.to_bits() {
+            return Err(TraceError::Inconsistent(format!(
+                "makespan: replayed {:?} vs live {:?}",
+                replayed.makespan, live.makespan
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replay under `params` and condense into the [`ExecutionSummary`]
+    /// that Eq. 2 prices (critical-path maxima plus totals, with the
+    /// replayed message-DAG makespan as `T`).
+    pub fn summarize(&self, params: &ReplayParams) -> TraceResult<ExecutionSummary> {
+        let profile = self.replay(params)?;
+        Ok(ExecutionSummary {
+            p: profile.p() as u64,
+            flops: profile.max_flops() as f64,
+            words: profile.max_words_sent() as f64,
+            messages: profile.max_msgs_sent() as f64,
+            mem_peak_words: profile.max_mem_peak() as f64,
+            total_flops: profile.total_flops() as f64,
+            total_words: profile.total_words_sent() as f64,
+            total_messages: profile.total_msgs_sent() as f64,
+            makespan: Some(profile.makespan),
+        })
+    }
+
+    /// Re-price the recorded run on a different machine: replay under
+    /// the machine's time parameters (Eq. 1 per event) and price the
+    /// result with its energy parameters (Eq. 2). This is the paper's
+    /// what-if question — same algorithm, same schedule DAG, different
+    /// hardware — answered without re-executing the algorithm.
+    pub fn reprice(&self, params: &MachineParams) -> TraceResult<Measured> {
+        Ok(self.summarize(&ReplayParams::from(params))?.price(params))
+    }
+
+    /// Re-price on a two-level machine: replay under the hierarchy's
+    /// link prices, then pay flop energy on total flops, word energy
+    /// split by link level, and `pn·δne·Mn + p·δle·Ml + p·εe` standby
+    /// power over the replayed makespan (mirrors
+    /// `psse_algos::bridge::measure_two_level`).
+    pub fn reprice_two_level(&self, tl: &TwoLevelParams) -> TraceResult<Measured> {
+        let profile = self.replay(&ReplayParams::from(tl))?;
+        let t = profile.makespan;
+        let p = profile.p() as f64;
+        let pn = p / tl.cores_per_node as f64;
+        let energy = tl.gamma_e * profile.total_flops() as f64
+            + tl.beta_n_e * profile.total_words_inter() as f64
+            + tl.beta_l_e * profile.total_words_intra() as f64
+            + (pn * tl.delta_n_e * tl.mem_node
+                + p * tl.delta_l_e * tl.mem_local
+                + p * tl.epsilon_e)
+                * t;
+        Ok(Measured {
+            time: t,
+            energy,
+            power: if t > 0.0 { energy / t } else { 0.0 },
+        })
+    }
+
+    /// Total number of recorded events across all ranks.
+    pub fn n_events(&self) -> usize {
+        self.events.iter().map(|e| e.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_sim::prelude::*;
+
+    fn recorded_cfg() -> SimConfig {
+        SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn from_run_requires_recording() {
+        let out = Machine::run(2, SimConfig::default(), |rank| {
+            rank.compute(10);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            Trace::from_run(&SimConfig::default(), &out.profile),
+            Err(TraceError::NotRecorded)
+        );
+    }
+
+    #[test]
+    fn from_run_captures_events_and_makespan() {
+        let cfg = recorded_cfg();
+        let out = Machine::run(2, cfg.clone(), |rank| {
+            rank.compute(100);
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0; 10])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let tr = Trace::from_run(&cfg, &out.profile).unwrap();
+        assert_eq!(tr.p, 2);
+        assert_eq!(tr.makespan, out.profile.makespan);
+        assert_eq!(tr.events[0].len(), 2); // compute + send
+        assert_eq!(tr.events[1].len(), 2); // compute + recv
+        tr.check_consistency(&out.profile).unwrap();
+    }
+
+    #[test]
+    fn params_roundtrip_from_sim_config() {
+        let cfg = SimConfig {
+            hierarchy: Some(psse_sim::machine::Hierarchy {
+                cores_per_node: 4,
+                intra_beta_t: 1e-9,
+                intra_alpha_t: 1e-7,
+            }),
+            ..SimConfig::default()
+        };
+        let rp = ReplayParams::from(&cfg);
+        assert_eq!(rp.gamma_t, cfg.gamma_t);
+        assert_eq!(rp.hierarchy.as_ref().unwrap().cores_per_node, 4);
+        rp.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rp = ReplayParams::from(&SimConfig::default());
+        rp.max_message_words = 0;
+        assert!(matches!(rp.validate(), Err(TraceError::InvalidParams(_))));
+        let mut rp = ReplayParams::from(&SimConfig::default());
+        rp.beta_t = f64::NAN;
+        assert!(rp.validate().is_err());
+    }
+}

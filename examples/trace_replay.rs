@@ -1,0 +1,81 @@
+//! Record one 2.5D matmul run as an event trace, verify that replaying
+//! the trace reproduces the live run bit-for-bit, then answer what-if
+//! questions from the single recording: re-price the same communication
+//! DAG on scaled machines and walk the critical path.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use psse::algos::prelude::{matmul_25d, sim_config_from};
+use psse::core::machines::jaketown;
+use psse::kernels::Matrix;
+use psse::sim::machine::SimConfig;
+use psse::trace::Trace;
+
+fn main() {
+    let (n, p, c) = (32, 8, 2);
+    let base = jaketown();
+    let cfg = SimConfig {
+        record_trace: true,
+        ..sim_config_from(&base)
+    };
+
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let (_, profile) = matmul_25d(&a, &b, p, c, cfg.clone()).expect("2.5D matmul");
+
+    let trace = Trace::from_run(&cfg, &profile).expect("recording enabled");
+    trace
+        .check_consistency(&profile)
+        .expect("replay must be bit-identical to the live run");
+    println!(
+        "recorded 2.5D matmul n={n} p={p} c={c}: {} events, makespan {:.3e} s",
+        trace.n_events(),
+        trace.makespan
+    );
+    println!("replay under recorded parameters: bit-identical to the live run\n");
+
+    // What-if: re-price the same DAG on machines with a scaled network.
+    println!("network scaling (same recorded DAG, Eq. 1/2 re-priced):");
+    println!(
+        "  {:>12}  {:>12}  {:>12}",
+        "beta_t x", "time (s)", "energy (J)"
+    );
+    for scale in [0.1, 1.0, 10.0] {
+        let mut m = base.clone();
+        m.beta_t *= scale;
+        m.alpha_t *= scale;
+        let measured = trace.reprice(&m).expect("re-price");
+        println!(
+            "  {scale:>12}  {:>12.3e}  {:>12.3e}",
+            measured.time, measured.energy
+        );
+    }
+
+    // Critical path under the recorded parameters.
+    let params = trace.params.clone();
+    let report = trace.critical_path(&params).expect("critical path");
+    println!("\nper-rank breakdown (compute / comm / idle, seconds):");
+    for b in &report.breakdown {
+        println!(
+            "  rank {:>2}: {:.3e} / {:.3e} / {:.3e}",
+            b.rank, b.compute, b.comm, b.idle
+        );
+    }
+    println!(
+        "\ncritical path: {} segments; top 3 by duration:",
+        report.path.len()
+    );
+    for seg in report.top_segments(3) {
+        println!(
+            "  rank {:>2} {:<12} [{:.3e}, {:.3e}] = {:.3e} s",
+            seg.rank,
+            seg.label,
+            seg.t_start,
+            seg.t_end,
+            seg.duration()
+        );
+    }
+    let total: f64 = report.path.iter().map(|s| s.duration()).sum();
+    assert!((total - report.makespan).abs() <= 1e-12 * report.makespan.max(1.0));
+    println!("\npath durations sum to the makespan: {:.3e} s", total);
+}

@@ -3,7 +3,7 @@
 //! A Rust reproduction of Demmel, Gearhart, Lipshitz and Schwartz,
 //! *"Perfect Strong Scaling Using No Additional Energy"* (IPDPS 2013).
 //!
-//! This facade crate re-exports the four member crates of the workspace:
+//! This facade crate re-exports the member crates of the workspace:
 //!
 //! * [`core`] (`psse-core`) — the paper's analytical models: time/energy
 //!   models, communication lower bounds, strong-scaling analysis, the §V
@@ -15,6 +15,9 @@
 //! * [`algos`] (`psse-algos`) — the distributed algorithms executed on
 //!   the simulator: Cannon, SUMMA, 2.5D/3D matmul, CAPS Strassen,
 //!   distributed LU, replicated n-body, parallel FFT.
+//! * [`trace`] (`psse-trace`) — event-trace recording, deterministic
+//!   DAG replay and re-pricing for arbitrary machine parameters,
+//!   critical-path analysis, and Chrome trace-event export.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -23,6 +26,7 @@ pub use psse_algos as algos;
 pub use psse_core as core;
 pub use psse_kernels as kernels;
 pub use psse_sim as sim;
+pub use psse_trace as trace;
 
 /// Convenience prelude: the core model prelude plus the most common
 /// simulator and algorithm entry points.
@@ -30,4 +34,5 @@ pub mod prelude {
     pub use psse_algos::prelude::*;
     pub use psse_core::prelude::*;
     pub use psse_sim::prelude::*;
+    pub use psse_trace::prelude::*;
 }

@@ -1,0 +1,149 @@
+//! Property-based tests of trace replay: one recording re-prices
+//! faithfully for *every* machine, and replay time is linear in each
+//! Eq. 1 parameter.
+
+use proptest::prelude::*;
+use psse::kernels::Matrix;
+use psse::prelude::*;
+use psse::sim::machine::SimConfig;
+use psse::sim::profile::Profile;
+use psse::trace::{ReplayParams, Trace};
+use std::sync::OnceLock;
+
+/// A random but physically sensible machine (time side only matters
+/// for replay; energy parameters ride along for `reprice`).
+fn machines() -> impl Strategy<Value = MachineParams> {
+    (
+        1e-13..1e-8f64, // gamma_t
+        1e-11..1e-6f64, // beta_t
+        1e-9..1e-4f64,  // alpha_t
+        1.0..1e5f64,    // max message words
+    )
+        .prop_map(|(gt, bt, at, m)| {
+            MachineParams::builder()
+                .gamma_t(gt)
+                .beta_t(bt)
+                .alpha_t(at)
+                .gamma_e(1e-10)
+                .beta_e(1e-9)
+                .alpha_e(0.0)
+                .delta_e(1e-10)
+                .epsilon_e(0.1)
+                .max_message_words(m)
+                .build()
+                .expect("strategy produces valid machines")
+        })
+}
+
+/// The small run fixtures: (algorithm label, n, p, c). All satisfy the
+/// 2.5D validity constraints `p = q²c`, `c | q`, `q | n`.
+const FIXTURES: [(usize, usize, usize); 3] = [(16, 8, 2), (16, 4, 1), (16, 16, 1)];
+
+/// Record each fixture once (under recording defaults) and reuse the
+/// traces across proptest cases — recording spawns `p` threads per run.
+fn recorded(idx: usize) -> &'static Trace {
+    static TRACES: OnceLock<Vec<Trace>> = OnceLock::new();
+    &TRACES.get_or_init(|| {
+        FIXTURES
+            .iter()
+            .map(|&(n, p, c)| {
+                let cfg = SimConfig {
+                    record_trace: true,
+                    ..sim_config_from(&jaketown())
+                };
+                let a = Matrix::random(n, n, 1);
+                let b = Matrix::random(n, n, 2);
+                let (_, profile) = matmul_25d(&a, &b, p, c, cfg.clone()).unwrap();
+                let trace = Trace::from_run(&cfg, &profile).unwrap();
+                trace.check_consistency(&profile).unwrap();
+                trace
+            })
+            .collect()
+    })[idx]
+}
+
+/// Run the same fixture live under `mp` (no recording).
+fn live_profile(idx: usize, mp: &MachineParams) -> Profile {
+    let (n, p, c) = FIXTURES[idx];
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let (_, profile) = matmul_25d(&a, &b, p, c, sim_config_from(mp)).unwrap();
+    profile
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying a recording under any machine's parameters reproduces
+    /// what the live simulator measures on that machine.
+    #[test]
+    fn replay_matches_live_execution(idx in 0usize..FIXTURES.len(), mp in machines()) {
+        let trace = recorded(idx);
+        let replayed = trace.replay(&ReplayParams::from(&mp)).unwrap();
+        let live = live_profile(idx, &mp);
+        prop_assert!(
+            rel_close(replayed.makespan, live.makespan, 1e-9),
+            "replay {} vs live {}", replayed.makespan, live.makespan
+        );
+        // The DAG itself is machine-independent: identical traffic.
+        prop_assert_eq!(replayed.total_flops(), live.total_flops());
+        prop_assert_eq!(replayed.total_words_sent(), live.total_words_sent());
+        prop_assert_eq!(replayed.total_msgs_sent(), live.total_msgs_sent());
+    }
+
+    /// With the other parameters zeroed, replay time is homogeneous in
+    /// each Eq. 1 price: doubling the price doubles the makespan
+    /// (exactly — doubling is exponent-shift-exact in binary floats).
+    #[test]
+    fn replay_linear_in_each_time_param(
+        idx in 0usize..FIXTURES.len(),
+        gamma in 1e-13..1e-8f64,
+        beta in 1e-11..1e-6f64,
+        alpha in 1e-9..1e-4f64,
+        which in 0usize..3,
+    ) {
+        let trace = recorded(idx);
+        let mut one = ReplayParams {
+            gamma_t: 0.0,
+            beta_t: 0.0,
+            alpha_t: 0.0,
+            ..trace.params.clone()
+        };
+        match which {
+            0 => one.gamma_t = gamma,
+            1 => one.beta_t = beta,
+            _ => one.alpha_t = alpha,
+        }
+        let mut two = one.clone();
+        two.gamma_t *= 2.0;
+        two.beta_t *= 2.0;
+        two.alpha_t *= 2.0;
+
+        let t1 = trace.replay(&one).unwrap().makespan;
+        let t2 = trace.replay(&two).unwrap().makespan;
+        prop_assert!(t1 > 0.0, "fixture exercises every cost term");
+        prop_assert_eq!(t2.to_bits(), (2.0 * t1).to_bits());
+    }
+
+    /// Joint homogeneity: scaling all three prices by 2 scales the
+    /// whole makespan by 2.
+    #[test]
+    fn replay_homogeneous_in_all_params(
+        idx in 0usize..FIXTURES.len(),
+        mp in machines(),
+    ) {
+        let trace = recorded(idx);
+        let one = ReplayParams::from(&mp);
+        let mut two = one.clone();
+        two.gamma_t *= 2.0;
+        two.beta_t *= 2.0;
+        two.alpha_t *= 2.0;
+        let t1 = trace.replay(&one).unwrap().makespan;
+        let t2 = trace.replay(&two).unwrap().makespan;
+        prop_assert_eq!(t2.to_bits(), (2.0 * t1).to_bits());
+    }
+}
