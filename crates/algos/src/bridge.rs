@@ -79,9 +79,12 @@ pub fn measure_two_level(profile: &Profile, tl: &psse_core::twolevel::TwoLevelPa
     let t = profile.makespan;
     let p = profile.p() as f64;
     let pn = p / tl.cores_per_node as f64;
+    // Resilience traffic is link-agnostic in the counters; price it
+    // conservatively at the inter-node word energy.
     let energy = tl.gamma_e * profile.total_flops() as f64
         + tl.beta_n_e * profile.total_words_inter() as f64
         + tl.beta_l_e * profile.total_words_intra() as f64
+        + tl.beta_n_e * profile.resilience_words() as f64
         + (pn * tl.delta_n_e * tl.mem_node + p * tl.delta_l_e * tl.mem_local + p * tl.epsilon_e)
             * t;
     Measured {
@@ -93,17 +96,20 @@ pub fn measure_two_level(profile: &Profile, tl: &psse_core::twolevel::TwoLevelPa
 
 /// Condense a simulator profile into the summary priced by Eq. 2.
 /// Critical-path fields are max-over-ranks; totals are sums; `T` is the
-/// simulator's message-DAG makespan.
+/// simulator's message-DAG makespan. Resilience traffic
+/// (retransmissions, duplicates, checkpoint writes) is folded into the
+/// word/message counts so Eq. 2 prices the energy the faults cost; on a
+/// fault-free run the folded counters equal the plain ones.
 pub fn summarize(profile: &Profile) -> ExecutionSummary {
     ExecutionSummary {
         p: profile.p() as u64,
         flops: profile.max_flops() as f64,
-        words: profile.max_words_sent() as f64,
-        messages: profile.max_msgs_sent() as f64,
+        words: profile.max_words_with_resilience() as f64,
+        messages: profile.max_msgs_with_resilience() as f64,
         mem_peak_words: profile.max_mem_peak() as f64,
         total_flops: profile.total_flops() as f64,
-        total_words: profile.total_words_sent() as f64,
-        total_messages: profile.total_msgs_sent() as f64,
+        total_words: (profile.total_words_sent() + profile.resilience_words()) as f64,
+        total_messages: (profile.total_msgs_sent() + profile.resilience_msgs()) as f64,
         makespan: Some(profile.makespan),
     }
 }

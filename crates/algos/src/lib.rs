@@ -33,6 +33,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod bridge;
 pub mod cannon;
 pub mod cholesky2d;
@@ -48,6 +49,7 @@ pub mod tsqr;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::abft::{matmul_25d_abft, summa_matmul_abft, verify_matmul, ABFT_REL_TOL};
     pub use crate::bridge::{
         measure, measure_two_level, sim_config_from, sim_config_two_level, summarize,
     };

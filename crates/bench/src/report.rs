@@ -349,6 +349,23 @@ pub fn trace_events_table(trace: &psse_trace::Trace) -> Table {
                 EventKind::Free { words } => ("free", format!("words={words}")),
                 EventKind::CollBegin { op } => ("coll_begin", format!("op={op}")),
                 EventKind::CollEnd { op } => ("coll_end", format!("op={op}")),
+                EventKind::Retry {
+                    dest,
+                    tag,
+                    attempt,
+                    words,
+                    backoff,
+                } => (
+                    "retry",
+                    format!(
+                        "dest={dest} tag={tag} attempt={attempt} words={words} backoff={backoff}"
+                    ),
+                ),
+                EventKind::LinkDelay { seconds } => ("link_delay", format!("seconds={seconds}")),
+                EventKind::Checkpoint { words } => ("checkpoint", format!("words={words}")),
+                EventKind::CrashRecovery { lost, restart } => {
+                    ("crash_recovery", format!("lost={lost} restart={restart}"))
+                }
             };
             t.row(&[
                 rank.to_string(),

@@ -46,6 +46,14 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
         let action = args.command.clone();
         return commands::trace_cmd(&action, &args, out);
     }
+    if argv[0] == "faults" {
+        if argv.len() < 2 {
+            return Err("usage: psse faults <sweep> [--option value]...".into());
+        }
+        let args = Args::parse(&argv[1..])?;
+        let action = args.command.clone();
+        return commands::faults_cmd(&action, &args, out);
+    }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "machines" => commands::machines(&args, out),
@@ -92,6 +100,17 @@ COMMANDS:
                              longest chain and per-rank compute/comm/idle
                export        --in FILE [--out FILE.json]
                              Chrome trace-event JSON (Perfetto-loadable)
+  faults     Deterministic fault injection and resilience pricing.
+               sweep  --q Q (grid edge, default 4) --c-list 1,2,4 --n N
+                      [--seed S] [--drop-rate R] [--corrupt-rate R]
+                      [--duplicate-rate R] [--delay-rate R] [--delay-seconds S]
+                      [--retries K] [--backoff S] [--checkpoint-interval S]
+                      [--checkpoint-words W] [--restart S] [--mtbf S]
+                      [--out FILE.csv]
+                      run 2.5D matmul per c with and without the fault plan,
+                      verify faulted numerics match fault-free, report the
+                      measured energy overhead against the Eq. 2 resilience
+                      model (and the Daly-optimal interval when --mtbf given)
   help       This message.
 ";
 
@@ -110,7 +129,7 @@ mod tests {
     fn help_lists_commands() {
         let out = call("help").unwrap();
         for cmd in [
-            "machines", "model", "scaling", "optimize", "simulate", "tech",
+            "machines", "model", "scaling", "optimize", "simulate", "tech", "trace", "faults",
         ] {
             assert!(out.contains(cmd), "help should mention {cmd}");
         }
@@ -235,6 +254,74 @@ mod tests {
         assert!(call("trace frobnicate").is_err());
         assert!(call("trace replay").is_err());
         assert!(call("trace replay --in /nonexistent/path.trace").is_err());
+    }
+
+    #[test]
+    fn faults_sweep_reports_overhead_and_writes_csv() {
+        let dir = std::env::temp_dir().join("psse-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("sweep.csv");
+        let cp = csv_path.to_str().unwrap();
+
+        let line = format!(
+            "faults sweep --q 2 --c-list 1,2 --n 16 --seed 7 --drop-rate 0.1 \
+             --corrupt-rate 0.05 --retries 16 --out {cp}"
+        );
+        let out = call(&line).unwrap();
+        assert!(out.contains("fault sweep"), "{out}");
+        assert!(out.contains("E_fault(J)"), "{out}");
+        assert!(
+            out.contains("all faulted runs identical to fault-free"),
+            "{out}"
+        );
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("c,p,"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + one row per c: {csv}");
+
+        // Determinism: the same seed reproduces the CSV byte for byte.
+        let out2 = call(&line.replace("sweep.csv", "sweep2.csv")).unwrap();
+        assert_eq!(
+            out.replace("sweep.csv", "sweep2.csv"),
+            out2,
+            "sweep output must be deterministic"
+        );
+        let csv2 = std::fs::read_to_string(dir.join("sweep2.csv")).unwrap();
+        assert_eq!(csv, csv2);
+
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_file(dir.join("sweep2.csv")).ok();
+    }
+
+    #[test]
+    fn faults_sweep_overhead_matches_resilience_model() {
+        // The measured E_fault − E_free must equal the Eq. 2 resilience
+        // term printed in the model column (identical arithmetic, words
+        // and messages outside the resilience counters).
+        let out = call("faults sweep --q 2 --c-list 1 --n 16 --seed 3 --drop-rate 0.2").unwrap();
+        let row = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .expect("sweep row");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        let overhead: f64 = cols[4].parse().unwrap();
+        let model: f64 = cols[5].parse().unwrap();
+        let retries: u64 = cols[6].parse().unwrap();
+        assert!(retries > 0, "plan should inject at least one drop: {out}");
+        assert!(overhead > 0.0, "{out}");
+        // The printed columns carry 4 significant digits, so allow for
+        // display rounding on top of float round-off.
+        assert!(
+            (overhead - model).abs() <= 2e-3 * overhead.abs(),
+            "overhead {overhead} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn faults_requires_action() {
+        assert!(call("faults").is_err());
+        assert!(call("faults frobnicate").is_err());
+        // Invalid plans are rejected up front.
+        assert!(call("faults sweep --q 2 --c-list 1 --n 16 --drop-rate 1.5").is_err());
     }
 
     #[test]

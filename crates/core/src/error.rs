@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors produced when constructing or evaluating the analytical models.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// so adding variants is not a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A machine parameter was negative, NaN, or otherwise out of its
     /// physical domain. Carries the parameter name and offending value.

@@ -102,6 +102,9 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::machines::{jaketown, table2, MachineSpec};
     pub use crate::optimize::nbody::NBodyOptimizer;
+    pub use crate::optimize::resilience::{
+        daly_optimal_interval, overhead_fraction, resilience_energy,
+    };
     pub use crate::params::MachineParams;
     pub use crate::summary::{ExecutionSummary, Measured};
     pub use crate::twolevel::TwoLevelParams;

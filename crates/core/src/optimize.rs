@@ -914,6 +914,94 @@ pub mod numeric {
     }
 }
 
+/// Resilience-overhead models: checkpoint-interval optimization (Daly)
+/// and Eq. 2 pricing of fault-tolerance traffic.
+///
+/// These sit beside the §V optimizers because they answer the same kind
+/// of question — pick a free parameter (here the checkpoint interval
+/// `τ` instead of the memory `M`) to minimize a cost — and because the
+/// paper's energy model prices resilience work with no new machinery:
+/// retransmitted and checkpointed words advance `W` and `S`, and the
+/// time lost to rework/restart extends `T`, each multiplying its Eq. 2
+/// coefficient.
+pub mod resilience {
+    use super::*;
+
+    /// Daly's higher-order optimal checkpoint interval (the computation
+    /// time between checkpoints, excluding the write itself):
+    ///
+    /// `τ* ≈ √(2δM)·[1 + (1/3)·√(δ/2M) + (1/9)·(δ/2M)] − δ`
+    ///
+    /// where `δ` is the checkpoint write time and `M` the mean time
+    /// between failures. For `δ ≥ 2M` (checkpoints cost more than the
+    /// expected failure-free stretch) the model degenerates and the
+    /// first-order guard `τ = M` is returned.
+    pub fn daly_optimal_interval(delta: Real, mtbf: Real) -> Result<Real, CoreError> {
+        if !(delta >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "delta",
+                value: delta,
+            });
+        }
+        if !(mtbf > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "mtbf",
+                value: mtbf,
+            });
+        }
+        if delta >= 2.0 * mtbf {
+            return Ok(mtbf);
+        }
+        let r = delta / (2.0 * mtbf);
+        Ok((2.0 * delta * mtbf).sqrt() * (1.0 + r.sqrt() / 3.0 + r / 9.0) - delta)
+    }
+
+    /// First-order expected overhead fraction of checkpoint/restart with
+    /// write time `delta`, interval `tau` and mean time between failures
+    /// `mtbf`: checkpoint cost `δ/τ` plus expected rework `τ/(2M)` per
+    /// unit of useful work. Valid for `τ ≪ M`; minimized near
+    /// [`daly_optimal_interval`].
+    pub fn overhead_fraction(delta: Real, tau: Real, mtbf: Real) -> Result<Real, CoreError> {
+        if !(tau > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tau",
+                value: tau,
+            });
+        }
+        if !(mtbf > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "mtbf",
+                value: mtbf,
+            });
+        }
+        if !(delta >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "delta",
+                value: delta,
+            });
+        }
+        Ok(delta / tau + tau / (2.0 * mtbf))
+    }
+
+    /// Price resilience overhead with Eq. 2: `extra_words`/`extra_msgs`
+    /// are the per-critical-path retransmitted + checkpointed traffic
+    /// (advancing `W` and `S`), and `extra_time` is the makespan
+    /// extension from backoff, rework and restart, during which all `p`
+    /// ranks keep paying memory (`δe·M`) and leakage (`εe`) power.
+    pub fn resilience_energy(
+        params: &MachineParams,
+        extra_words: Real,
+        extra_msgs: Real,
+        extra_time: Real,
+        p: Real,
+        mem: Real,
+    ) -> Real {
+        params.beta_e * extra_words
+            + params.alpha_e * extra_msgs
+            + p * (params.delta_e * mem + params.epsilon_e) * extra_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::nbody::NBodyOptimizer;
@@ -1504,5 +1592,74 @@ mod tests {
         assert_eq!(*v.first().unwrap(), 4);
         assert_eq!(*v.last().unwrap(), 4096);
         assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn daly_interval_minimizes_overhead_fraction() {
+        use super::resilience::{daly_optimal_interval, overhead_fraction};
+        // Cross-check the closed form against golden-section search on
+        // the overhead function it approximately minimizes.
+        for (delta, mtbf) in [(10.0, 86_400.0), (60.0, 3_600.0), (1.0, 1e6)] {
+            let tau = daly_optimal_interval(delta, mtbf).unwrap();
+            assert!(tau > 0.0);
+            let (tau_num, _) = golden_section_min(
+                |t| overhead_fraction(delta, t, mtbf).unwrap(),
+                delta.max(1e-6) * 1e-2,
+                mtbf * 10.0,
+                1e-13,
+            );
+            // The first-order overhead model's argmin is √(2δM); Daly's
+            // higher-order form corrects it by O(√(δ/M)).
+            let rel = (tau - tau_num).abs() / tau_num;
+            let corr = (delta / (2.0 * mtbf)).sqrt();
+            assert!(rel <= 2.0 * corr + 1e-9, "τ {tau} vs numeric {tau_num}");
+            // And the overhead at the Daly interval is near the optimum.
+            let at_daly = overhead_fraction(delta, tau, mtbf).unwrap();
+            let at_num = overhead_fraction(delta, tau_num, mtbf).unwrap();
+            assert!(at_daly <= at_num * 1.05, "{at_daly} vs {at_num}");
+        }
+    }
+
+    #[test]
+    fn daly_interval_degenerate_and_invalid_inputs() {
+        use super::resilience::daly_optimal_interval;
+        // Checkpoints dearer than the failure-free stretch: fall back
+        // to τ = MTBF.
+        assert_eq!(daly_optimal_interval(100.0, 40.0).unwrap(), 40.0);
+        assert!(daly_optimal_interval(-1.0, 10.0).is_err());
+        assert!(daly_optimal_interval(1.0, 0.0).is_err());
+        assert!(daly_optimal_interval(f64::NAN, 10.0).is_err());
+    }
+
+    #[test]
+    fn overhead_fraction_shape_and_validation() {
+        use super::resilience::overhead_fraction;
+        let (delta, mtbf) = (30.0, 3600.0);
+        // Convex in τ: large at both extremes, smaller in between.
+        let lo = overhead_fraction(delta, 1.0, mtbf).unwrap();
+        let mid = overhead_fraction(delta, 500.0, mtbf).unwrap();
+        let hi = overhead_fraction(delta, 1e6, mtbf).unwrap();
+        assert!(mid < lo && mid < hi);
+        assert!(overhead_fraction(delta, 0.0, mtbf).is_err());
+        assert!(overhead_fraction(delta, 10.0, -1.0).is_err());
+        assert!(overhead_fraction(-1.0, 10.0, mtbf).is_err());
+    }
+
+    #[test]
+    fn resilience_energy_prices_each_term() {
+        use super::resilience::resilience_energy;
+        let mp = params();
+        let (p, mem) = (64.0, 1e6);
+        // Each component in isolation reduces to one Eq. 2 term.
+        let w = resilience_energy(&mp, 1e9, 0.0, 0.0, p, mem);
+        assert!((w - mp.beta_e * 1e9).abs() <= 1e-12 * w);
+        let s = resilience_energy(&mp, 0.0, 1e6, 0.0, p, mem);
+        assert!((s - mp.alpha_e * 1e6).abs() <= 1e-12 * s);
+        let t = resilience_energy(&mp, 0.0, 0.0, 10.0, p, mem);
+        let expect = p * (mp.delta_e * mem + mp.epsilon_e) * 10.0;
+        assert!((t - expect).abs() <= 1e-12 * expect);
+        // And the combined call is the sum of the parts.
+        let all = resilience_energy(&mp, 1e9, 1e6, 10.0, p, mem);
+        assert!((all - (w + s + t)).abs() <= 1e-12 * all);
     }
 }

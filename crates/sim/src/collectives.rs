@@ -257,6 +257,38 @@ impl Rank {
         })
     }
 
+    /// All-reduce (sum) with an integrity check: every member appends
+    /// the sum of its local contribution as one extra checksum word, so
+    /// after the elementwise reduction the last word must equal the sum
+    /// of the data words (both are `Σᵢ Σⱼ xᵢ[j]`, reassociated). A
+    /// payload corrupted in flight breaks the identity and is reported
+    /// as [`SimError::CorruptPayload`]; `rel_tol` absorbs the
+    /// floating-point reassociation (1e-9 is ample for well-scaled
+    /// data). One extra word per message and `2·⌈log₂g⌉` extra adds.
+    pub fn allreduce_sum_checked(
+        &mut self,
+        tag: Tag,
+        data: Vec<f64>,
+        rel_tol: f64,
+    ) -> SimResult<Vec<f64>> {
+        let mut extended = data;
+        let local_sum: f64 = extended.iter().sum();
+        self.compute(extended.len() as u64);
+        extended.push(local_sum);
+        let mut out = self.allreduce_sum(tag, extended)?;
+        let checksum = out.pop().expect("checksum word survives the reduction");
+        let total: f64 = out.iter().sum();
+        self.compute(out.len() as u64);
+        let scale = 1.0_f64.max(checksum.abs()).max(total.abs());
+        if (checksum - total).abs() > rel_tol * scale {
+            return Err(SimError::CorruptPayload {
+                rank: self.rank(),
+                detail: format!("allreduce checksum {checksum:e} != recomputed sum {total:e}"),
+            });
+        }
+        Ok(out)
+    }
+
     /// Ring allgather: every member contributes a block; all members
     /// return the concatenation of all blocks in group order. `g − 1`
     /// rounds; each rank sends every block once (total `g·(g−1)` block
@@ -863,6 +895,38 @@ mod tests {
         for v in out.results {
             assert_eq!(v, vec![21.0]);
         }
+    }
+
+    #[test]
+    fn checked_allreduce_passes_clean_and_catches_corruption() {
+        // Clean run: identical result to the unchecked collective.
+        let out = Machine::run(7, cfg(), |rank| {
+            rank.allreduce_sum_checked(Tag(0), vec![rank.rank() as f64, 1.0], 1e-9)
+        })
+        .unwrap();
+        for v in out.results {
+            assert_eq!(v, vec![21.0, 7.0]);
+        }
+        // Corrupt every transfer (no ack protocol): the checksum word
+        // and the data can no longer agree anywhere a fault landed.
+        let fcfg = crate::machine::SimConfig {
+            faults: Some(psse_faults::FaultPlan {
+                spec: psse_faults::FaultSpec {
+                    seed: 3,
+                    corrupt_rate: 1.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            ..cfg()
+        };
+        let r = Machine::run(7, fcfg, |rank| {
+            rank.allreduce_sum_checked(Tag(0), vec![rank.rank() as f64; 16], 1e-9)
+        });
+        assert!(
+            matches!(r, Err(SimError::CorruptPayload { .. })),
+            "corruption must be detected, got {r:?}"
+        );
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors surfaced by the simulated machine.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// so adding fault-related variants is not a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// Configuration rejected before launch (zero ranks, bad parameters).
     InvalidConfig(String),
@@ -53,6 +57,32 @@ pub enum SimError {
     },
     /// An algorithm-level precondition failed (used by `psse-algos`).
     Algorithm(String),
+    /// A rank hit its scheduled crash time with no checkpoint/restart
+    /// policy to recover it (injected by `SimConfig::faults`).
+    RankCrashed {
+        /// The crashed rank.
+        rank: usize,
+        /// Virtual time of the crash, seconds.
+        at: f64,
+    },
+    /// An integrity check (ABFT checksum, checked collective) caught a
+    /// corrupted payload.
+    CorruptPayload {
+        /// Rank that detected the corruption.
+        rank: usize,
+        /// What was checked and how it failed.
+        detail: String,
+    },
+    /// A transfer kept failing after exhausting the recovery policy's
+    /// retry budget.
+    RetriesExhausted {
+        /// Sending rank.
+        rank: usize,
+        /// Destination rank.
+        dest: usize,
+        /// Attempts made (original send + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -82,6 +112,23 @@ impl fmt::Display for SimError {
                 "unbalanced profile: {sent} words sent but {recvd} received"
             ),
             SimError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+            SimError::RankCrashed { rank, at } => {
+                write!(
+                    f,
+                    "rank {rank} crashed at virtual time {at:.6}s with no checkpoint to restart from"
+                )
+            }
+            SimError::CorruptPayload { rank, detail } => {
+                write!(f, "rank {rank} detected a corrupt payload: {detail}")
+            }
+            SimError::RetriesExhausted {
+                rank,
+                dest,
+                attempts,
+            } => write!(
+                f,
+                "rank {rank} gave up sending to {dest} after {attempts} failed attempts"
+            ),
         }
     }
 }
@@ -126,6 +173,22 @@ mod tests {
                 "70 words sent but 30 received",
             ),
             (SimError::Algorithm("bad grid".into()), "bad grid"),
+            (SimError::RankCrashed { rank: 5, at: 1.25 }, "rank 5"),
+            (
+                SimError::CorruptPayload {
+                    rank: 3,
+                    detail: "checksum row mismatch".into(),
+                },
+                "checksum row mismatch",
+            ),
+            (
+                SimError::RetriesExhausted {
+                    rank: 1,
+                    dest: 4,
+                    attempts: 7,
+                },
+                "7 failed attempts",
+            ),
         ];
         for (e, frag) in cases {
             assert!(e.to_string().contains(frag), "{e}");

@@ -32,6 +32,18 @@
 //! operation (payload data is never copied); with it off the only
 //! overhead is one branch per operation.
 //!
+//! ## Fault injection (opt-in)
+//!
+//! Setting [`machine::SimConfig::faults`] to a `psse-faults`
+//! [`FaultPlan`] injects deterministic, virtual-time-scheduled faults —
+//! rank crashes and per-link drop/corrupt/duplicate/delay — and applies
+//! the plan's recovery policy: acked sends with bounded exponential
+//! backoff, and coordinated checkpoint/restart whose write volume is
+//! charged through the same Eq. 1 link prices (the words land in
+//! dedicated [`profile::RankStats`] resilience counters so the energy
+//! model can price them). `None` (the default) keeps every run
+//! bit-identical to the pre-fault-layer simulator.
+//!
 //! ## Example
 //!
 //! ```
@@ -73,6 +85,7 @@ pub use error::SimError;
 pub use machine::{Machine, SimConfig, SimOutcome};
 pub use message::Tag;
 pub use profile::{Profile, RankStats};
+pub use psse_faults::FaultPlan;
 pub use rank::Rank;
 
 /// One-stop imports.
@@ -86,4 +99,7 @@ pub mod prelude {
     pub use crate::rank::Rank;
     pub use crate::record::{EventKind, TimedEvent};
     pub use crate::seqmem::{FastMemory, MemStats};
+    pub use psse_faults::{
+        CheckpointPolicy, CrashEvent, FaultPlan, FaultSpec, LinkFaultKind, RecoveryPolicy,
+    };
 }

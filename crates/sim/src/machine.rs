@@ -4,6 +4,7 @@ use crate::error::{SimError, SimResult};
 use crate::message::Envelope;
 use crate::profile::{Profile, RankStats};
 use crate::rank::Rank;
+use psse_faults::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -52,6 +53,11 @@ pub struct SimConfig {
     /// one branch per operation; with it on, one `Vec` push per
     /// operation (payloads are never copied).
     pub record_trace: bool,
+    /// Deterministic fault injection and recovery (see `psse-faults`).
+    /// `None` (the default) disables every fault path: the run is
+    /// bit-identical to a build without the feature, at the cost of one
+    /// branch per operation.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -65,6 +71,7 @@ impl Default for SimConfig {
             recv_timeout: Duration::from_secs(30),
             hierarchy: None,
             record_trace: false,
+            faults: None,
         }
     }
 }
@@ -93,6 +100,9 @@ impl SimConfig {
                     "intra-node link prices must be non-negative".into(),
                 ));
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(SimError::InvalidConfig)?;
         }
         Ok(())
     }
@@ -167,8 +177,16 @@ impl Machine {
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut rank)));
                     match out {
                         Ok(Ok(v)) => {
-                            let (stats, events) = rank.into_parts();
-                            Ok((v, stats, events))
+                            // A crash that struck during a trailing
+                            // `compute` (which cannot return an error)
+                            // surfaces here instead of being lost.
+                            if let Some(e) = rank.take_fault_error() {
+                                poison.store(true, std::sync::atomic::Ordering::SeqCst);
+                                Err(e)
+                            } else {
+                                let (stats, events) = rank.into_parts();
+                                Ok((v, stats, events))
+                            }
                         }
                         Ok(Err(e)) => {
                             poison.store(true, std::sync::atomic::Ordering::SeqCst);
@@ -320,6 +338,34 @@ mod tests {
         assert!(
             start.elapsed() < Duration::from_secs(4),
             "peer should be woken promptly, not time out"
+        );
+    }
+
+    #[test]
+    fn poisoned_eight_rank_run_finishes_well_under_timeout() {
+        // Regression: the poison flag used to be polled only in the
+        // recv timeout branch; with a generous recv_timeout a dead peer
+        // left 7 ranks blocked for the full wall-clock budget. It must
+        // now be seen within a tick or two.
+        let cfg = SimConfig {
+            recv_timeout: Duration::from_secs(20),
+            ..SimConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let r: SimResult<SimOutcome<()>> = Machine::run(8, cfg, |rank| {
+            if rank.rank() == 7 {
+                Err(SimError::Algorithm("dies immediately".into()))
+            } else {
+                // Everyone else waits on a message rank 7 never sends.
+                rank.recv(7, Tag(0))?;
+                Ok(())
+            }
+        });
+        assert!(matches!(r, Err(SimError::Algorithm(_))), "{r:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "poisoned run took {:?}, should be near-instant",
+            start.elapsed()
         );
     }
 

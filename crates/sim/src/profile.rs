@@ -27,6 +27,21 @@ pub struct RankStats {
     pub mem_current: u64,
     /// High-water mark of tracked allocation, words.
     pub mem_peak: u64,
+    /// Failed transfer attempts retransmitted plus link-level duplicates
+    /// (fault injection only; see `SimConfig::faults`).
+    pub retries: u64,
+    /// Words that crossed a link without being delivered (failed
+    /// attempts, duplicates). Kept out of `words_sent` so the
+    /// sent/received balance still holds; pricing adds them to `W`.
+    pub retrans_words: u64,
+    /// Messages wasted on failed attempts and duplicates.
+    pub retrans_msgs: u64,
+    /// Words written to stable storage by coordinated checkpoints.
+    pub checkpoint_words: u64,
+    /// Messages (chunks) those checkpoint writes were split into.
+    pub checkpoint_msgs: u64,
+    /// Crashes absorbed by checkpoint/restart on this rank.
+    pub crashes_recovered: u64,
     /// The rank's virtual clock at the end of its program.
     pub finish_time: f64,
 }
@@ -127,6 +142,53 @@ impl Profile {
         self.per_rank.iter().map(|r| r.msgs_sent_intra).sum()
     }
 
+    /// Sum over ranks of resilience-overhead words: retransmissions,
+    /// duplicates and checkpoint writes. Zero on fault-free runs.
+    pub fn resilience_words(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.retrans_words + r.checkpoint_words)
+            .sum()
+    }
+
+    /// Sum over ranks of resilience-overhead messages.
+    pub fn resilience_msgs(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.retrans_msgs + r.checkpoint_msgs)
+            .sum()
+    }
+
+    /// Max over ranks of words sent *including* resilience traffic
+    /// (retransmissions, duplicates, checkpoint writes) — the `W` the
+    /// energy model should price on a faulted run.
+    pub fn max_words_with_resilience(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.words_sent + r.retrans_words + r.checkpoint_words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Max over ranks of messages sent *including* resilience traffic.
+    pub fn max_msgs_with_resilience(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.msgs_sent + r.retrans_msgs + r.checkpoint_msgs)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over ranks of failed/duplicate transfer attempts.
+    pub fn total_retries(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.retries).sum()
+    }
+
+    /// Sum over ranks of crashes absorbed by checkpoint/restart.
+    pub fn total_crashes_recovered(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.crashes_recovered).sum()
+    }
+
     /// Combine with the profile of a run executed *after* this one on
     /// the same machine: counters add; the makespan is the sum of the
     /// two makespans (phase 2 starts when phase 1 completes globally).
@@ -152,6 +214,12 @@ impl Profile {
                 msgs_recvd: a.msgs_recvd + b.msgs_recvd,
                 mem_current: b.mem_current,
                 mem_peak: a.mem_peak.max(b.mem_peak),
+                retries: a.retries + b.retries,
+                retrans_words: a.retrans_words + b.retrans_words,
+                retrans_msgs: a.retrans_msgs + b.retrans_msgs,
+                checkpoint_words: a.checkpoint_words + b.checkpoint_words,
+                checkpoint_msgs: a.checkpoint_msgs + b.checkpoint_msgs,
+                crashes_recovered: a.crashes_recovered + b.crashes_recovered,
                 finish_time: a.finish_time + b.finish_time,
             })
             .collect();

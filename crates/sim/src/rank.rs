@@ -6,10 +6,38 @@ use crate::machine::SimConfig;
 use crate::message::{Envelope, Tag};
 use crate::profile::RankStats;
 use crate::record::{EventKind, TimedEvent};
+use psse_faults::{FaultPlan, LinkFaultKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-rank fault-injection state (present only when
+/// `SimConfig::faults` is set). Fault decisions are pure functions of
+/// the plan seed and the per-link transfer counters kept here, so they
+/// are deterministic regardless of thread interleaving.
+struct FaultState {
+    plan: FaultPlan,
+    /// Transfers initiated on each outgoing link (indexes the plan).
+    link_seq: Vec<u64>,
+    /// Virtual time of the next coordinated checkpoint boundary
+    /// (`+inf` when checkpointing is off).
+    next_cp: f64,
+    /// Last checkpoint boundary crossed (crash rework restarts here).
+    last_cp: f64,
+    /// This rank's scheduled crash, not yet triggered.
+    crash_at: Option<f64>,
+    /// A crash that struck with no checkpoint to restart from; surfaced
+    /// by the next fallible operation (or by `Machine::run` at exit).
+    pending_crash: Option<SimError>,
+}
+
+/// Deterministically perturb a corrupted payload word: the result
+/// always differs from `x` by at least 1.0, so integrity checks with
+/// any reasonable tolerance can see it.
+fn corrupt_word(x: f64) -> f64 {
+    x + 1.0 + x.abs()
+}
 
 /// A rank of the simulated machine. Handed by [`crate::Machine::run`] to
 /// the per-rank program; owns the rank's virtual clock and counters.
@@ -24,6 +52,7 @@ pub struct Rank {
     pending: Vec<Envelope>,
     poison: Arc<AtomicBool>,
     events: Vec<TimedEvent>,
+    fault: Option<Box<FaultState>>,
 }
 
 impl Rank {
@@ -35,6 +64,19 @@ impl Rank {
         txs: Arc<Vec<Sender<Envelope>>>,
         poison: Arc<AtomicBool>,
     ) -> Self {
+        let fault = cfg.faults.as_ref().map(|plan| {
+            Box::new(FaultState {
+                plan: plan.clone(),
+                link_seq: vec![0; p],
+                next_cp: plan
+                    .recovery
+                    .checkpoint
+                    .map_or(f64::INFINITY, |cp| cp.interval),
+                last_cp: 0.0,
+                crash_at: plan.crash_at(id),
+                pending_crash: None,
+            })
+        });
         Rank {
             id,
             p,
@@ -46,6 +88,7 @@ impl Rank {
             pending: Vec::new(),
             poison,
             events: Vec::new(),
+            fault,
         }
     }
 
@@ -111,6 +154,188 @@ impl Rank {
         Ok(out)
     }
 
+    /// Surface a pending unrecoverable crash (set by a preceding
+    /// `compute`, which cannot return errors itself).
+    fn fail_if_crashed(&mut self) -> SimResult<()> {
+        if let Some(fs) = self.fault.as_deref_mut() {
+            if let Some(e) = fs.pending_crash.take() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// A crash the rank's program never got to observe (no fallible
+    /// operation followed it). `Machine::run` checks this at rank exit.
+    pub(crate) fn take_fault_error(&mut self) -> Option<SimError> {
+        self.fault
+            .as_deref_mut()
+            .and_then(|fs| fs.pending_crash.take())
+    }
+
+    /// Charge a transfer's link cost without delivering anything: failed
+    /// (dropped / corrupt-detected) attempts, duplicates, and checkpoint
+    /// writes all burn bandwidth this way. The chunking mirrors `send`;
+    /// the words land in the resilience counters, not `words_sent`, so
+    /// the sent/received balance is preserved.
+    fn charge_wasted_transfer(&mut self, total: usize, alpha: f64, beta: f64) {
+        let m = self.cfg.max_message_words;
+        let mut left = total;
+        loop {
+            let k = left.min(m);
+            self.time += alpha + beta * k as f64;
+            self.stats.retrans_msgs += 1;
+            self.stats.retrans_words += k as u64;
+            if left <= m {
+                break;
+            }
+            left -= m;
+        }
+    }
+
+    /// Charge a checkpoint write of `words` words to stable storage at
+    /// the machine-level link prices, chunked at `m` like any transfer.
+    fn charge_checkpoint_write(&mut self, words: u64) {
+        let m = self.cfg.max_message_words as u64;
+        let (alpha, beta) = (self.cfg.alpha_t, self.cfg.beta_t);
+        let mut left = words;
+        loop {
+            let k = left.min(m);
+            self.time += alpha + beta * k as f64;
+            self.stats.checkpoint_msgs += 1;
+            self.stats.checkpoint_words += k;
+            if left <= m {
+                break;
+            }
+            left -= m;
+        }
+    }
+
+    /// Run after every clock-advancing operation: write the coordinated
+    /// checkpoints whose boundaries the operation crossed, then trigger
+    /// this rank's scheduled crash once its clock passes the crash time.
+    /// With a checkpoint policy the crash costs the rework since the
+    /// last checkpoint boundary plus the restart time; without one it is
+    /// fatal ([`SimError::RankCrashed`]).
+    fn fault_epilogue(&mut self) {
+        let Some(mut fs) = self.fault.take() else {
+            return;
+        };
+        if let Some(cp) = fs.plan.recovery.checkpoint {
+            // Only boundaries crossed by the operation itself fire here;
+            // boundaries crossed while writing a checkpoint fire on the
+            // next operation (keeps this loop finite even when a write
+            // costs more than the interval).
+            let t_op = self.time;
+            while fs.next_cp <= t_op {
+                let t0 = self.time;
+                self.charge_checkpoint_write(cp.words);
+                fs.last_cp = fs.next_cp;
+                fs.next_cp += cp.interval;
+                self.record(t0, EventKind::Checkpoint { words: cp.words });
+            }
+        }
+        if let Some(at) = fs.crash_at {
+            if self.time >= at {
+                fs.crash_at = None;
+                if let Some(cp) = fs.plan.recovery.checkpoint {
+                    let t0 = self.time;
+                    let lost = self.time - fs.last_cp;
+                    self.time += lost + cp.restart_seconds;
+                    self.stats.crashes_recovered += 1;
+                    self.record(
+                        t0,
+                        EventKind::CrashRecovery {
+                            lost,
+                            restart: cp.restart_seconds,
+                        },
+                    );
+                } else {
+                    fs.pending_crash = Some(SimError::RankCrashed { rank: self.id, at });
+                }
+            }
+        }
+        self.fault = Some(fs);
+    }
+
+    /// Decide and apply this transfer's injected fault *before*
+    /// delivery. Drop/corrupt faults under an ack protocol
+    /// (`max_retries > 0`) burn failed attempts with exponential
+    /// virtual-time backoff until one succeeds; a drop without retries
+    /// is [`SimError::RetriesExhausted`]; a corruption without retries
+    /// silently perturbs one payload word (ABFT's job to catch). Delay
+    /// stalls the sender. Returns `true` when the transfer must also be
+    /// re-charged as a duplicate after delivery.
+    fn inject_send_faults(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        payload: &mut [f64],
+        alpha: f64,
+        beta: f64,
+    ) -> SimResult<bool> {
+        let Some(mut fs) = self.fault.take() else {
+            return Ok(false);
+        };
+        let seq = fs.link_seq[dest];
+        fs.link_seq[dest] += 1;
+        let primary = fs.plan.link_fault(self.id, dest, seq);
+        let res = match primary {
+            None => Ok(false),
+            Some(LinkFaultKind::Duplicate) => Ok(true),
+            Some(LinkFaultKind::Delay) => {
+                let t0 = self.time;
+                let seconds = fs.plan.spec.delay_seconds;
+                self.time += seconds;
+                self.record(t0, EventKind::LinkDelay { seconds });
+                Ok(false)
+            }
+            Some(LinkFaultKind::Corrupt) if fs.plan.recovery.max_retries == 0 => {
+                if !payload.is_empty() {
+                    let i = fs.plan.corrupt_index(self.id, dest, seq, payload.len());
+                    payload[i] = corrupt_word(payload[i]);
+                }
+                Ok(false)
+            }
+            Some(LinkFaultKind::Drop) | Some(LinkFaultKind::Corrupt) => {
+                let words = payload.len();
+                let max_retries = fs.plan.recovery.max_retries;
+                let mut attempt: u32 = 0;
+                loop {
+                    let t0 = self.time;
+                    self.charge_wasted_transfer(words, alpha, beta);
+                    let backoff = fs.plan.recovery.retry_backoff * f64::powi(2.0, attempt as i32);
+                    self.time += backoff;
+                    self.stats.retries += 1;
+                    self.record(
+                        t0,
+                        EventKind::Retry {
+                            dest,
+                            tag: tag.0,
+                            attempt: attempt as usize,
+                            words,
+                            backoff,
+                        },
+                    );
+                    attempt += 1;
+                    if attempt > max_retries {
+                        break Err(SimError::RetriesExhausted {
+                            rank: self.id,
+                            dest,
+                            attempts: attempt,
+                        });
+                    }
+                    match fs.plan.attempt_fault(self.id, dest, seq, attempt) {
+                        Some(LinkFaultKind::Drop) | Some(LinkFaultKind::Corrupt) => continue,
+                        _ => break Ok(false),
+                    }
+                }
+            }
+        };
+        self.fault = Some(fs);
+        res
+    }
+
     /// Execute `flops` floating-point operations: advances the virtual
     /// clock by `γt·flops` and the flop counter.
     pub fn compute(&mut self, flops: u64) {
@@ -118,6 +343,9 @@ impl Rank {
         self.stats.flops += flops;
         self.time += self.cfg.gamma_t * flops as f64;
         self.record(t0, EventKind::Compute { flops });
+        if self.fault.is_some() {
+            self.fault_epilogue();
+        }
     }
 
     /// Track an allocation of `words` words. Errors if the configured
@@ -179,6 +407,7 @@ impl Rank {
     /// payload becomes immediately receivable.
     pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<f64>) -> SimResult<()> {
         self.check_peer(dest)?;
+        self.fail_if_crashed()?;
         let t0 = self.time;
         if dest == self.id {
             let words = payload.len();
@@ -207,6 +436,13 @@ impl Rank {
             _ => (self.cfg.alpha_t, self.cfg.beta_t),
         };
         let m = self.cfg.max_message_words;
+        let mut payload = payload;
+        let duplicate = if self.fault.is_some() {
+            self.inject_send_faults(dest, tag, &mut payload, alpha, beta)?
+        } else {
+            false
+        };
+        let t_send = self.time;
         let total = payload.len();
         let n_chunks = if total == 0 { 1 } else { total.div_ceil(m) };
         let mut chunks: Vec<Vec<f64>> = if total == 0 {
@@ -237,13 +473,33 @@ impl Rank {
                 .map_err(|_| SimError::PeerFailed(format!("rank {dest} is gone")))?;
         }
         self.record(
-            t0,
+            t_send,
             EventKind::Send {
                 dest,
                 tag: tag.0,
                 words: total,
             },
         );
+        if duplicate {
+            // The link sent the transfer twice; the receiver discards
+            // the copy, but its bandwidth and latency are still paid.
+            let td = self.time;
+            self.charge_wasted_transfer(total, alpha, beta);
+            self.stats.retries += 1;
+            self.record(
+                td,
+                EventKind::Retry {
+                    dest,
+                    tag: tag.0,
+                    attempt: 0,
+                    words: total,
+                    backoff: 0.0,
+                },
+            );
+        }
+        if self.fault.is_some() {
+            self.fault_epilogue();
+        }
         Ok(())
     }
 
@@ -252,6 +508,7 @@ impl Rank {
     /// latest chunk departure time (`max(t_local, t_depart)`).
     pub fn recv(&mut self, src: usize, tag: Tag) -> SimResult<Vec<f64>> {
         self.check_peer(src)?;
+        self.fail_if_crashed()?;
         let t0 = self.time;
         let deadline = Instant::now() + self.cfg.recv_timeout;
         // Collect the chunks of (src, tag).
@@ -272,17 +529,20 @@ impl Rank {
             if have.len() == needed {
                 break;
             }
+            // A poisoned run can never complete this receive; checked on
+            // every iteration — not just after a 25 ms timeout — so a
+            // rank being fed a steady stream of unrelated traffic still
+            // notices a dead peer immediately.
+            if self.poison.load(Ordering::SeqCst) {
+                return Err(SimError::PeerFailed(format!(
+                    "rank {} abandoned recv from {src}: a peer rank failed",
+                    self.id
+                )));
+            }
             // Block for more traffic.
             match self.rx.recv_timeout(std::time::Duration::from_millis(25)) {
                 Ok(env) => self.pending.push(env),
                 Err(RecvTimeoutError::Timeout) => {
-                    if self.poison.load(Ordering::SeqCst) {
-                        return Err(SimError::RecvFailed {
-                            rank: self.id,
-                            src,
-                            cause: "a peer rank failed".into(),
-                        });
-                    }
                     if Instant::now() >= deadline {
                         return Err(SimError::RecvFailed {
                             rank: self.id,
@@ -328,6 +588,9 @@ impl Rank {
                 msgs: needed,
             },
         );
+        if self.fault.is_some() {
+            self.fault_epilogue();
+        }
         debug_assert_eq!(out.len(), total);
         Ok(out)
     }
@@ -670,6 +933,281 @@ mod tests {
             Machine::run(2, cfg, |_| Ok(())),
             Err(SimError::InvalidConfig(_))
         ));
+    }
+
+    fn fault_cfg(plan: psse_faults::FaultPlan) -> SimConfig {
+        SimConfig {
+            gamma_t: 0.0,
+            beta_t: 1e-6,
+            alpha_t: 1e-3,
+            faults: Some(plan),
+            ..SimConfig::default()
+        }
+    }
+
+    fn drop_plan(rate: f64, retries: u32) -> psse_faults::FaultPlan {
+        psse_faults::FaultPlan {
+            spec: psse_faults::FaultSpec {
+                seed: 7,
+                drop_rate: rate,
+                ..Default::default()
+            },
+            recovery: psse_faults::RecoveryPolicy {
+                max_retries: retries,
+                retry_backoff: 1e-4,
+                checkpoint: None,
+            },
+        }
+    }
+
+    #[test]
+    fn dropped_transfer_is_retried_and_charged() {
+        // Drop rate 1 on attempt 0 would retry forever; use rate 1 with
+        // one retry only if attempt 1 passes — instead pick a rate where
+        // we can find a seed/transfer that drops attempt 0 and passes
+        // attempt 1, by scanning.
+        let plan = drop_plan(0.5, 4);
+        // Find how many of the first sends on link 0→1 fail.
+        let out = Machine::run(2, fault_cfg(plan.clone()), |rank| {
+            if rank.rank() == 0 {
+                for i in 0..20u64 {
+                    rank.send(1, Tag(i), vec![1.0; 100])?;
+                }
+            } else {
+                for i in 0..20u64 {
+                    let v = rank.recv(0, Tag(i))?;
+                    assert_eq!(v, vec![1.0; 100], "payload must survive retries");
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        let s = &out.profile.per_rank[0];
+        assert!(s.retries > 0, "a 50% drop rate must hit at least once");
+        assert_eq!(s.retrans_words, 100 * s.retries); // single-chunk transfers
+        assert_eq!(s.words_sent, 20 * 100, "delivered words are unchanged");
+        // Each failed attempt costs at least the link price plus backoff.
+        let min_overhead = s.retries as f64 * (1e-3 + 100.0 * 1e-6 + 1e-4);
+        let clean = 20.0 * (1e-3 + 100.0 * 1e-6);
+        assert!(out.profile.makespan >= clean + min_overhead - 1e-12);
+    }
+
+    #[test]
+    fn drop_without_retry_exhausts() {
+        let plan = drop_plan(1.0, 0);
+        let r = Machine::run(2, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(())
+        });
+        assert!(
+            matches!(
+                r,
+                Err(SimError::RetriesExhausted {
+                    rank: 0,
+                    dest: 1,
+                    attempts: 1
+                })
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn corruption_without_retry_perturbs_exactly_one_word() {
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec.corrupt_rate = 1.0;
+        let out = Machine::run(2, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![2.0; 50])?;
+                Ok(0)
+            } else {
+                let v = rank.recv(0, Tag(0))?;
+                Ok(v.iter().filter(|&&x| x != 2.0).count())
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 1, "exactly one word corrupted");
+    }
+
+    #[test]
+    fn corruption_with_retry_is_detected_and_resent_clean() {
+        let mut plan = drop_plan(0.0, 8);
+        plan.spec.corrupt_rate = 0.5;
+        let out = Machine::run(2, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                for i in 0..20u64 {
+                    rank.send(1, Tag(i), vec![3.0; 10])?;
+                }
+                Ok(0)
+            } else {
+                let mut bad = 0;
+                for i in 0..20u64 {
+                    let v = rank.recv(0, Tag(i))?;
+                    bad += v.iter().filter(|&&x| x != 3.0).count();
+                }
+                Ok(bad)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 0, "acked sends deliver clean payloads");
+        assert!(out.profile.per_rank[0].retries > 0);
+    }
+
+    #[test]
+    fn delay_fault_stalls_the_sender() {
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec.delay_rate = 1.0;
+        plan.spec.delay_seconds = 0.25;
+        let out = Machine::run(2, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![0.0; 100])?;
+            } else {
+                rank.recv(0, Tag(0))?;
+            }
+            Ok(rank.now())
+        })
+        .unwrap();
+        let clean = 1e-3 + 100.0 * 1e-6;
+        assert!((out.results[0] - (0.25 + clean)).abs() < 1e-12);
+        assert!((out.results[1] - (0.25 + clean)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_fault_charges_twice_delivers_once() {
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec.duplicate_rate = 1.0;
+        let out = Machine::run(2, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0; 100])?;
+            } else {
+                let v = rank.recv(0, Tag(0))?;
+                assert_eq!(v.len(), 100);
+            }
+            Ok(())
+        })
+        .unwrap();
+        let s = &out.profile.per_rank[0];
+        assert_eq!(s.words_sent, 100);
+        assert_eq!(s.retrans_words, 100);
+        assert_eq!(s.retries, 1);
+        out.profile.assert_balanced().unwrap();
+    }
+
+    #[test]
+    fn crash_without_checkpoint_is_fatal() {
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec
+            .crashes
+            .push(psse_faults::CrashEvent { rank: 1, at: 0.5 });
+        let cfg = SimConfig {
+            gamma_t: 1e-9,
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let r = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 1 {
+                rank.compute(1_000_000_000); // 1 virtual second
+            }
+            Ok(())
+        });
+        assert!(
+            matches!(r, Err(SimError::RankCrashed { rank: 1, .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn crash_with_checkpoint_recovers_and_prices_rework() {
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec
+            .crashes
+            .push(psse_faults::CrashEvent { rank: 0, at: 0.55 });
+        plan.recovery.checkpoint = Some(psse_faults::CheckpointPolicy {
+            interval: 0.2,
+            words: 1000,
+            restart_seconds: 0.1,
+        });
+        let cfg = SimConfig {
+            gamma_t: 1e-9,
+            beta_t: 1e-6,
+            alpha_t: 1e-3,
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let out = Machine::run(1, cfg, |rank| {
+            for _ in 0..10 {
+                rank.compute(100_000_000); // 0.1 virtual seconds each
+            }
+            Ok(())
+        })
+        .unwrap();
+        let s = &out.profile.per_rank[0];
+        assert_eq!(s.crashes_recovered, 1);
+        assert!(s.checkpoint_words >= 2 * 1000, "several checkpoints due");
+        assert!(
+            out.profile.makespan > 1.0 + 0.1,
+            "rework + restart + checkpoint writes must show up: {}",
+            out.profile.makespan
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_identical_across_repeats() {
+        let mut plan = drop_plan(0.3, 6);
+        plan.spec.corrupt_rate = 0.1;
+        plan.spec.duplicate_rate = 0.1;
+        plan.spec.delay_rate = 0.1;
+        plan.spec.delay_seconds = 1e-3;
+        let run = || {
+            Machine::run(4, fault_cfg(plan.clone()), |rank| {
+                let right = (rank.rank() + 1) % rank.size();
+                let left = (rank.rank() + rank.size() - 1) % rank.size();
+                let mut block = vec![rank.rank() as f64; 64];
+                for step in 0..8 {
+                    block = rank.sendrecv(right, Tag(step), block, left, Tag(step))?;
+                    rank.compute(500);
+                }
+                Ok(())
+            })
+            .unwrap()
+            .profile
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault schedule must be deterministic");
+        assert!(a.total_retries() > 0, "faults must actually fire");
+    }
+
+    #[test]
+    fn faults_none_is_bit_identical_to_default() {
+        // Explicitly constructing the config with `faults: None` must
+        // change nothing relative to the pre-fault-layer behavior.
+        let run = |cfg: SimConfig| {
+            Machine::run(4, cfg, |rank| {
+                let right = (rank.rank() + 1) % rank.size();
+                let left = (rank.rank() + rank.size() - 1) % rank.size();
+                let mut block = vec![rank.rank() as f64; 128];
+                for step in 0..4 {
+                    block = rank.sendrecv(right, Tag(step), block, left, Tag(step))?;
+                    rank.compute(1000);
+                }
+                Ok(())
+            })
+            .unwrap()
+            .profile
+        };
+        let a = run(SimConfig::default());
+        let b = run(SimConfig {
+            faults: None,
+            ..SimConfig::default()
+        });
+        assert_eq!(a, b);
+        assert_eq!(a.resilience_words(), 0);
+        assert_eq!(a.total_retries(), 0);
     }
 
     #[test]

@@ -63,6 +63,47 @@ pub enum EventKind {
         /// Collective name.
         op: String,
     },
+    /// A failed transfer attempt (dropped or corrupt-detected) that was
+    /// retransmitted, or a link-level duplicate (`backoff == 0.0`,
+    /// `attempt == 0`): the words crossed the wire without being
+    /// delivered. Replay re-prices the wasted chunks from `words` and
+    /// the machine's link parameters, then adds the `backoff` wait.
+    Retry {
+        /// Destination rank of the doomed attempt.
+        dest: usize,
+        /// Transfer tag.
+        tag: u64,
+        /// Which attempt failed (0 = the original send).
+        attempt: usize,
+        /// Payload words charged but not delivered.
+        words: usize,
+        /// Virtual-time backoff waited after the failure, seconds
+        /// (a policy constant — replay adds it verbatim).
+        backoff: f64,
+    },
+    /// The link stalled the sender for `seconds` of virtual time before
+    /// a transfer departed (an injected delay fault).
+    LinkDelay {
+        /// Stall length, virtual seconds.
+        seconds: f64,
+    },
+    /// A coordinated checkpoint: `words` words of rank state written to
+    /// stable storage, priced like a message (`αt + βt·w` per chunk).
+    Checkpoint {
+        /// Checkpoint volume, words.
+        words: u64,
+    },
+    /// A crash absorbed by checkpoint/restart: the rank re-did `lost`
+    /// seconds of work since its last checkpoint and paid `restart`
+    /// seconds to rejoin. Both are recorded verbatim (rework is
+    /// execution history, not a priced quantity — replay adds the spans
+    /// as-is under any machine).
+    CrashRecovery {
+        /// Re-executed virtual time, seconds.
+        lost: f64,
+        /// Fixed restart cost, seconds.
+        restart: f64,
+    },
 }
 
 /// One recorded event with its virtual time span on the recording rank.

@@ -74,6 +74,24 @@ impl Trace {
                         r#"{{"ph":"E","name":"{}","pid":{r},"tid":0,"ts":{ts}}}"#,
                         escape(op)
                     )),
+                    EventKind::Retry {
+                        dest,
+                        tag,
+                        attempt,
+                        words,
+                        backoff,
+                    } => ev.push(format!(
+                        r#"{{"ph":"X","name":"retry->{dest}","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"dest":{dest},"tag":{tag},"attempt":{attempt},"words":{words},"backoff":{backoff}}}}}"#
+                    )),
+                    EventKind::LinkDelay { seconds } => ev.push(format!(
+                        r#"{{"ph":"X","name":"link-delay","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"seconds":{seconds}}}}}"#
+                    )),
+                    EventKind::Checkpoint { words } => ev.push(format!(
+                        r#"{{"ph":"X","name":"checkpoint","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"words":{words}}}}}"#
+                    )),
+                    EventKind::CrashRecovery { lost, restart } => ev.push(format!(
+                        r#"{{"ph":"X","name":"crash-recovery","pid":{r},"tid":0,"ts":{ts},"dur":{dur},"args":{{"lost":{lost},"restart":{restart}}}}}"#
+                    )),
                 }
             }
         }

@@ -106,7 +106,14 @@ fn analyse(trace: &Trace, sched: &Schedule) -> CriticalPathReport {
             let d = sched.ends[r][i] - sched.starts[r][i];
             match e.kind {
                 EventKind::Compute { .. } => compute += d,
-                EventKind::Send { .. } => comm += d,
+                // Resilience work (retries, checkpoint writes, link
+                // delays, crash rework) is time on the wire or lost to
+                // it: count it as communication, not idle.
+                EventKind::Send { .. }
+                | EventKind::Retry { .. }
+                | EventKind::LinkDelay { .. }
+                | EventKind::Checkpoint { .. }
+                | EventKind::CrashRecovery { .. } => comm += d,
                 _ => {}
             }
         }
@@ -149,6 +156,30 @@ fn analyse(trace: &Trace, sched: &Schedule) -> CriticalPathReport {
                 EventKind::Send { dest, .. } => path.push(PathSegment {
                     rank: r,
                     label: format!("send->{dest}"),
+                    t_start: st,
+                    t_end: en,
+                }),
+                EventKind::Retry { dest, .. } => path.push(PathSegment {
+                    rank: r,
+                    label: format!("retry->{dest}"),
+                    t_start: st,
+                    t_end: en,
+                }),
+                EventKind::LinkDelay { .. } => path.push(PathSegment {
+                    rank: r,
+                    label: "link-delay".into(),
+                    t_start: st,
+                    t_end: en,
+                }),
+                EventKind::Checkpoint { .. } => path.push(PathSegment {
+                    rank: r,
+                    label: "checkpoint".into(),
+                    t_start: st,
+                    t_end: en,
+                }),
+                EventKind::CrashRecovery { .. } => path.push(PathSegment {
+                    rank: r,
+                    label: "crash-recovery".into(),
                     t_start: st,
                     t_end: en,
                 }),

@@ -207,6 +207,62 @@ pub(crate) fn schedule(
                         stats[r].mem_current -= words;
                     }
                     EventKind::CollBegin { .. } | EventKind::CollEnd { .. } => {}
+                    // Fault-layer events. The chunk loops mirror the
+                    // live simulator's charging order exactly so replay
+                    // under the recorded parameters stays bit-identical.
+                    EventKind::Retry {
+                        dest,
+                        words,
+                        backoff,
+                        ..
+                    } => {
+                        let intra = same_node(params, r, *dest);
+                        let (alpha, beta) = match (&params.hierarchy, intra) {
+                            (Some(h), true) => (h.intra_alpha_t, h.intra_beta_t),
+                            _ => (params.alpha_t, params.beta_t),
+                        };
+                        let m = params.max_message_words;
+                        let mut left = *words;
+                        loop {
+                            let k = left.min(m);
+                            time[r] += alpha + beta * k as f64;
+                            stats[r].retrans_msgs += 1;
+                            stats[r].retrans_words += k as u64;
+                            if left <= m {
+                                break;
+                            }
+                            left -= m;
+                        }
+                        // The backoff is a recovery-policy constant, not
+                        // a machine price: added verbatim.
+                        time[r] += backoff;
+                        stats[r].retries += 1;
+                    }
+                    EventKind::LinkDelay { seconds } => {
+                        time[r] += seconds;
+                    }
+                    EventKind::Checkpoint { words } => {
+                        // Stable-storage writes are priced at the
+                        // machine-level (inter-node) link prices.
+                        let m = params.max_message_words as u64;
+                        let mut left = *words;
+                        loop {
+                            let k = left.min(m);
+                            time[r] += params.alpha_t + params.beta_t * k as f64;
+                            stats[r].checkpoint_msgs += 1;
+                            stats[r].checkpoint_words += k;
+                            if left <= m {
+                                break;
+                            }
+                            left -= m;
+                        }
+                    }
+                    EventKind::CrashRecovery { lost, restart } => {
+                        // Rework and restart are execution history, not
+                        // re-priceable quantities: added verbatim.
+                        time[r] += lost + restart;
+                        stats[r].crashes_recovered += 1;
+                    }
                 }
                 ends[r][i] = time[r];
                 cursor[r] += 1;
@@ -375,6 +431,89 @@ mod tests {
         assert_eq!(re.per_rank[0].msgs_sent, 15); // ceil(100/7)
         assert_eq!(re.per_rank[1].msgs_recvd, 15);
         assert_eq!(re.per_rank[0].words_sent, 100);
+    }
+
+    #[test]
+    fn faulted_run_replays_bit_exactly_and_roundtrips() {
+        // Exercise every fault-layer event kind (retries from drops,
+        // link delays, checkpoint writes, duplicates) and confirm the
+        // recorded trace self-replays bit-exactly, survives the text
+        // round-trip, and exports complete Chrome JSON.
+        let plan = FaultPlan {
+            spec: FaultSpec {
+                seed: 11,
+                drop_rate: 0.25,
+                duplicate_rate: 0.1,
+                delay_rate: 0.1,
+                delay_seconds: 1e-4,
+                ..FaultSpec::default()
+            },
+            recovery: RecoveryPolicy {
+                max_retries: 16,
+                retry_backoff: 1e-5,
+                checkpoint: Some(CheckpointPolicy {
+                    interval: 5e-4,
+                    words: 64,
+                    restart_seconds: 1e-4,
+                }),
+            },
+        };
+        let (tr, live) = record(
+            4,
+            SimConfig {
+                gamma_t: 1e-9,
+                beta_t: 1e-7,
+                alpha_t: 1e-5,
+                faults: Some(plan),
+                ..SimConfig::default()
+            },
+            |rank| {
+                for round in 0..6 {
+                    rank.compute(10_000);
+                    let right = (rank.rank() + 1) % rank.size();
+                    let left = (rank.rank() + rank.size() - 1) % rank.size();
+                    rank.sendrecv(right, Tag(round), vec![1.0; 200], left, Tag(round))?;
+                }
+                Ok(())
+            },
+        );
+        let has = |pred: fn(&psse_sim::record::EventKind) -> bool| {
+            tr.events.iter().flatten().any(|e| pred(&e.kind))
+        };
+        assert!(
+            has(|k| matches!(k, psse_sim::record::EventKind::Retry { .. })),
+            "plan should produce at least one retry/duplicate event"
+        );
+        assert!(
+            has(|k| matches!(k, psse_sim::record::EventKind::Checkpoint { .. })),
+            "plan should produce checkpoint events"
+        );
+        assert!(live.resilience_words() > 0);
+        tr.check_consistency(&live).unwrap();
+
+        // Text round-trip preserves the fault events exactly.
+        let back = Trace::from_text(&tr.to_text()).unwrap();
+        assert_eq!(back, tr);
+        back.check_consistency(&live).unwrap();
+
+        // Chrome export stays complete: one record per event + rank.
+        let json = tr.to_chrome_json();
+        assert_eq!(json.matches("\"ph\":").count(), tr.n_events() + tr.p);
+        assert!(json.contains("\"name\":\"retry->"));
+        assert!(json.contains("\"name\":\"checkpoint\""));
+
+        // Fault-event durations count as communication, not idle.
+        let rep = tr.critical_path(&tr.params).unwrap();
+        for b in &rep.breakdown {
+            let sum = b.compute + b.comm + b.idle;
+            assert!(
+                (sum - rep.makespan).abs() <= 1e-12 * rep.makespan.max(1.0),
+                "rank {}: {sum} vs {}",
+                b.rank,
+                rep.makespan
+            );
+            assert!(b.idle >= -1e-12);
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!
 //! The remaining kinds are `A t0 t1 words` (alloc), `F t0 t1 words`
 //! (free), `B t op` / `E t op` (collective begin/end; the op name,
-//! which contains no spaces, ends the line).
+//! which contains no spaces, ends the line), and the fault-layer
+//! events: `Y t0 t1 dest tag attempt words backoff` (retry /
+//! duplicate), `D t0 t1 seconds` (link delay), `K t0 t1 words`
+//! (checkpoint write), `X t0 t1 lost restart` (crash recovery).
 
 use crate::error::{TraceError, TraceResult};
 use crate::trace::{ReplayHierarchy, ReplayParams, Trace};
@@ -79,6 +82,27 @@ impl Trace {
                     }
                     EventKind::CollEnd { op } => {
                         let _ = writeln!(s, "E {t0:?} {op}");
+                    }
+                    EventKind::Retry {
+                        dest,
+                        tag,
+                        attempt,
+                        words,
+                        backoff,
+                    } => {
+                        let _ = writeln!(
+                            s,
+                            "Y {t0:?} {t1:?} {dest} {tag} {attempt} {words} {backoff:?}"
+                        );
+                    }
+                    EventKind::LinkDelay { seconds } => {
+                        let _ = writeln!(s, "D {t0:?} {t1:?} {seconds:?}");
+                    }
+                    EventKind::Checkpoint { words } => {
+                        let _ = writeln!(s, "K {t0:?} {t1:?} {words}");
+                    }
+                    EventKind::CrashRecovery { lost, restart } => {
+                        let _ = writeln!(s, "X {t0:?} {t1:?} {lost:?} {restart:?}");
                     }
                 }
             }
@@ -324,6 +348,51 @@ fn parse_event(ln: usize, kw: &str, rest: &[&str]) -> TraceResult<TimedEvent> {
                     EventKind::CollBegin { op }
                 } else {
                     EventKind::CollEnd { op }
+                },
+            }
+        }
+        "Y" => {
+            need(7)?;
+            TimedEvent {
+                t_start: parse_tok(ln, rest[0])?,
+                t_end: parse_tok(ln, rest[1])?,
+                kind: EventKind::Retry {
+                    dest: parse_tok(ln, rest[2])?,
+                    tag: parse_tok(ln, rest[3])?,
+                    attempt: parse_tok(ln, rest[4])?,
+                    words: parse_tok(ln, rest[5])?,
+                    backoff: parse_tok(ln, rest[6])?,
+                },
+            }
+        }
+        "D" => {
+            need(3)?;
+            TimedEvent {
+                t_start: parse_tok(ln, rest[0])?,
+                t_end: parse_tok(ln, rest[1])?,
+                kind: EventKind::LinkDelay {
+                    seconds: parse_tok(ln, rest[2])?,
+                },
+            }
+        }
+        "K" => {
+            need(3)?;
+            TimedEvent {
+                t_start: parse_tok(ln, rest[0])?,
+                t_end: parse_tok(ln, rest[1])?,
+                kind: EventKind::Checkpoint {
+                    words: parse_tok(ln, rest[2])?,
+                },
+            }
+        }
+        "X" => {
+            need(4)?;
+            TimedEvent {
+                t_start: parse_tok(ln, rest[0])?,
+                t_end: parse_tok(ln, rest[1])?,
+                kind: EventKind::CrashRecovery {
+                    lost: parse_tok(ln, rest[2])?,
+                    restart: parse_tok(ln, rest[3])?,
                 },
             }
         }

@@ -204,18 +204,20 @@ impl Trace {
 
     /// Replay under `params` and condense into the [`ExecutionSummary`]
     /// that Eq. 2 prices (critical-path maxima plus totals, with the
-    /// replayed message-DAG makespan as `T`).
+    /// replayed message-DAG makespan as `T`). Resilience traffic
+    /// (retransmissions, duplicates, checkpoint writes) is folded into
+    /// the word/message counts, mirroring `psse_algos::bridge::summarize`.
     pub fn summarize(&self, params: &ReplayParams) -> TraceResult<ExecutionSummary> {
         let profile = self.replay(params)?;
         Ok(ExecutionSummary {
             p: profile.p() as u64,
             flops: profile.max_flops() as f64,
-            words: profile.max_words_sent() as f64,
-            messages: profile.max_msgs_sent() as f64,
+            words: profile.max_words_with_resilience() as f64,
+            messages: profile.max_msgs_with_resilience() as f64,
             mem_peak_words: profile.max_mem_peak() as f64,
             total_flops: profile.total_flops() as f64,
-            total_words: profile.total_words_sent() as f64,
-            total_messages: profile.total_msgs_sent() as f64,
+            total_words: (profile.total_words_sent() + profile.resilience_words()) as f64,
+            total_messages: (profile.total_msgs_sent() + profile.resilience_msgs()) as f64,
             makespan: Some(profile.makespan),
         })
     }
@@ -242,6 +244,7 @@ impl Trace {
         let energy = tl.gamma_e * profile.total_flops() as f64
             + tl.beta_n_e * profile.total_words_inter() as f64
             + tl.beta_l_e * profile.total_words_intra() as f64
+            + tl.beta_n_e * profile.resilience_words() as f64
             + (pn * tl.delta_n_e * tl.mem_node
                 + p * tl.delta_l_e * tl.mem_local
                 + p * tl.epsilon_e)

@@ -18,12 +18,16 @@
 //! * [`trace`] (`psse-trace`) — event-trace recording, deterministic
 //!   DAG replay and re-pricing for arbitrary machine parameters,
 //!   critical-path analysis, and Chrome trace-event export.
+//! * [`faults`] (`psse-faults`) — deterministic fault schedules
+//!   (crash/drop/corrupt/duplicate/delay) and recovery policies
+//!   (retry, checkpoint/restart) injected through `SimConfig::faults`.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use psse_algos as algos;
 pub use psse_core as core;
+pub use psse_faults as faults;
 pub use psse_kernels as kernels;
 pub use psse_sim as sim;
 pub use psse_trace as trace;
@@ -31,6 +35,8 @@ pub use psse_trace as trace;
 /// Convenience prelude: the core model prelude plus the most common
 /// simulator and algorithm entry points.
 pub mod prelude {
+    // `psse_faults`'s types arrive via `psse_sim::prelude` (re-exported
+    // there so simulator users see one coherent surface).
     pub use psse_algos::prelude::*;
     pub use psse_core::prelude::*;
     pub use psse_sim::prelude::*;
