@@ -19,6 +19,7 @@ use psse_bench::report::{banner, sci, svg_plot, write_svg, Scale, Table};
 use psse_core::costs::{Algorithm, DirectNBody};
 use psse_core::optimize::nbody::NBodyOptimizer;
 use psse_core::params::MachineParams;
+use psse_lab::prelude::{Lab, LabConfig, RunKey};
 
 /// Contrived machine, tuned so that `M0 = sqrt(B/D) = 1000` sits
 /// mid-wedge for `n = 10⁴`, the flop energy baseline is ~1 J, and the
@@ -130,22 +131,35 @@ fn main() {
         ),
     );
 
-    // The (p, M) grid with T and E for external contour plotting.
-    let mut grid = Table::new(&["p", "M", "T", "E", "P"]);
+    // The (p, M) grid with T and E for external contour plotting —
+    // routed through the psse-lab batch engine: the keys expand in the
+    // same nested order as the old inline loop, the pool executes them
+    // on every core, and the runner prices n-body with the identical
+    // `NBodyOptimizer::evaluate` floats, so the CSV bytes are unchanged.
+    let lab = Lab::new(LabConfig::default());
+    let mut keys = Vec::new();
     for pi in 0..30 {
         let p = (6.0 * (100.0f64 / 6.0).powf(pi as f64 / 29.0)).round() as u64;
         for mi in 0..30 {
             let m = m_lo * (m_hi / m_lo).powf(mi as f64 / 29.0);
-            if feasible(&nb, p, m) {
-                let cfg = opt.evaluate(N, p, m);
-                grid.row(&[
-                    p.to_string(),
-                    sci(m),
-                    sci(cfg.time),
-                    sci(cfg.energy),
-                    sci(cfg.energy / cfg.time),
-                ]);
-            }
+            let mut k = RunKey::model("nbody", N, p, mp.clone());
+            k.f = F;
+            k.mem = m;
+            keys.push(k);
+        }
+    }
+    let results = lab.run_keys(&keys);
+    let mut grid = Table::new(&["p", "M", "T", "E", "P"]);
+    for (k, r) in keys.iter().zip(&results) {
+        let r = r.as_ref().expect("n-body model run");
+        if r.feasible {
+            grid.row(&[
+                k.p.to_string(),
+                sci(k.mem),
+                sci(r.time),
+                sci(r.energy),
+                sci(r.energy / r.time),
+            ]);
         }
     }
     grid.write_csv("fig4_grid");

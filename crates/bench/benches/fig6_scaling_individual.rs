@@ -11,10 +11,12 @@ use psse_algos::prelude::{matmul_25d, sim_config_from};
 use psse_bench::report::{
     ascii_plot_loglog, banner, sci, svg_plot, trace_events_table, write_svg, Scale, Table,
 };
+use psse_core::energy::gflops_per_watt;
 use psse_core::machines::jaketown;
 use psse_core::params::MachineParams;
 use psse_core::tech_scaling::{fig6_series, scale_all_energy, scale_param, CaseStudy, EnergyParam};
 use psse_kernels::matrix::Matrix;
+use psse_lab::prelude::{Lab, LabConfig, RunKey};
 use psse_sim::machine::SimConfig;
 use psse_trace::Trace;
 
@@ -36,6 +38,32 @@ fn main() {
     let generations = 10;
     let rows = fig6_series(&base, study, generations);
 
+    // The same sweep routed through the psse-lab batch engine: one
+    // matmul model run per (generation, scaled-machine) cell. The lab
+    // prices 2.5D matmul with the exact `e_matmul_25d` closed form, so
+    // every cell reproduces `fig6_series` bit-for-bit (asserted below)
+    // and the emitted CSV is byte-identical to the checked-in file.
+    let lab = Lab::new(LabConfig::default());
+    let mut keys = Vec::new();
+    for gen in 0..=generations {
+        let f = 0.5f64.powi(gen as i32);
+        for m in [
+            scale_param(&base, EnergyParam::GammaE, f),
+            scale_param(&base, EnergyParam::BetaE, f),
+            scale_param(&base, EnergyParam::DeltaE, f),
+            scale_all_energy(&base, f),
+        ] {
+            let mut k = RunKey::model("matmul", study.n, study.p, m.clone());
+            k.mem = study.memory(&m);
+            keys.push(k);
+        }
+    }
+    let results = lab.run_keys(&keys);
+    let cell = |i: usize| {
+        let r = results[i].as_ref().expect("matmul model run");
+        gflops_per_watt(r.flops, r.energy)
+    };
+
     let mut table = Table::new(&[
         "generation",
         "halve gamma_e",
@@ -44,7 +72,7 @@ fn main() {
         "all three",
     ]);
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
-    for row in &rows {
+    for (gi, row) in rows.iter().enumerate() {
         let eff = |p: EnergyParam| {
             row.per_param
                 .iter()
@@ -52,21 +80,29 @@ fn main() {
                 .map(|(_, e)| *e)
                 .unwrap()
         };
-        let g = eff(EnergyParam::GammaE);
-        let b = eff(EnergyParam::BetaE);
-        let d = eff(EnergyParam::DeltaE);
+        let (g, b, d, all) = (
+            cell(4 * gi),
+            cell(4 * gi + 1),
+            cell(4 * gi + 2),
+            cell(4 * gi + 3),
+        );
+        // Lab-priced cells agree with the closed-form series exactly.
+        assert_eq!(g.to_bits(), eff(EnergyParam::GammaE).to_bits());
+        assert_eq!(b.to_bits(), eff(EnergyParam::BetaE).to_bits());
+        assert_eq!(d.to_bits(), eff(EnergyParam::DeltaE).to_bits());
+        assert_eq!(all.to_bits(), row.together.to_bits());
         table.row(&[
             row.generation.to_string(),
             format!("{g:.3}"),
             format!("{b:.3}"),
             format!("{d:.3}"),
-            format!("{:.3}", row.together),
+            format!("{all:.3}"),
         ]);
         let x = (row.generation + 1) as f64; // log plot needs x > 0
         series[0].push((x, g));
         series[1].push((x, b));
         series[2].push((x, d));
-        series[3].push((x, row.together));
+        series[3].push((x, all));
     }
     println!("{}", table.render());
     table.write_csv("fig6_scaling_individual");

@@ -4,8 +4,10 @@
 //! 75 GFLOPS/W is reached "after 5 generations" (multiplier ≈ 32).
 
 use psse_bench::report::{ascii_plot_loglog, banner, svg_plot, write_svg, Scale, Table};
+use psse_core::energy::gflops_per_watt;
 use psse_core::machines::jaketown;
-use psse_core::tech_scaling::{fig7_series, multiplier_for_target, CaseStudy};
+use psse_core::tech_scaling::{fig7_series, multiplier_for_target, scale_all_energy, CaseStudy};
+use psse_lab::prelude::{Lab, LabConfig, RunKey};
 
 fn main() {
     banner("Figure 7: scaling gamma_e, beta_e, delta_e together");
@@ -15,15 +17,33 @@ fn main() {
     let multipliers: Vec<f64> = (0..=10).map(|i| 2f64.powi(i)).collect();
     let series = fig7_series(&base, study, &multipliers);
 
+    // The same sweep through the psse-lab engine: one matmul model run
+    // per multiplier; the lab's closed-form pricing reproduces
+    // `fig7_series` bit-for-bit (asserted per row).
+    let lab = Lab::new(LabConfig::default());
+    let keys: Vec<RunKey> = multipliers
+        .iter()
+        .map(|&k| {
+            let scaled = scale_all_energy(&base, 1.0 / k);
+            let mut key = RunKey::model("matmul", study.n, study.p, scaled.clone());
+            key.mem = study.memory(&scaled);
+            key
+        })
+        .collect();
+    let results = lab.run_keys(&keys);
+
     let mut table = Table::new(&["improvement multiplier", "generations", "GFLOPS/W"]);
     let mut pts = Vec::new();
-    for (k, eff) in &series {
+    for (i, (k, eff)) in series.iter().enumerate() {
+        let r = results[i].as_ref().expect("matmul model run");
+        let lab_eff = gflops_per_watt(r.flops, r.energy);
+        assert_eq!(lab_eff.to_bits(), eff.to_bits());
         table.row(&[
             format!("{k}"),
             format!("{:.1}", k.log2()),
-            format!("{eff:.3}"),
+            format!("{lab_eff:.3}"),
         ]);
-        pts.push((*k, *eff));
+        pts.push((*k, lab_eff));
     }
     println!("{}", table.render());
     table.write_csv("fig7_scaling_together");

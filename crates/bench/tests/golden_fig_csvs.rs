@@ -1,0 +1,130 @@
+//! Golden-file tests: regenerating the Fig. 4 grid and the Fig. 6
+//! analytic table **through the psse-lab engine** reproduces the
+//! checked-in `bench_results/` CSVs byte for byte.
+//!
+//! This is the contract that lets the figure benches route their sweeps
+//! through the lab: the runner prices n-body and 2.5D matmul with the
+//! exact `psse-core` closed-form floats, and the pool reassembles
+//! results in spec order, so neither parallelism nor caching can change
+//! a single output byte.
+
+use psse_bench::report::{sci, Table};
+use psse_core::costs::{Algorithm, DirectNBody};
+use psse_core::energy::gflops_per_watt;
+use psse_core::machines::jaketown;
+use psse_core::params::MachineParams;
+use psse_core::tech_scaling::{scale_all_energy, scale_param, CaseStudy, EnergyParam};
+use psse_lab::prelude::{Lab, LabConfig, RunKey};
+use std::path::PathBuf;
+
+fn checked_in(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../bench_results")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()))
+}
+
+/// The Fig. 4 contrived machine (same parameters as the bench).
+fn contrived() -> MachineParams {
+    MachineParams::builder()
+        .gamma_t(1e-9)
+        .beta_t(2e-8)
+        .alpha_t(1e-6)
+        .gamma_e(1e-9)
+        .beta_e(4e-6)
+        .alpha_e(1e-4)
+        .delta_e(5e-4)
+        .epsilon_e(0.0)
+        .max_message_words(100.0)
+        .mem_words(1e12)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn fig4_grid_regenerated_through_lab_is_byte_identical() {
+    const N: u64 = 10_000;
+    const F: f64 = 10.0;
+    let mp = contrived();
+    let nb = DirectNBody {
+        flops_per_interaction: F,
+    };
+    let m_lo = nb.min_memory(N, 100);
+    let m_hi = nb.max_useful_memory(N, 6);
+
+    let lab = Lab::new(LabConfig::default());
+    let mut keys = Vec::new();
+    for pi in 0..30 {
+        let p = (6.0 * (100.0f64 / 6.0).powf(pi as f64 / 29.0)).round() as u64;
+        for mi in 0..30 {
+            let m = m_lo * (m_hi / m_lo).powf(mi as f64 / 29.0);
+            let mut k = RunKey::model("nbody", N, p, mp.clone());
+            k.f = F;
+            k.mem = m;
+            keys.push(k);
+        }
+    }
+    let results = lab.run_keys(&keys);
+
+    let mut grid = Table::new(&["p", "M", "T", "E", "P"]);
+    for (k, r) in keys.iter().zip(&results) {
+        let r = r.as_ref().expect("n-body model run");
+        if r.feasible {
+            grid.row(&[
+                k.p.to_string(),
+                sci(k.mem),
+                sci(r.time),
+                sci(r.energy),
+                sci(r.energy / r.time),
+            ]);
+        }
+    }
+    assert_eq!(grid.to_csv(), checked_in("fig4_grid.csv"));
+}
+
+#[test]
+fn fig6_table_regenerated_through_lab_is_byte_identical() {
+    let base = jaketown();
+    let study = CaseStudy::default();
+    let generations = 10u32;
+
+    let lab = Lab::new(LabConfig::default());
+    let mut keys = Vec::new();
+    for gen in 0..=generations {
+        let f = 0.5f64.powi(gen as i32);
+        for m in [
+            scale_param(&base, EnergyParam::GammaE, f),
+            scale_param(&base, EnergyParam::BetaE, f),
+            scale_param(&base, EnergyParam::DeltaE, f),
+            scale_all_energy(&base, f),
+        ] {
+            let mut k = RunKey::model("matmul", study.n, study.p, m.clone());
+            k.mem = study.memory(&m);
+            keys.push(k);
+        }
+    }
+    let results = lab.run_keys(&keys);
+    let cell = |i: usize| {
+        let r = results[i].as_ref().expect("matmul model run");
+        gflops_per_watt(r.flops, r.energy)
+    };
+
+    let mut table = Table::new(&[
+        "generation",
+        "halve gamma_e",
+        "halve beta_e",
+        "halve delta_e",
+        "all three",
+    ]);
+    for gen in 0..=generations as usize {
+        table.row(&[
+            gen.to_string(),
+            format!("{:.3}", cell(4 * gen)),
+            format!("{:.3}", cell(4 * gen + 1)),
+            format!("{:.3}", cell(4 * gen + 2)),
+            format!("{:.3}", cell(4 * gen + 3)),
+        ]);
+    }
+    assert_eq!(table.to_csv(), checked_in("fig6_scaling_individual.csv"));
+}

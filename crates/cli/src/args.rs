@@ -98,6 +98,51 @@ impl Args {
     pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.get(key).filter(|v| !v.is_empty()).unwrap_or(default)
     }
+
+    /// Reject any option outside `allowed`, with a nearest-match hint —
+    /// a silently ignored `--machne jaketown` is far worse than an
+    /// error. Call once per command with its full key list.
+    pub fn expect_keys(&self, allowed: &[&str]) -> Result<(), String> {
+        // Deterministic order for reproducible error messages.
+        let mut unknown: Vec<&str> = self
+            .opts
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        let Some(key) = unknown.first() else {
+            return Ok(());
+        };
+        let hint = allowed
+            .iter()
+            .map(|cand| (levenshtein(key, cand), *cand))
+            .min()
+            .filter(|&(d, cand)| d <= (cand.len() / 2).max(2))
+            .map(|(_, cand)| format!(" (did you mean --{cand}?)"))
+            .unwrap_or_default();
+        Err(format!(
+            "unknown option --{key} for `{}`{hint}",
+            self.command
+        ))
+    }
+}
+
+/// Classic dynamic-programming edit distance, small inputs only.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -140,6 +185,46 @@ mod tests {
         assert!(a.req_f64("z").is_err());
         assert_eq!(a.req_u64("w").unwrap(), 1000);
         assert!(a.req("missing").is_err());
+    }
+
+    #[test]
+    fn expect_keys_accepts_known_and_rejects_unknown() {
+        let a = Args::parse(&argv("model --alg matmul --n 8 --p 2")).unwrap();
+        assert!(a.expect_keys(&["alg", "n", "p", "mem"]).is_ok());
+        let err = a.expect_keys(&["alg", "n", "mem"]).unwrap_err();
+        assert!(err.contains("--p"), "{err}");
+        assert!(err.contains("model"), "{err}");
+    }
+
+    #[test]
+    fn expect_keys_suggests_nearest_match() {
+        let a = Args::parse(&argv("model --machne jaketown --n 8")).unwrap();
+        let err = a.expect_keys(&["machine", "n", "p"]).unwrap_err();
+        assert!(
+            err.contains("did you mean --machine?"),
+            "want a hint, got: {err}"
+        );
+        // A wildly different key gets no misleading hint.
+        let a = Args::parse(&argv("model --zzzzqqqq 1 --n 8")).unwrap();
+        let err = a.expect_keys(&["machine", "n", "p"]).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn expect_keys_reports_first_unknown_deterministically() {
+        let a = Args::parse(&argv("m --zeta 1 --beta 2 --alpha 3")).unwrap();
+        let err = a.expect_keys(&["n"]).unwrap_err();
+        assert!(err.contains("--alpha"), "sorted order: {err}");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", "abd"), 1);
+        assert_eq!(levenshtein("gamma-t", "gamma-e"), 1);
+        assert_eq!(levenshtein("machne", "machine"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -13,11 +13,40 @@ use psse_kernels::fft::fft as kernel_fft;
 use psse_kernels::matrix::Matrix;
 use psse_kernels::nbody::{accumulate_forces, random_particles};
 use psse_kernels::rng::XorShift64;
+use psse_lab::prelude::{
+    detect_scaling_range, pareto_csv, sweep_csv, Lab, LabConfig, RunKey, SweepSpec,
+};
 use psse_sim::profile::Profile;
 use psse_trace::Trace;
 use std::fmt::Write as _;
 
 type CmdResult = Result<(), String>;
+
+/// `--machine` plus its per-parameter override keys, shared by every
+/// command that prices runs.
+const MACHINE_KEYS: [&str; 11] = [
+    "machine",
+    "gamma-t",
+    "beta-t",
+    "alpha-t",
+    "gamma-e",
+    "beta-e",
+    "alpha-e",
+    "delta-e",
+    "epsilon-e",
+    "max-message",
+    "mem-words",
+];
+
+/// Keys consumed by [`run_algorithm`] (shared by `simulate` and
+/// `trace record`).
+const RUN_KEYS: [&str; 7] = ["alg", "n", "p", "c", "seed", "panel", "cols"];
+
+/// Build the allowed-key list for [`crate::args::Args::expect_keys`]
+/// from slices of shared and command-specific keys.
+fn allowed(groups: &[&[&'static str]]) -> Vec<&'static str> {
+    groups.iter().flat_map(|g| g.iter().copied()).collect()
+}
 
 fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -88,7 +117,8 @@ fn algorithm_from(args: &Args) -> Result<Box<dyn Algorithm>, String> {
     })
 }
 
-pub fn machines(_args: &Args, out: &mut String) -> CmdResult {
+pub fn machines(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&[])?;
     let _ = writeln!(
         out,
         "{:<28} {:>10} {:>6} {:>5} {:>8} {:>14} {:>12} {:>12} {:>9}",
@@ -121,6 +151,7 @@ pub fn machines(_args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn model(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[&MACHINE_KEYS, &["alg", "n", "p", "mem", "f"]]))?;
     let (mp, mname) = machine_from(args)?;
     let alg = algorithm_from(args)?;
     let n = args.req_u64("n")?;
@@ -154,6 +185,7 @@ pub fn model(args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn scaling(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["alg", "n", "mem", "f"])?;
     let alg = algorithm_from(args)?;
     let n = args.req_u64("n")?;
     let mem = args.req_f64("mem")?;
@@ -182,6 +214,10 @@ pub fn scaling(args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn optimize(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[
+        &MACHINE_KEYS,
+        &["n", "f", "tmax", "emax", "power-total", "power-proc"],
+    ]))?;
     let (mp, mname) = machine_from(args)?;
     let n = args.req_u64("n")?;
     let f = args.f64_or("f", 20.0)?;
@@ -398,6 +434,7 @@ fn run_algorithm(
 }
 
 pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[&MACHINE_KEYS, &RUN_KEYS]))?;
     let (mp, mname) = machine_from(args)?;
     let cfg = sim_config_from(&mp);
     let alg = args.req("alg")?;
@@ -443,6 +480,7 @@ pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn tech(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[&MACHINE_KEYS, &["target"]]))?;
     let (mp, _) = machine_from(args)?;
     let target = args.f64_or("target", 75.0)?;
     let study = CaseStudy::default();
@@ -507,6 +545,7 @@ pub fn trace_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
 }
 
 fn trace_record(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[&MACHINE_KEYS, &RUN_KEYS, &["out"]]))?;
     let (mp, mname) = machine_from(args)?;
     let mut cfg = sim_config_from(&mp);
     cfg.record_trace = true;
@@ -535,6 +574,7 @@ fn trace_record(args: &Args, out: &mut String) -> CmdResult {
 }
 
 fn trace_replay(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&allowed(&[&MACHINE_KEYS, &["in"]]))?;
     let trace = Trace::load(args.req("in")?).map_err(|e| e.to_string())?;
     // Self-replay under the recorded parameters must reproduce the
     // recorded makespan exactly.
@@ -566,6 +606,7 @@ fn trace_replay(args: &Args, out: &mut String) -> CmdResult {
 }
 
 fn trace_critical_path(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["in", "top"])?;
     let trace = Trace::load(args.req("in")?).map_err(|e| e.to_string())?;
     let rep = trace
         .critical_path(&trace.params)
@@ -608,6 +649,7 @@ fn trace_critical_path(args: &Args, out: &mut String) -> CmdResult {
 }
 
 fn trace_export(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["in", "out"])?;
     let input = args.req("in")?.to_string();
     let trace = Trace::load(&input).map_err(|e| e.to_string())?;
     let default_out = format!("{input}.json");
@@ -641,6 +683,28 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
     use psse_core::optimize::resilience::{daly_optimal_interval, resilience_energy};
     use psse_sim::prelude::{CheckpointPolicy, FaultPlan, FaultSpec, RecoveryPolicy};
 
+    args.expect_keys(&allowed(&[
+        &MACHINE_KEYS,
+        &[
+            "n",
+            "q",
+            "c-list",
+            "seed",
+            "checkpoint-interval",
+            "drop-rate",
+            "corrupt-rate",
+            "duplicate-rate",
+            "delay-rate",
+            "delay-seconds",
+            "retries",
+            "backoff",
+            "checkpoint-words",
+            "restart",
+            "mtbf",
+            "out",
+            "jobs",
+        ],
+    ]))?;
     let (mp, mname) = machine_from(args)?;
     let n = args.u64_or("n", 32)? as usize;
     let q = args.u64_or("q", 4)? as usize;
@@ -716,48 +780,61 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
         "c", "p", "E_free(J)", "E_fault(J)", "overhead(J)", "model(J)", "retries", "ckpt_words"
     );
 
+    // Route the sweep through the lab engine: each c contributes a
+    // fault-free and a faulted key; the pool parallelises across c and
+    // the content-addressed cache dedups repeat invocations.
+    let lab = Lab::new(LabConfig {
+        jobs: args.u64_or("jobs", 0)? as usize,
+        ..LabConfig::default()
+    });
+    let mut keys = Vec::new();
+    for &c in &c_list {
+        let p = q * q * c;
+        for faults in [None, Some(plan.clone())] {
+            let mut k = RunKey::simulate("mm25d-abft", n as u64, p as u64, mp.clone());
+            k.c = c as u64;
+            k.seed = seed;
+            k.faults = faults;
+            keys.push(k);
+        }
+    }
+    let results = lab.run_keys(&keys);
+
     let mut csv = String::from(
         "c,p,t_free_s,t_fault_s,e_free_j,e_fault_j,overhead_j,model_j,retries,checkpoint_words,resilience_words\n",
     );
-    for &c in &c_list {
+    for (i, &c) in c_list.iter().enumerate() {
         let p = q * q * c;
-        let a = Matrix::random(n, n, seed);
-        let b = Matrix::random(n, n, seed + 1);
-
-        let cfg_free = sim_config_from(&mp);
-        let (c_free, prof_free) =
-            matmul_25d_abft(&a, &b, p, c, cfg_free).map_err(|e| e.to_string())?;
-
-        let mut cfg_fault = sim_config_from(&mp);
-        cfg_fault.faults = Some(plan.clone());
-        let (c_fault, prof_fault) =
-            matmul_25d_abft(&a, &b, p, c, cfg_fault).map_err(|e| e.to_string())?;
-        if c_fault.max_abs_diff(&c_free) != 0.0 {
+        let r_free = results[2 * i]
+            .as_ref()
+            .map_err(|e| format!("c = {c} fault-free run: {e}"))?;
+        let r_fault = results[2 * i + 1]
+            .as_ref()
+            .map_err(|e| format!("c = {c} faulted run: {e}"))?;
+        if r_fault.output_digest != r_free.output_digest {
             return Err(format!(
                 "c = {c}: faulted run numerics differ from fault-free (retry should resend identical data)"
             ));
         }
 
-        let m_free = measure(&prof_free, &mp);
-        let m_fault = measure(&prof_fault, &mp);
-        let overhead = m_fault.energy - m_free.energy;
+        let overhead = r_fault.energy - r_free.energy;
         let model = resilience_energy(
             &mp,
-            prof_fault.resilience_words() as f64,
-            prof_fault.resilience_msgs() as f64,
-            m_fault.time - m_free.time,
+            r_fault.resilience_words as f64,
+            r_fault.resilience_msgs as f64,
+            r_fault.time - r_free.time,
             p as f64,
-            prof_fault.max_mem_peak() as f64,
+            r_fault.mem_used,
         );
-        let retries = prof_fault.total_retries();
-        let ckpt_words: u64 = prof_fault.per_rank.iter().map(|r| r.checkpoint_words).sum();
+        let retries = r_fault.retries;
+        let ckpt_words = r_fault.checkpoint_words;
         let _ = writeln!(
             out,
             "{:>3} {:>5} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
             c,
             p,
-            fmt(m_free.energy),
-            fmt(m_fault.energy),
+            fmt(r_free.energy),
+            fmt(r_fault.energy),
             fmt(overhead),
             fmt(model),
             retries,
@@ -766,13 +843,13 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
         let _ = writeln!(
             csv,
             "{c},{p},{:?},{:?},{:?},{:?},{:?},{:?},{retries},{ckpt_words},{}",
-            m_free.time,
-            m_fault.time,
-            m_free.energy,
-            m_fault.energy,
+            r_free.time,
+            r_fault.time,
+            r_free.energy,
+            r_fault.energy,
             overhead,
             model,
-            prof_fault.resilience_words()
+            r_fault.resilience_words
         );
     }
     let _ = writeln!(
@@ -782,6 +859,137 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
     if let Some(path) = args.get("out").filter(|v| !v.is_empty()) {
         std::fs::write(path, &csv).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "wrote CSV to {path}");
+    }
+    Ok(())
+}
+
+pub fn lab_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
+    match action {
+        "run" => lab_run(args, out),
+        "expand" => lab_expand(args, out),
+        other => Err(format!("unknown lab action `{other}` (run|expand)")),
+    }
+}
+
+/// Read and parse the `--spec` file.
+fn lab_spec_from(args: &Args) -> Result<(SweepSpec, String), String> {
+    let path = args.req("spec")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --spec {path}: {e}"))?;
+    let spec = SweepSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((spec, path.to_string()))
+}
+
+fn lab_run(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["spec", "jobs", "out", "pareto", "cache", "scaling"])?;
+    let (spec, path) = lab_spec_from(args)?;
+    // `--cache DIR` persists results under DIR; `off` (or omitting the
+    // flag) keeps the cache in-memory only.
+    let cache_dir = match args.get("cache") {
+        None | Some("") | Some("off") => None,
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+    };
+    let lab = Lab::new(LabConfig {
+        jobs: args.u64_or("jobs", 0)? as usize,
+        cache_dir,
+        ..LabConfig::default()
+    });
+    let _ = writeln!(
+        out,
+        "spec      : {path} ({} {} runs, alg `{}`, machine `{}`)",
+        spec.len(),
+        spec.kind.as_str(),
+        spec.alg,
+        spec.machine_name
+    );
+    let _ = writeln!(out, "jobs      : {}", lab.jobs());
+    let sweep = lab.run_spec(&spec);
+    let (feasible, infeasible) = sweep.feasibility();
+    let _ = writeln!(
+        out,
+        "runs      : {} ok ({feasible} feasible, {infeasible} infeasible), {} failed",
+        sweep.results.len() - sweep.failures(),
+        sweep.failures()
+    );
+    for (key, res) in sweep.keys.iter().zip(&sweep.results) {
+        if let Err(e) = res {
+            let _ = writeln!(out, "  failed  : {}: {e}", key.label());
+        }
+    }
+    // Counters live in the summary only — the CSV bytes stay a pure
+    // function of the spec, independent of cache temperature.
+    let s = sweep.stats;
+    let _ = writeln!(
+        out,
+        "cache     : hits={} misses={} evictions={} hit_rate={:.1}%",
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.hit_rate()
+    );
+    if args.has("scaling") {
+        lab_scaling_report(&sweep, out);
+    }
+    if let Some(p) = args.get("out").filter(|v| !v.is_empty()) {
+        std::fs::write(p, sweep_csv(&sweep.keys, &sweep.results)).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote sweep CSV to {p}");
+    }
+    if let Some(p) = args.get("pareto").filter(|v| !v.is_empty()) {
+        std::fs::write(p, pareto_csv(&sweep.keys, &sweep.results)).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote Pareto CSV to {p}");
+    }
+    Ok(())
+}
+
+/// Per-(n, c, M) perfect-strong-scaling detection over the feasible
+/// samples of a sweep (paper §III: T ∝ 1/p at constant E).
+fn lab_scaling_report(sweep: &psse_lab::SweepResults, out: &mut String) {
+    let mut groups: Vec<(u64, u64, u64)> = Vec::new();
+    for key in &sweep.keys {
+        let g = (key.n, key.c, key.mem.to_bits());
+        if !groups.contains(&g) {
+            groups.push(g);
+        }
+    }
+    for (n, c, mem_bits) in groups {
+        let mut samples: Vec<(u64, f64, f64)> = sweep
+            .keys
+            .iter()
+            .zip(&sweep.results)
+            .filter(|(k, _)| k.n == n && k.c == c && k.mem.to_bits() == mem_bits)
+            .filter_map(|(k, r)| {
+                let r = r.as_ref().ok()?;
+                r.feasible.then_some((k.p, r.time, r.energy))
+            })
+            .collect();
+        samples.sort_by_key(|&(p, _, _)| p);
+        samples.dedup_by_key(|&mut (p, _, _)| p);
+        let label = format!("n = {n}, M = {}", fmt(f64::from_bits(mem_bits)));
+        match detect_scaling_range(&samples, 1e-9) {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "scaling   : {label}: perfect strong scaling for p ∈ [{}, {}]",
+                    r.p_min, r.p_max
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "scaling   : {label}: no perfect-strong-scaling range detected"
+                );
+            }
+        }
+    }
+}
+
+fn lab_expand(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["spec"])?;
+    let (spec, path) = lab_spec_from(args)?;
+    let keys = spec.expand();
+    let _ = writeln!(out, "spec      : {path} expands to {} runs", keys.len());
+    for key in &keys {
+        let _ = writeln!(out, "{}  {}", key.digest(), key.label());
     }
     Ok(())
 }

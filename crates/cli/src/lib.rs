@@ -16,6 +16,8 @@
 //! psse trace    replay --in run.trace --gamma-t 1e-10
 //! psse trace    critical-path --in run.trace --top 5
 //! psse trace    export --in run.trace --out run.trace.json
+//! psse lab      run --spec sweep.spec --jobs 8 --out sweep.csv --pareto front.csv
+//! psse lab      expand --spec sweep.spec
 //! ```
 //!
 //! All logic lives in [`run`] so it can be tested without spawning the
@@ -53,6 +55,14 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
         let args = Args::parse(&argv[1..])?;
         let action = args.command.clone();
         return commands::faults_cmd(&action, &args, out);
+    }
+    if argv[0] == "lab" {
+        if argv.len() < 2 {
+            return Err("usage: psse lab <run|expand> [--option value]...".into());
+        }
+        let args = Args::parse(&argv[1..])?;
+        let action = args.command.clone();
+        return commands::lab_cmd(&action, &args, out);
     }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
@@ -111,6 +121,18 @@ COMMANDS:
                       verify faulted numerics match fault-free, report the
                       measured energy overhead against the Eq. 2 resilience
                       model (and the Daly-optimal interval when --mtbf given)
+                      [--jobs N]  worker threads for the sweep (default: auto)
+  lab        Parallel batch experiment engine over declarative sweep specs.
+               run    --spec FILE  execute the sweep and print a summary
+                      [--jobs N]        worker threads (0 = PSSE_LAB_JOBS/auto);
+                                        output bytes are identical for any N
+                      [--out FILE.csv]  full sweep CSV (spec order)
+                      [--pareto FILE]   per-n (time, energy) Pareto frontier CSV
+                      [--cache DIR|off] persistent content-addressed result
+                                        cache (default off); reruns hit
+                      [--scaling]       detect perfect-strong-scaling ranges
+                                        per (n, c, M) ladder (paper SIII)
+               expand --spec FILE  print the expanded run list with digests
   help       This message.
 ";
 
@@ -130,9 +152,22 @@ mod tests {
         let out = call("help").unwrap();
         for cmd in [
             "machines", "model", "scaling", "optimize", "simulate", "tech", "trace", "faults",
+            "lab",
         ] {
             assert!(out.contains(cmd), "help should mention {cmd}");
         }
+    }
+
+    #[test]
+    fn unknown_options_get_a_nearest_match_hint() {
+        let err = call("model --alg matmul --n 8192 --p 64 --machne jaketown").unwrap_err();
+        assert!(err.contains("unknown option --machne"), "{err}");
+        assert!(err.contains("did you mean --machine?"), "{err}");
+        let err = call("scaling --alg matmul --n 8192 --memm 1e6").unwrap_err();
+        assert!(err.contains("did you mean --mem?"), "{err}");
+        // Typos in two-level commands are caught too.
+        let err = call("faults sweep --q 2 --c-list 1 --n 16 --drop-rte 0.1").unwrap_err();
+        assert!(err.contains("did you mean --drop-rate?"), "{err}");
     }
 
     #[test]
@@ -322,6 +357,80 @@ mod tests {
         assert!(call("faults frobnicate").is_err());
         // Invalid plans are rejected up front.
         assert!(call("faults sweep --q 2 --c-list 1 --n 16 --drop-rate 1.5").is_err());
+    }
+
+    #[test]
+    fn lab_run_executes_spec_and_writes_identical_csvs_for_any_jobs() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("nbody.spec");
+        std::fs::write(
+            &spec_path,
+            "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:8\nmem = geomf:2e2:1e4:4\nf = 10\n",
+        )
+        .unwrap();
+        let sp = spec_path.to_str().unwrap();
+        let csv1 = dir.join("sweep1.csv");
+        let csv8 = dir.join("sweep8.csv");
+        let front = dir.join("front.csv");
+
+        let out = call(&format!(
+            "lab run --spec {sp} --jobs 1 --out {} --pareto {} --scaling",
+            csv1.display(),
+            front.display()
+        ))
+        .unwrap();
+        assert!(out.contains("32 model runs"), "{out}");
+        assert!(out.contains("cache     : hits=0 misses=32"), "{out}");
+        assert!(out.contains("scaling   :"), "{out}");
+
+        let out8 = call(&format!(
+            "lab run --spec {sp} --jobs 8 --out {}",
+            csv8.display()
+        ))
+        .unwrap();
+        assert!(out8.contains("jobs      : 8"), "{out8}");
+
+        let b1 = std::fs::read(&csv1).unwrap();
+        let b8 = std::fs::read(&csv8).unwrap();
+        assert_eq!(b1, b8, "sweep CSV must not depend on --jobs");
+        let f = std::fs::read_to_string(&front).unwrap();
+        assert!(f.starts_with("n,p,c,mem_words,time_s,energy_j\n"), "{f}");
+        assert!(f.lines().count() >= 2, "frontier should be non-empty: {f}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_expand_lists_digests() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-expand-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("tiny.spec");
+        std::fs::write(
+            &spec_path,
+            "kind = model\nalg = matmul\nn = 1024\np = 4,8\n",
+        )
+        .unwrap();
+        let out = call(&format!("lab expand --spec {}", spec_path.display())).unwrap();
+        assert!(out.contains("expands to 2 runs"), "{out}");
+        // One 32-hex digest per run, all distinct.
+        let digests: Vec<&str> = out
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(digests.len(), 2, "{out}");
+        assert!(digests.iter().all(|d| d.len() == 32), "{out}");
+        assert_ne!(digests[0], digests[1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_requires_action_and_spec() {
+        assert!(call("lab").is_err());
+        assert!(call("lab frobnicate").is_err());
+        assert!(call("lab run").is_err());
+        assert!(call("lab run --spec /nonexistent/file.spec").is_err());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Content-addressed result cache: in-memory memoization with optional
+//! one-line-per-record persistence.
+//!
+//! Keys are [`RunKey`](crate::key::RunKey) digests (32 hex chars);
+//! values are [`RunResult`]s. The in-memory layer is a bounded map with
+//! FIFO eviction; the optional disk layer stores each record as a file
+//! named after its digest so concurrent writers never interleave, and
+//! treats unreadable records as misses.
+//!
+//! Counters (hits / misses / evictions) are for the human-readable run
+//! summary only. Under a parallel pool two workers may race on the same
+//! duplicated key and both miss, so counter values can vary by ±ε with
+//! thread count — result *bytes* never do.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::result::RunResult;
+
+/// Snapshot of cache activity for the run summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that had to execute the run.
+    pub misses: u64,
+    /// In-memory records dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in percent (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct MemCache {
+    map: HashMap<String, RunResult>,
+    order: std::collections::VecDeque<String>,
+    capacity: usize,
+}
+
+/// Thread-safe content-addressed cache.
+pub struct ResultCache {
+    mem: Mutex<MemCache>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding up to `capacity` in-memory records, persisting to
+    /// `dir` when given. The directory is created lazily on first store.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            mem: Mutex::new(MemCache {
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn record_path(dir: &Path, digest: &str) -> PathBuf {
+        dir.join(format!("{digest}.rec"))
+    }
+
+    /// Look up a digest; counts a hit or a miss.
+    pub fn get(&self, digest: &str) -> Option<RunResult> {
+        {
+            let mem = self.mem.lock().unwrap();
+            if let Some(r) = mem.map.get(digest) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(*r);
+            }
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(text) = std::fs::read_to_string(Self::record_path(dir, digest)) {
+                if let Some(r) = RunResult::from_line(text.trim_end()) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.insert_mem(digest, r);
+                    return Some(r);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn insert_mem(&self, digest: &str, result: RunResult) {
+        let mut mem = self.mem.lock().unwrap();
+        if mem.map.contains_key(digest) {
+            return;
+        }
+        if mem.map.len() >= mem.capacity {
+            if let Some(old) = mem.order.pop_front() {
+                mem.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        mem.map.insert(digest.to_string(), result);
+        mem.order.push_back(digest.to_string());
+    }
+
+    /// Store a result under its digest (memory + disk when configured).
+    /// Disk write failures are reported but non-fatal: the run already
+    /// succeeded, so the caller's results are intact either way.
+    pub fn put(&self, digest: &str, result: RunResult) -> Result<(), String> {
+        self.insert_mem(digest, result);
+        if let Some(dir) = &self.dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
+            let path = Self::record_path(dir, digest);
+            // Write-then-rename so a concurrent reader never sees a
+            // truncated record; names include the digest so two writers
+            // of the same key write identical bytes anyway.
+            let tmp = dir.join(format!("{digest}.tmp{}", std::process::id()));
+            std::fs::write(&tmp, format!("{}\n", result.to_line()))
+                .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+            std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(t: f64) -> RunResult {
+        RunResult::model(true, t, 2.0 * t, 100.0)
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = ResultCache::new(16, None);
+        assert!(cache.get("aa").is_none());
+        cache.put("aa", r(1.0)).unwrap();
+        assert_eq!(cache.get("aa"), Some(r(1.0)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!((s.hit_rate() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_fifo_at_capacity() {
+        let cache = ResultCache::new(2, None);
+        cache.put("a", r(1.0)).unwrap();
+        cache.put("b", r(2.0)).unwrap();
+        cache.put("c", r(3.0)).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get("a").is_none()); // oldest evicted
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn duplicate_put_does_not_grow() {
+        let cache = ResultCache::new(2, None);
+        cache.put("a", r(1.0)).unwrap();
+        cache.put("a", r(1.0)).unwrap();
+        cache.put("b", r(2.0)).unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get("a").is_some());
+    }
+
+    #[test]
+    fn persists_and_reloads_from_disk() {
+        let dir = std::env::temp_dir().join(format!("psse-lab-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::new(16, Some(dir.clone()));
+            cache.put("deadbeef", r(4.0)).unwrap();
+        }
+        // Fresh cache instance: memory empty, record comes from disk.
+        let cache = ResultCache::new(16, Some(dir.clone()));
+        assert_eq!(cache.get("deadbeef"), Some(r(4.0)));
+        assert_eq!(cache.stats().hits, 1);
+        // Corrupt record reads as a miss, not an error.
+        std::fs::write(dir.join("ffff.rec"), "garbage\n").unwrap();
+        assert!(cache.get("ffff").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

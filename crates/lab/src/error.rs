@@ -1,0 +1,70 @@
+//! Error type for the lab engine.
+
+use std::fmt;
+
+/// Errors raised while parsing specs, executing runs or touching the
+/// persistent cache.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LabError {
+    /// A sweep-spec text could not be parsed; carries `(line, message)`.
+    Spec {
+        /// 1-based line number of the offending spec line (0 when the
+        /// error is not attributable to a single line).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A run failed to execute (bad grid, invalid configuration, failed
+    /// numerical verification, ...).
+    Run {
+        /// Index of the run in spec order.
+        index: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The persistent cache directory could not be read or written.
+    Cache(String),
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabError::Spec { line: 0, message } => write!(f, "spec error: {message}"),
+            LabError::Spec { line, message } => write!(f, "spec error (line {line}): {message}"),
+            LabError::Run { index, message } => write!(f, "run #{index} failed: {message}"),
+            LabError::Cache(m) => write!(f, "cache error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LabError {}
+
+impl LabError {
+    /// Convenience constructor for spec errors with a line number.
+    pub fn spec(line: usize, message: impl Into<String>) -> Self {
+        LabError::Spec {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_and_index() {
+        let e = LabError::spec(3, "bad key");
+        assert!(e.to_string().contains("line 3"));
+        let e = LabError::spec(0, "no kind");
+        assert!(!e.to_string().contains("line"));
+        let e = LabError::Run {
+            index: 7,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("#7"));
+        assert!(LabError::Cache("io".into()).to_string().contains("cache"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Content-addressed run identities.
+//!
+//! A [`RunKey`] captures *everything* that determines the outcome of one
+//! simulator or model evaluation: the run kind, the algorithm, the
+//! problem/machine coordinates, the input seed and the (optional) fault
+//! plan. Two keys with equal digests are the same experiment, so the
+//! digest is the address under which results are memoized — in memory
+//! and, optionally, on disk under `bench_results/.labcache/`.
+//!
+//! The digest is built from the workspace's existing splitmix64
+//! machinery ([`psse_faults::rng::hash_key`]): every field is reduced to
+//! `u64` words (floats via [`f64::to_bits`], strings via chunked byte
+//! packing) and the word stream is hashed twice with independent salts,
+//! yielding a 128-bit hex digest. The mapping contains **no**
+//! process-dependent state (no `RandomState`, no pointers), so digests
+//! are stable across runs, platforms and process invocations.
+
+use psse_core::params::MachineParams;
+use psse_faults::rng::hash_key;
+use psse_sim::prelude::FaultPlan;
+
+/// What kind of execution a [`RunKey`] requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// Evaluate the paper's analytic cost model (Eqs. 1–2) at a point.
+    Model,
+    /// Run the real algorithm on the virtual machine and measure it.
+    Simulate,
+}
+
+impl RunKind {
+    /// Stable one-word tag folded into the digest.
+    fn tag(self) -> u64 {
+        match self {
+            RunKind::Model => 1,
+            RunKind::Simulate => 2,
+        }
+    }
+
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunKind::Model => "model",
+            RunKind::Simulate => "simulate",
+        }
+    }
+}
+
+impl std::str::FromStr for RunKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "model" => Ok(RunKind::Model),
+            "simulate" | "sim" => Ok(RunKind::Simulate),
+            other => Err(format!("unknown run kind `{other}` (model|simulate)")),
+        }
+    }
+}
+
+/// The full identity of one experiment. Equality of digests ⇔ same
+/// experiment; see the module docs for the hashing scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunKey {
+    /// Model evaluation or simulator execution.
+    pub kind: RunKind,
+    /// Canonical algorithm id (`matmul`, `nbody`, `mm25d`, ...). The
+    /// valid set depends on `kind`; see [`crate::runner`].
+    pub alg: String,
+    /// Problem size.
+    pub n: u64,
+    /// Processor count.
+    pub p: u64,
+    /// Replication factor (2.5D `c`, n-body team count). `1` when the
+    /// algorithm has no such knob.
+    pub c: u64,
+    /// Memory per processor in words. `0.0` means "the algorithm's
+    /// minimal memory at `(n, p)`" for model runs; ignored by simulator
+    /// runs (the simulator allocates what the algorithm needs).
+    pub mem: f64,
+    /// n-body flops per interaction (`f`); ignored by other algorithms.
+    pub f: f64,
+    /// Input seed for simulator runs (matrix/particle generation).
+    pub seed: u64,
+    /// For model runs: clamp an out-of-range `mem` into
+    /// `[min_memory, max_useful_memory]` instead of marking the point
+    /// infeasible. Used to chart the bend past the strong-scaling limit.
+    pub clamp_mem: bool,
+    /// The machine the run is priced on.
+    pub machine: MachineParams,
+    /// Optional fault plan (simulator runs only).
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunKey {
+    /// A model-run key with the common defaults (`c = 1`, minimal
+    /// memory, `f = 20`, seed 42, no clamping, no faults).
+    pub fn model(alg: &str, n: u64, p: u64, machine: MachineParams) -> RunKey {
+        RunKey {
+            kind: RunKind::Model,
+            alg: alg.to_string(),
+            n,
+            p,
+            c: 1,
+            mem: 0.0,
+            f: 20.0,
+            seed: 42,
+            clamp_mem: false,
+            machine,
+            faults: None,
+        }
+    }
+
+    /// A simulator-run key with the common defaults.
+    pub fn simulate(alg: &str, n: u64, p: u64, machine: MachineParams) -> RunKey {
+        RunKey {
+            kind: RunKind::Simulate,
+            ..RunKey::model(alg, n, p, machine)
+        }
+    }
+
+    /// Reduce the key to its canonical `u64` word stream. Field order is
+    /// part of the format; extending the key must append words (or bump
+    /// the salts) to avoid digest collisions with older layouts.
+    fn words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(40);
+        w.push(self.kind.tag());
+        // Strings: length then packed little-endian 8-byte chunks, so
+        // `("ab", "c")` and `("a", "bc")` cannot collide.
+        w.push(self.alg.len() as u64);
+        for chunk in self.alg.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            w.push(u64::from_le_bytes(word));
+        }
+        w.extend([self.n, self.p, self.c]);
+        w.push(self.mem.to_bits());
+        w.push(self.f.to_bits());
+        w.push(self.seed);
+        w.push(self.clamp_mem as u64);
+        let m = &self.machine;
+        for v in [
+            m.gamma_t,
+            m.beta_t,
+            m.alpha_t,
+            m.gamma_e,
+            m.beta_e,
+            m.alpha_e,
+            m.delta_e,
+            m.epsilon_e,
+            m.max_message_words,
+            m.mem_words,
+        ] {
+            w.push(v.to_bits());
+        }
+        match &self.faults {
+            None => w.push(0),
+            Some(plan) => {
+                w.push(1);
+                let s = &plan.spec;
+                w.push(s.seed);
+                for v in [
+                    s.drop_rate,
+                    s.corrupt_rate,
+                    s.duplicate_rate,
+                    s.delay_rate,
+                    s.delay_seconds,
+                ] {
+                    w.push(v.to_bits());
+                }
+                w.push(s.crashes.len() as u64);
+                for crash in &s.crashes {
+                    w.push(crash.rank as u64);
+                    w.push(crash.at.to_bits());
+                }
+                let r = &plan.recovery;
+                w.push(r.max_retries as u64);
+                w.push(r.retry_backoff.to_bits());
+                match &r.checkpoint {
+                    None => w.push(0),
+                    Some(cp) => {
+                        w.push(1);
+                        w.push(cp.interval.to_bits());
+                        w.push(cp.words);
+                        w.push(cp.restart_seconds.to_bits());
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// The 128-bit content digest as 32 lowercase hex characters.
+    ///
+    /// Stable across processes (pure splitmix64 over the canonical word
+    /// stream) and effectively injective: a grid would need ~2⁶⁴ keys
+    /// before a birthday collision becomes likely.
+    pub fn digest(&self) -> String {
+        let words = self.words();
+        // Two independent salted chains give 128 bits.
+        let hi = hash_key(0x7073_7365_2d6c_6162, &words); // "psse-lab"
+        let lo = hash_key(0x6c61_6263_6163_6865, &words); // "labcache"
+        format!("{hi:016x}{lo:016x}")
+    }
+
+    /// A short human-readable label for summaries and error messages.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{} n={} p={} c={}{}{}",
+            self.kind.as_str(),
+            self.alg,
+            self.n,
+            self.p,
+            self.c,
+            if self.mem > 0.0 {
+                format!(" M={:.6e}", self.mem)
+            } else {
+                String::new()
+            },
+            if self.faults.is_some() {
+                " +faults"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_core::machines::jaketown;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let k = RunKey::model("nbody", 10_000, 64, jaketown());
+        let d = k.digest();
+        assert_eq!(d.len(), 32);
+        assert_eq!(d, k.clone().digest());
+        // Any field flip changes the digest.
+        let mut k2 = k.clone();
+        k2.p = 65;
+        assert_ne!(d, k2.digest());
+        let mut k3 = k.clone();
+        k3.mem = 1.0;
+        assert_ne!(d, k3.digest());
+        let mut k4 = k.clone();
+        k4.machine.beta_e *= 2.0;
+        assert_ne!(d, k4.digest());
+        let mut k5 = k.clone();
+        k5.kind = RunKind::Simulate;
+        assert_ne!(d, k5.digest());
+        let mut k6 = k.clone();
+        k6.clamp_mem = true;
+        assert_ne!(d, k6.digest());
+    }
+
+    #[test]
+    fn digest_is_stable_across_processes() {
+        // Pinned value: if this changes, the on-disk cache format changed
+        // and `.labcache` directories must be invalidated.
+        let mut machine = MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_t(2e-8)
+            .alpha_t(1e-6)
+            .build()
+            .unwrap();
+        machine.mem_words = 1e12;
+        let k = RunKey {
+            kind: RunKind::Model,
+            alg: "nbody".into(),
+            n: 10_000,
+            p: 50,
+            c: 1,
+            mem: 1000.0,
+            f: 10.0,
+            seed: 42,
+            clamp_mem: false,
+            machine,
+            faults: None,
+        };
+        assert_eq!(k.digest(), "9a71881ab929cb833887064fb2109475");
+    }
+
+    #[test]
+    fn string_packing_avoids_concatenation_collisions() {
+        let a = RunKey::model("ab", 4, 2, jaketown());
+        let b = RunKey::model("a", 4, 2, jaketown());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn fault_plan_is_part_of_the_identity() {
+        use psse_sim::prelude::{FaultPlan, FaultSpec, RecoveryPolicy};
+        let mut k = RunKey::simulate("mm25d", 16, 8, jaketown());
+        let free = k.digest();
+        k.faults = Some(FaultPlan {
+            spec: FaultSpec {
+                seed: 7,
+                drop_rate: 0.1,
+                ..FaultSpec::default()
+            },
+            recovery: RecoveryPolicy {
+                max_retries: 8,
+                retry_backoff: 0.0,
+                checkpoint: None,
+            },
+        });
+        let faulted = k.digest();
+        assert_ne!(free, faulted);
+        let mut k2 = k.clone();
+        k2.faults.as_mut().unwrap().spec.drop_rate = 0.2;
+        assert_ne!(faulted, k2.digest());
+    }
+}

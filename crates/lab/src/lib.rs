@@ -1,0 +1,212 @@
+//! # psse-lab — parallel batch experiment engine
+//!
+//! Every figure and table in the paper is a *sweep*: hundreds of
+//! independent `(algorithm, n, p, M, machine)` evaluations. This crate
+//! is the shared engine behind them, in four layers:
+//!
+//! 1. **Declarative sweep specs** ([`spec`]): a `key = value` text
+//!    format parsed into a [`spec::SweepSpec`] and expanded into a
+//!    deterministic ordered list of [`RunKey`]s.
+//! 2. **Parallel executor** ([`pool`]): a fixed-size `std::thread`
+//!    worker pool that runs independent evaluations concurrently and
+//!    reassembles results in spec order — output is byte-identical for
+//!    any `--jobs` value (`PSSE_LAB_JOBS` sets the default).
+//! 3. **Content-addressed cache** ([`cache`]): each [`RunKey`] hashes
+//!    (via the workspace's splitmix64 machinery) to a stable 128-bit
+//!    digest; results are memoized in memory and optionally persisted
+//!    as one-line records under `bench_results/.labcache/`, with
+//!    hit/miss/evict counters surfaced in the run summary.
+//! 4. **Analysis** ([`pareto`], [`csvout`]): (time, energy)
+//!    Pareto-frontier extraction per problem size,
+//!    perfect-strong-scaling-range detection cross-checked against the
+//!    `psse-core` closed forms, and CSV emission compatible with
+//!    `bench_results/`.
+//!
+//! ```
+//! use psse_lab::prelude::*;
+//!
+//! let spec = SweepSpec::parse(
+//!     "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:10\nmem = 2000\nf = 10\n",
+//! )
+//! .unwrap();
+//! let lab = Lab::new(LabConfig { jobs: 2, ..LabConfig::default() });
+//! let sweep = lab.run_spec(&spec);
+//! assert_eq!(sweep.results.len(), 10);
+//! let csv = sweep_csv(&sweep.keys, &sweep.results);
+//! assert!(csv.starts_with("alg,kind,n,p,c,"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod csvout;
+pub mod error;
+pub mod key;
+pub mod pareto;
+pub mod pool;
+pub mod result;
+pub mod runner;
+pub mod spec;
+
+use std::path::PathBuf;
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::key::RunKey;
+use crate::result::RunResult;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabConfig {
+    /// Worker threads. `0` defers to `PSSE_LAB_JOBS`, then to the
+    /// machine's available parallelism.
+    pub jobs: usize,
+    /// Directory for the persistent cache (`None` = in-memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory cache capacity (records; FIFO eviction beyond it).
+    pub cache_capacity: usize,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            jobs: 0,
+            cache_dir: None,
+            cache_capacity: 65_536,
+        }
+    }
+}
+
+/// A sweep's keys, per-run outcomes (spec order) and cache activity.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// The expanded run list, in spec order.
+    pub keys: Vec<RunKey>,
+    /// One outcome per key, same order.
+    pub results: Vec<Result<RunResult, String>>,
+    /// Cache counters accumulated over this engine's lifetime.
+    pub stats: CacheStats,
+}
+
+impl SweepResults {
+    /// Number of runs that failed.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// `(feasible, infeasible)` counts among successful runs.
+    pub fn feasibility(&self) -> (usize, usize) {
+        let feasible = self
+            .results
+            .iter()
+            .filter(|r| matches!(r, Ok(x) if x.feasible))
+            .count();
+        let ok = self.results.iter().filter(|r| r.is_ok()).count();
+        (feasible, ok - feasible)
+    }
+}
+
+/// The batch engine: executes [`RunKey`]s through the worker pool with
+/// content-addressed memoization.
+pub struct Lab {
+    config: LabConfig,
+    cache: ResultCache,
+}
+
+impl Lab {
+    /// Build an engine with the given configuration.
+    pub fn new(config: LabConfig) -> Lab {
+        let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone());
+        Lab { config, cache }
+    }
+
+    /// The resolved worker count this engine will use.
+    pub fn jobs(&self) -> usize {
+        pool::resolve_jobs(self.config.jobs)
+    }
+
+    /// Execute an explicit key list; results come back in input order
+    /// regardless of worker count. Cache lookups happen per key, so
+    /// duplicated keys within the list hit after their first execution
+    /// (modulo benign races between workers — counters may vary, bytes
+    /// never do).
+    pub fn run_keys(&self, keys: &[RunKey]) -> Vec<Result<RunResult, String>> {
+        pool::run_ordered(self.jobs(), keys, |_, key| {
+            let digest = key.digest();
+            if let Some(hit) = self.cache.get(&digest) {
+                return Ok(hit);
+            }
+            let result = runner::execute(key)?;
+            // Persistence problems are non-fatal: the run succeeded.
+            let _ = self.cache.put(&digest, result);
+            Ok(result)
+        })
+    }
+
+    /// Expand a spec and execute it.
+    pub fn run_spec(&self, spec: &spec::SweepSpec) -> SweepResults {
+        let keys = spec.expand();
+        let results = self.run_keys(&keys);
+        SweepResults {
+            keys,
+            results,
+            stats: self.cache.stats(),
+        }
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// The usual imports for lab users.
+pub mod prelude {
+    pub use crate::cache::CacheStats;
+    pub use crate::csvout::{pareto_csv, sweep_csv};
+    pub use crate::error::LabError;
+    pub use crate::key::{RunKey, RunKind};
+    pub use crate::pareto::{
+        detect_scaling_range, pareto_indices, pareto_indices_naive, DetectedRange,
+    };
+    pub use crate::result::{digest_f64s, RunResult};
+    pub use crate::runner::{execute, model_algorithm};
+    pub use crate::spec::SweepSpec;
+    pub use crate::{Lab, LabConfig, SweepResults};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn run_keys_memoizes_duplicates() {
+        use psse_core::machines::jaketown;
+        let lab = Lab::new(LabConfig {
+            jobs: 1,
+            ..LabConfig::default()
+        });
+        let key = RunKey::model("nbody", 1000, 10, jaketown());
+        let keys = vec![key.clone(), key.clone(), key];
+        let results = lab.run_keys(&keys);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = lab.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn run_spec_reports_feasibility_split() {
+        let spec = SweepSpec::parse(
+            // mem fixed: small p can't hold the problem → infeasible rows.
+            "kind = model\nalg = nbody\nn = 10000\np = 2,4,1000\nmem = 100\nf = 10\n",
+        )
+        .unwrap();
+        let lab = Lab::new(LabConfig::default());
+        let sweep = lab.run_spec(&spec);
+        assert_eq!(sweep.failures(), 0);
+        let (feasible, infeasible) = sweep.feasibility();
+        assert_eq!(feasible + infeasible, 3);
+        assert!(infeasible >= 2); // p = 2 and p = 4 can't hold n/p words in 100
+    }
+}

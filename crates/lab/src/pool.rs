@@ -1,0 +1,107 @@
+//! Fixed-size worker pool with order-preserving reassembly.
+//!
+//! Workers pull indices from a shared atomic counter — the classic
+//! self-scheduling loop — and write each result into its slot of a
+//! pre-sized output vector. The output is therefore in *input* order
+//! regardless of which worker finished when, which is what makes lab
+//! CSVs byte-identical for any `--jobs` value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve the worker count: an explicit `jobs >= 1` wins; `0` defers to
+/// the `PSSE_LAB_JOBS` environment variable, then to the machine's
+/// available parallelism, then to 1.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs >= 1 {
+        return jobs;
+    }
+    if let Ok(v) = std::env::var("PSSE_LAB_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` using `jobs` worker threads, returning results
+/// in input order. `f` receives `(index, &item)`. With `jobs <= 1` the
+/// loop runs inline on the caller's thread (no pool overhead, and
+/// panics propagate directly — handy under test).
+pub fn run_ordered<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker pool filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let got = run_ordered(jobs, &items, |_, &x| {
+                // Stagger completion so out-of-order finishes actually happen.
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x * x
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = ["a", "b", "c"];
+        let got = run_ordered(2, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u8> = run_ordered(8, &[] as &[u8], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn resolve_jobs_explicit_wins() {
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(resolve_jobs(0) >= 1);
+    }
+}

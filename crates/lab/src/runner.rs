@@ -1,0 +1,255 @@
+//! Execute one [`RunKey`]: model evaluation or simulator run.
+//!
+//! Model runs reproduce the *exact* float paths used by the existing
+//! figure benches — [`NBodyOptimizer::evaluate`] for n-body and the
+//! `t_matmul_25d`/`e_matmul_25d` closed forms for 2.5D matmul — so a
+//! sweep routed through the lab regenerates checked-in CSVs
+//! byte-identically. Everything else goes through the generic
+//! [`Algorithm`] cost model (Eqs. 1–2). Simulator runs execute the real
+//! distributed algorithm on the virtual machine and price the recorded
+//! [`Profile`](psse_sim::prelude::Profile).
+
+use psse_algos::prelude::{
+    cannon_matmul, matmul_25d, matmul_25d_abft, measure, nbody_replicated, sim_config_from,
+    summa_matmul, summa_matmul_abft,
+};
+use psse_core::costs::{
+    Algorithm, Cholesky25d, ClassicalMatMul, DirectNBody, FftAllToAll, FftTree, Lu25d, MatVec,
+    StrassenMatMul,
+};
+use psse_core::optimize::matmul::MatMulOptimizer;
+use psse_core::optimize::nbody::NBodyOptimizer;
+use psse_kernels::matrix::Matrix;
+use psse_kernels::nbody::random_particles;
+
+use crate::key::{RunKey, RunKind};
+use crate::result::{digest_f64s, RunResult};
+
+/// Resolve a model-run algorithm id to its cost model. `f` is the
+/// n-body flops-per-interaction knob (ignored by the rest).
+pub fn model_algorithm(alg: &str, f: f64) -> Result<Box<dyn Algorithm>, String> {
+    Ok(match alg {
+        "matmul" | "mm25d" => Box::new(ClassicalMatMul),
+        "strassen" => Box::new(StrassenMatMul::default()),
+        "lu" => Box::new(Lu25d),
+        "cholesky" => Box::new(Cholesky25d),
+        "nbody" => Box::new(DirectNBody {
+            flops_per_interaction: f,
+        }),
+        "matvec" => Box::new(MatVec),
+        "fft" | "fft-tree" => Box::new(FftTree),
+        "fft-a2a" => Box::new(FftAllToAll),
+        other => {
+            return Err(format!(
+                "unknown model algorithm `{other}` \
+                 (matmul|strassen|lu|cholesky|nbody|matvec|fft|fft-a2a)"
+            ));
+        }
+    })
+}
+
+/// Execute one run. Deterministic: equal keys produce equal results,
+/// bit-for-bit, which is what makes the content-addressed cache sound.
+pub fn execute(key: &RunKey) -> Result<RunResult, String> {
+    match key.kind {
+        RunKind::Model => execute_model(key),
+        RunKind::Simulate => execute_simulate(key),
+    }
+}
+
+fn execute_model(key: &RunKey) -> Result<RunResult, String> {
+    let alg = model_algorithm(&key.alg, key.f)?;
+    let (lo, hi) = alg.memory_range(key.n, key.p).map_err(|e| e.to_string())?;
+    // mem = 0 means "minimal memory at (n, p)"; clamp_mem folds
+    // out-of-band requests back into [lo, hi] instead of flagging them.
+    let mem = if key.mem == 0.0 { lo } else { key.mem };
+    let mem_eff = if key.clamp_mem {
+        mem.clamp(lo, hi)
+    } else {
+        mem
+    };
+    // Same predicate as the Fig. 4 bench's `feasible()`.
+    let feasible = (lo..=hi).contains(&mem_eff);
+
+    let (time, energy) = match key.alg.as_str() {
+        // Closed forms, bit-identical to the figure benches.
+        "nbody" => {
+            let opt = NBodyOptimizer::new(&key.machine, key.f).map_err(|e| e.to_string())?;
+            let cfg = opt.evaluate(key.n, key.p, mem_eff);
+            (cfg.time, cfg.energy)
+        }
+        "matmul" | "mm25d" => {
+            let opt = MatMulOptimizer::new(&key.machine).map_err(|e| e.to_string())?;
+            let cfg = opt.evaluate(key.n, key.p, mem_eff);
+            (cfg.time, cfg.energy)
+        }
+        // Everything else prices the generic (F, W, S) model.
+        _ => {
+            let costs = alg
+                .costs_clamped(key.n, key.p, mem_eff, &key.machine)
+                .map_err(|e| e.to_string())?;
+            let t = key.machine.time(&costs);
+            let e = key.machine.energy(key.p, &costs, mem_eff, t);
+            (t, e)
+        }
+    };
+    let mut r = RunResult::model(feasible, time, energy, mem_eff);
+    r.flops = alg.total_flops(key.n);
+    Ok(r)
+}
+
+fn execute_simulate(key: &RunKey) -> Result<RunResult, String> {
+    let n = key.n as usize;
+    let p = key.p as usize;
+    let c = key.c as usize;
+    let mut cfg = sim_config_from(&key.machine);
+    cfg.faults = key.faults.clone();
+
+    let (output_digest, verified, profile) = match key.alg.as_str() {
+        "mm25d" | "mm25d-abft" | "summa" | "summa-abft" | "cannon" => {
+            let a = Matrix::random(n, n, key.seed);
+            let b = Matrix::random(n, n, key.seed + 1);
+            let ((c_mat, profile), verified) = match key.alg.as_str() {
+                "mm25d" => (
+                    matmul_25d(&a, &b, p, c, cfg).map_err(|e| e.to_string())?,
+                    false,
+                ),
+                "mm25d-abft" => (
+                    matmul_25d_abft(&a, &b, p, c, cfg).map_err(|e| e.to_string())?,
+                    true,
+                ),
+                "summa" => (
+                    summa_matmul(&a, &b, p, c.max(1), cfg).map_err(|e| e.to_string())?,
+                    false,
+                ),
+                "summa-abft" => (
+                    summa_matmul_abft(&a, &b, p, c.max(1), cfg).map_err(|e| e.to_string())?,
+                    true,
+                ),
+                "cannon" => (
+                    cannon_matmul(&a, &b, p, cfg).map_err(|e| e.to_string())?,
+                    false,
+                ),
+                _ => unreachable!(),
+            };
+            (digest_f64s(c_mat.as_slice()), verified, profile)
+        }
+        "nbody" => {
+            // `p = pr·c`: the key's p is total ranks, c the replication
+            // factor, so the ring size is p/c.
+            let particles = random_particles(n, key.seed);
+            let c = c.max(1);
+            let (forces, profile) =
+                nbody_replicated(&particles, p / c, c, cfg).map_err(|e| e.to_string())?;
+            let flat: Vec<f64> = forces.iter().flatten().copied().collect();
+            (digest_f64s(&flat), false, profile)
+        }
+        other => {
+            return Err(format!(
+                "unknown simulator algorithm `{other}` \
+                 (mm25d|mm25d-abft|summa|summa-abft|cannon|nbody)"
+            ));
+        }
+    };
+
+    let m = measure(&profile, &key.machine);
+    Ok(RunResult {
+        feasible: true,
+        verified,
+        time: m.time,
+        energy: m.energy,
+        flops: profile.total_flops() as f64,
+        words: profile.total_words_sent() as f64,
+        msgs: profile.total_msgs_sent() as f64,
+        mem_used: profile.max_mem_peak() as f64,
+        retries: profile.total_retries(),
+        checkpoint_words: profile.per_rank.iter().map(|r| r.checkpoint_words).sum(),
+        resilience_words: profile.resilience_words(),
+        resilience_msgs: profile.resilience_msgs(),
+        output_digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_core::machines::jaketown;
+    use psse_core::params::MachineParams;
+
+    fn contrived() -> MachineParams {
+        MachineParams::builder()
+            .gamma_t(1e-9)
+            .beta_t(2e-8)
+            .alpha_t(1e-6)
+            .gamma_e(1e-9)
+            .beta_e(4e-6)
+            .alpha_e(1e-4)
+            .delta_e(5e-4)
+            .epsilon_e(0.0)
+            .max_message_words(100.0)
+            .mem_words(1e12)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nbody_model_matches_optimizer_bitwise() {
+        let mp = contrived();
+        let opt = NBodyOptimizer::new(&mp, 10.0).unwrap();
+        let mut key = RunKey::model("nbody", 10_000, 50, mp.clone());
+        key.f = 10.0;
+        key.mem = 1000.0;
+        let r = execute(&key).unwrap();
+        let cfg = opt.evaluate(10_000, 50, 1000.0);
+        assert_eq!(r.time.to_bits(), cfg.time.to_bits());
+        assert_eq!(r.energy.to_bits(), cfg.energy.to_bits());
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn infeasible_memory_is_flagged_not_rejected() {
+        let mp = contrived();
+        let mut key = RunKey::model("nbody", 10_000, 50, mp);
+        key.f = 10.0;
+        key.mem = 1e11; // far above max_useful_memory
+        let r = execute(&key).unwrap();
+        assert!(!r.feasible);
+        // Clamped variant folds back into range and is feasible.
+        key.clamp_mem = true;
+        let r2 = execute(&key).unwrap();
+        assert!(r2.feasible);
+        assert!(r2.mem_used < 1e11);
+    }
+
+    #[test]
+    fn default_memory_is_minimal() {
+        let key = RunKey::model("matmul", 4096, 64, jaketown());
+        let r = execute(&key).unwrap();
+        let lo = ClassicalMatMul.min_memory(4096, 64);
+        assert_eq!(r.mem_used, lo);
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn unknown_algorithms_error() {
+        let key = RunKey::model("nope", 64, 4, jaketown());
+        assert!(execute(&key).unwrap_err().contains("unknown model"));
+        let key = RunKey::simulate("nope", 64, 4, jaketown());
+        assert!(execute(&key).unwrap_err().contains("unknown simulator"));
+    }
+
+    #[test]
+    fn simulate_mm25d_is_deterministic_and_digested() {
+        let mut key = RunKey::simulate("mm25d", 32, 4, jaketown());
+        key.c = 1;
+        let r1 = execute(&key).unwrap();
+        let r2 = execute(&key).unwrap();
+        assert_eq!(r1, r2);
+        assert_ne!(r1.output_digest, 0);
+        assert!(r1.time > 0.0 && r1.energy > 0.0);
+        // Different input seed, different product.
+        key.seed = 7;
+        let r3 = execute(&key).unwrap();
+        assert_ne!(r1.output_digest, r3.output_digest);
+    }
+}

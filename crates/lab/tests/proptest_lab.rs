@@ -1,0 +1,107 @@
+//! Property-based tests: the fast Pareto extractor against the naive
+//! O(n²) dominance reference (and permutation invariance), and RunKey
+//! digest injectivity over generated grids.
+
+use proptest::prelude::*;
+use psse_core::machines::jaketown;
+use psse_faults::rng::SplitMix64;
+use psse_lab::prelude::*;
+
+/// Quantized coordinates: small integer lattices force plenty of exact
+/// ties and duplicates, the hard cases for dominance logic.
+fn to_points(raw: &[(u64, u64)]) -> Vec<(f64, f64)> {
+    raw.iter()
+        .map(|&(t, e)| (t as f64 / 4.0, e as f64 / 4.0))
+        .collect()
+}
+
+/// Deterministic Fisher-Yates driven by the workspace splitmix64.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Multiset of surviving points (bit-exact), independent of indices.
+fn frontier_points(pts: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = pareto_indices(pts)
+        .into_iter()
+        .map(|i| (pts[i].0.to_bits(), pts[i].1.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The O(n log n) extractor agrees with the O(n²) reference.
+    #[test]
+    fn pareto_matches_naive_reference(raw in prop::collection::vec((0u64..32, 0u64..32), 0..80)) {
+        let pts = to_points(&raw);
+        prop_assert_eq!(pareto_indices(&pts), pareto_indices_naive(&pts));
+    }
+
+    /// The frontier (as a multiset of points) is invariant under any
+    /// permutation of the input.
+    #[test]
+    fn pareto_is_permutation_invariant(
+        raw in prop::collection::vec((0u64..32, 0u64..32), 1..60),
+        seed in 0u64..10_000,
+    ) {
+        let pts = to_points(&raw);
+        let perm = shuffled(&pts, seed);
+        prop_assert_eq!(frontier_points(&pts), frontier_points(&perm));
+    }
+
+    /// Digests are injective across a generated (alg, n, p, c, mem, kind)
+    /// grid: every distinct key gets a distinct digest.
+    #[test]
+    fn digests_are_injective_across_a_grid(
+        nn in 1usize..4, np in 1usize..5, nm in 1usize..4, base in 1u64..64,
+    ) {
+        let machine = jaketown();
+        let mut keys = Vec::new();
+        for alg in ["nbody", "matmul", "lu"] {
+            for ni in 0..nn {
+                for pi in 0..np {
+                    for mi in 0..nm {
+                        for kind in [RunKind::Model, RunKind::Simulate] {
+                            let mut k = RunKey::model(
+                                alg,
+                                base + 100 * ni as u64,
+                                1 + pi as u64,
+                                machine.clone(),
+                            );
+                            k.kind = kind;
+                            k.mem = mi as f64 * 128.0;
+                            keys.push(k);
+                        }
+                    }
+                }
+            }
+        }
+        let digests: std::collections::HashSet<String> =
+            keys.iter().map(|k| k.digest()).collect();
+        prop_assert_eq!(digests.len(), keys.len(), "digest collision in grid");
+    }
+
+    /// Digest stability: the digest is a pure function of the key, so
+    /// re-digesting (even after a round trip through clone) never drifts
+    /// within or across processes. (The cross-process pin lives in the
+    /// crate's unit tests with a hardcoded value.)
+    #[test]
+    fn digest_is_reproducible(n in 2u64..10_000, p in 1u64..512, mem in 0u64..100_000) {
+        let mut k = RunKey::model("cholesky", n, p, jaketown());
+        k.mem = mem as f64;
+        let d1 = k.digest();
+        let d2 = k.clone().digest();
+        prop_assert_eq!(&d1, &d2);
+        prop_assert_eq!(d1.len(), 32);
+        prop_assert!(d1.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

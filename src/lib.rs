@@ -21,6 +21,10 @@
 //! * [`faults`] (`psse-faults`) — deterministic fault schedules
 //!   (crash/drop/corrupt/duplicate/delay) and recovery policies
 //!   (retry, checkpoint/restart) injected through `SimConfig::faults`.
+//! * [`lab`] (`psse-lab`) — the parallel batch experiment engine:
+//!   declarative sweep specs, an order-preserving worker pool,
+//!   content-addressed result caching, and Pareto-frontier /
+//!   strong-scaling-range analysis.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -29,6 +33,7 @@ pub use psse_algos as algos;
 pub use psse_core as core;
 pub use psse_faults as faults;
 pub use psse_kernels as kernels;
+pub use psse_lab as lab;
 pub use psse_sim as sim;
 pub use psse_trace as trace;
 
@@ -39,6 +44,7 @@ pub mod prelude {
     // there so simulator users see one coherent surface).
     pub use psse_algos::prelude::*;
     pub use psse_core::prelude::*;
+    pub use psse_lab::prelude::*;
     pub use psse_sim::prelude::*;
     pub use psse_trace::prelude::*;
 }
