@@ -13,6 +13,7 @@
 use psse_core::params::MachineParams;
 use psse_core::summary::{ExecutionSummary, Measured};
 use psse_kernels::matrix::Matrix;
+use psse_metrics::{saturating_nanos, Registry};
 use psse_sim::grid::Grid2;
 use psse_sim::machine::SimConfig;
 use psse_sim::profile::Profile;
@@ -118,6 +119,66 @@ pub fn summarize(profile: &Profile) -> ExecutionSummary {
 /// power per Eqs. 1–2 evaluated over the actual counters.
 pub fn measure(profile: &Profile, params: &MachineParams) -> Measured {
     summarize(profile).price(params)
+}
+
+/// Export the Eq. 1 / Eq. 2 term-by-term breakdown of a run into a
+/// metrics [`Registry`] under `prefix` — the attribution the paper's
+/// whole argument rests on, as data instead of a closed form.
+///
+/// Per-rank **time** terms land in histograms (`{prefix}.eq1.*_ns`,
+/// one sample per rank, virtual nanoseconds): `γt·F`, `βt·W`, `αt·S`
+/// evaluated on that rank's own counters, so the distributions show
+/// which term stops shrinking when strong scaling ends. Whole-run
+/// **energy** terms accumulate in counters (`{prefix}.eq2.*_nj`,
+/// nanojoules): `γe·F`, `βe·W`, `αe·S` on the totals (resilience
+/// traffic folded in, as in [`summarize`]), plus the `δe·M·p·T` memory
+/// and `εe·p·T` leakage terms.
+///
+/// Errors only on metric-kind collisions under `prefix`.
+pub fn export_eq_terms(
+    profile: &Profile,
+    params: &MachineParams,
+    reg: &Registry,
+    prefix: &str,
+) -> Result<(), String> {
+    let h_flops = reg.histogram(&format!("{prefix}.eq1.flops_ns"))?;
+    let h_words = reg.histogram(&format!("{prefix}.eq1.words_ns"))?;
+    let h_msgs = reg.histogram(&format!("{prefix}.eq1.msgs_ns"))?;
+    for r in &profile.per_rank {
+        h_flops.record_secs(params.gamma_t * r.flops as f64);
+        h_words.record_secs(params.beta_t * (r.words_sent + r.retrans_words) as f64);
+        h_msgs.record_secs(params.alpha_t * (r.msgs_sent + r.retrans_msgs) as f64);
+    }
+    let s = summarize(profile);
+    let t = profile.makespan;
+    let p = profile.p() as f64;
+    let mem = s.mem_peak_words;
+    let nj = |joules: f64| saturating_nanos(joules); // same 1e9 scale
+    for (name, joules) in [
+        ("flops_nj", params.gamma_e * s.total_flops),
+        ("words_nj", params.beta_e * s.total_words),
+        ("msgs_nj", params.alpha_e * s.total_messages),
+        ("memory_nj", params.delta_e * mem * p * t),
+        ("leakage_nj", params.epsilon_e * p * t),
+    ] {
+        reg.counter(&format!("{prefix}.eq2.{name}"))?
+            .add(nj(joules));
+    }
+    Ok(())
+}
+
+/// [`measure`] plus a full registry export: prices the run, then
+/// records the Eq. 1/2 term breakdown ([`export_eq_terms`]) and the
+/// raw per-rank accounting (`Profile::export_metrics`) under `prefix`.
+pub fn measure_into(
+    profile: &Profile,
+    params: &MachineParams,
+    reg: &Registry,
+    prefix: &str,
+) -> Result<Measured, String> {
+    profile.export_metrics(reg, prefix)?;
+    export_eq_terms(profile, params, reg, prefix)?;
+    Ok(measure(profile, params))
 }
 
 #[cfg(test)]
@@ -232,6 +293,54 @@ mod tests {
         assert!((m.energy - expected).abs() / expected < 1e-12);
         // Makespan: rank 0's sends, 100·(1e-8 + 1e-6).
         assert!((m.time - 100.0 * (1e-8 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn measure_into_exports_eq_terms_and_prices_identically() {
+        use psse_metrics::SnapshotValue;
+        let mp = machine();
+        let cfg = sim_config_from(&mp);
+        let out = Machine::run(4, cfg, |rank| {
+            rank.compute(10_000);
+            let v = rank.allreduce_sum(Tag(0), vec![rank.rank() as f64; 100])?;
+            Ok(v[0])
+        })
+        .unwrap();
+        let reg = Registry::new();
+        let m = measure_into(&out.profile, &mp, &reg, "sim").unwrap();
+        // Pricing is unchanged by the export.
+        let plain = measure(&out.profile, &mp);
+        assert_eq!(m.time, plain.time);
+        assert_eq!(m.energy, plain.energy);
+
+        let snap = reg.snapshot();
+        // Per-rank Eq. 1 terms: one sample per rank.
+        match snap.get("sim.eq1.flops_ns") {
+            Some(SnapshotValue::Histogram(h)) => assert_eq!(h.count(), 4),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Eq. 2 terms cover every energy component and sum (in nJ,
+        // up to per-term rounding) to the priced energy.
+        let mut nj_sum = 0u128;
+        for name in [
+            "sim.eq2.flops_nj",
+            "sim.eq2.words_nj",
+            "sim.eq2.msgs_nj",
+            "sim.eq2.memory_nj",
+            "sim.eq2.leakage_nj",
+        ] {
+            match snap.get(name) {
+                Some(SnapshotValue::Counter(v)) => nj_sum += *v as u128,
+                other => panic!("missing {name}: {other:?}"),
+            }
+        }
+        let total_nj = m.energy * 1e9;
+        assert!(
+            (nj_sum as f64 - total_nj).abs() <= 5.0,
+            "eq2 terms {nj_sum} nJ vs priced {total_nj} nJ"
+        );
+        // The raw profile export rode along.
+        assert!(snap.get("sim.total.flops").is_some());
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub mod tsqr;
 pub mod prelude {
     pub use crate::abft::{matmul_25d_abft, summa_matmul_abft, verify_matmul, ABFT_REL_TOL};
     pub use crate::bridge::{
-        measure, measure_two_level, sim_config_from, sim_config_two_level, summarize,
+        export_eq_terms, measure, measure_into, measure_two_level, sim_config_from,
+        sim_config_two_level, summarize,
     };
     pub use crate::cannon::cannon_matmul;
     pub use crate::cholesky2d::cholesky_2d;

@@ -14,7 +14,8 @@ use psse_kernels::matrix::Matrix;
 use psse_kernels::nbody::{accumulate_forces, random_particles};
 use psse_kernels::rng::XorShift64;
 use psse_lab::prelude::{
-    detect_scaling_range, pareto_csv, sweep_csv, Lab, LabConfig, RunKey, SweepSpec,
+    detect_scaling_range, gc_dir, pareto_csv, sweep_csv, GcConfig, Lab, LabConfig, RunKey,
+    SweepSpec,
 };
 use psse_sim::profile::Profile;
 use psse_trace::Trace;
@@ -538,8 +539,9 @@ pub fn trace_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
         "replay" => trace_replay(args, out),
         "critical-path" => trace_critical_path(args, out),
         "export" => trace_export(args, out),
+        "flame" => trace_flame(args, out),
         other => Err(format!(
-            "unknown trace action `{other}` (record|replay|critical-path|export)"
+            "unknown trace action `{other}` (record|replay|critical-path|export|flame)"
         )),
     }
 }
@@ -665,6 +667,47 @@ fn trace_export(args: &Args, out: &mut String) -> CmdResult {
         out,
         "load it at https://ui.perfetto.dev or chrome://tracing"
     );
+    Ok(())
+}
+
+/// `psse trace flame`: fold the recorded DAG into collapsed-stack
+/// format. With no `--out` the output is *only* the folded lines, so
+/// `psse trace flame --in run.trace | flamegraph.pl` works unmodified;
+/// with `--out` the lines go to the file and a summary is printed.
+/// Replay-parameter overrides re-price the fold without re-running.
+fn trace_flame(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["in", "out", "gamma-t", "beta-t", "alpha-t", "max-message"])?;
+    let trace = Trace::load(args.req("in")?).map_err(|e| e.to_string())?;
+    let mut params = trace.params.clone();
+    if args.has("gamma-t") {
+        params.gamma_t = args.req_f64("gamma-t")?;
+    }
+    if args.has("beta-t") {
+        params.beta_t = args.req_f64("beta-t")?;
+    }
+    if args.has("alpha-t") {
+        params.alpha_t = args.req_f64("alpha-t")?;
+    }
+    if args.has("max-message") {
+        params.max_message_words = args.req_u64("max-message")? as usize;
+    }
+    let folded = trace.flame_folded(&params).map_err(|e| e.to_string())?;
+    match args.get("out").filter(|v| !v.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, &folded).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "wrote {} collapsed stacks for {} ranks to {path}",
+                folded.lines().count(),
+                trace.p
+            );
+            let _ = writeln!(
+                out,
+                "render with flamegraph.pl/inferno, or load in speedscope"
+            );
+        }
+        None => out.push_str(&folded),
+    }
     Ok(())
 }
 
@@ -867,7 +910,8 @@ pub fn lab_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
     match action {
         "run" => lab_run(args, out),
         "expand" => lab_expand(args, out),
-        other => Err(format!("unknown lab action `{other}` (run|expand)")),
+        "gc" => lab_gc(args, out),
+        other => Err(format!("unknown lab action `{other}` (run|expand|gc)")),
     }
 }
 
@@ -881,7 +925,9 @@ fn lab_spec_from(args: &Args) -> Result<(SweepSpec, String), String> {
 }
 
 fn lab_run(args: &Args, out: &mut String) -> CmdResult {
-    args.expect_keys(&["spec", "jobs", "out", "pareto", "cache", "scaling"])?;
+    args.expect_keys(&[
+        "spec", "jobs", "out", "pareto", "cache", "scaling", "profile", "top",
+    ])?;
     let (spec, path) = lab_spec_from(args)?;
     // `--cache DIR` persists results under DIR; `off` (or omitting the
     // flag) keeps the cache in-memory only.
@@ -894,6 +940,24 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         cache_dir,
         ..LabConfig::default()
     });
+    // Self-profile destination: `--profile off` disables it, `--profile
+    // FILE` overrides it, and by default the JSON lands next to the
+    // sweep CSV (`<out>.profile.json`) or, with no `--out`, in the
+    // working directory as `<spec stem>.profile.json`.
+    let profile_path = match args.get("profile") {
+        Some("off") => None,
+        Some(p) if !p.is_empty() => Some(p.to_string()),
+        _ => Some(match args.get("out").filter(|v| !v.is_empty()) {
+            Some(o) => format!("{o}.profile.json"),
+            None => {
+                let stem = std::path::Path::new(&path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("sweep");
+                format!("{stem}.profile.json")
+            }
+        }),
+    };
     let _ = writeln!(
         out,
         "spec      : {path} ({} {} runs, alg `{}`, machine `{}`)",
@@ -903,7 +967,12 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         spec.machine_name
     );
     let _ = writeln!(out, "jobs      : {}", lab.jobs());
-    let sweep = lab.run_spec(&spec);
+    let (sweep, profile) = if profile_path.is_some() {
+        let (sweep, profile) = lab.run_spec_profiled(&spec);
+        (sweep, Some(profile))
+    } else {
+        (lab.run_spec(&spec), None)
+    };
     let (feasible, infeasible) = sweep.feasibility();
     let _ = writeln!(
         out,
@@ -938,6 +1007,48 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         std::fs::write(p, pareto_csv(&sweep.keys, &sweep.results)).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "wrote Pareto CSV to {p}");
     }
+    if let (Some(path), Some(profile)) = (&profile_path, &profile) {
+        let top = args.u64_or("top", 5)? as usize;
+        let _ = write!(out, "{}", profile.render(top));
+        std::fs::write(path, profile.to_json().to_string()).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote self-profile JSON to {path}");
+    }
+    Ok(())
+}
+
+/// `psse lab gc`: size/age-bounded eviction over a persistent cache
+/// directory, oldest records first.
+fn lab_gc(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["cache", "max-bytes", "max-age", "dry-run"])?;
+    let dir = args.req("cache")?;
+    let cfg = GcConfig {
+        max_bytes: match args.get("max-bytes") {
+            None => None,
+            Some(_) => Some(args.req_u64("max-bytes")?),
+        },
+        max_age_secs: match args.get("max-age") {
+            None => None,
+            Some(_) => Some(args.req_u64("max-age")?),
+        },
+        dry_run: args.has("dry-run"),
+    };
+    let report = gc_dir(std::path::Path::new(dir), &cfg).map_err(|e| e.to_string())?;
+    let verb = if cfg.dry_run {
+        "would evict"
+    } else {
+        "evicted"
+    };
+    let _ = writeln!(out, "cache     : {dir}");
+    let _ = writeln!(
+        out,
+        "records   : {} scanned, {} {verb}",
+        report.scanned, report.evicted
+    );
+    let _ = writeln!(
+        out,
+        "bytes     : {} before, {} after",
+        report.bytes_before, report.bytes_after
+    );
     Ok(())
 }
 

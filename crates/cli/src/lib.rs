@@ -16,8 +16,10 @@
 //! psse trace    replay --in run.trace --gamma-t 1e-10
 //! psse trace    critical-path --in run.trace --top 5
 //! psse trace    export --in run.trace --out run.trace.json
+//! psse trace    flame --in run.trace | flamegraph.pl > flame.svg
 //! psse lab      run --spec sweep.spec --jobs 8 --out sweep.csv --pareto front.csv
 //! psse lab      expand --spec sweep.spec
+//! psse lab      gc --cache .labcache --max-bytes 1e8 --max-age 604800
 //! ```
 //!
 //! All logic lives in [`run`] so it can be tested without spawning the
@@ -41,7 +43,8 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
     if argv[0] == "trace" {
         if argv.len() < 2 {
             return Err(
-                "usage: psse trace <record|replay|critical-path|export> [--option value]...".into(),
+                "usage: psse trace <record|replay|critical-path|export|flame> [--option value]..."
+                    .into(),
             );
         }
         let args = Args::parse(&argv[1..])?;
@@ -58,7 +61,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
     }
     if argv[0] == "lab" {
         if argv.len() < 2 {
-            return Err("usage: psse lab <run|expand> [--option value]...".into());
+            return Err("usage: psse lab <run|expand|gc> [--option value]...".into());
         }
         let args = Args::parse(&argv[1..])?;
         let action = args.command.clone();
@@ -110,6 +113,12 @@ COMMANDS:
                              longest chain and per-rank compute/comm/idle
                export        --in FILE [--out FILE.json]
                              Chrome trace-event JSON (Perfetto-loadable)
+               flame         --in FILE [--out FILE] [--gamma-t S] [--beta-t S]
+                             [--alpha-t S] [--max-message W]
+                             fold the DAG into collapsed-stack format
+                             (rank;phase;op + virtual ns); with no --out
+                             prints only the folded lines, ready to pipe
+                             into flamegraph.pl or speedscope
   faults     Deterministic fault injection and resilience pricing.
                sweep  --q Q (grid edge, default 4) --c-list 1,2,4 --n N
                       [--seed S] [--drop-rate R] [--corrupt-rate R]
@@ -132,7 +141,15 @@ COMMANDS:
                                         cache (default off); reruns hit
                       [--scaling]       detect perfect-strong-scaling ranges
                                         per (n, c, M) ladder (paper SIII)
+                      [--profile FILE|off] self-profile destination (default:
+                                        <out>.profile.json, or
+                                        <spec stem>.profile.json without --out)
+                      [--top K]         slowest keys shown in the profile (5)
                expand --spec FILE  print the expanded run list with digests
+               gc     --cache DIR  evict old cache records, oldest first
+                      [--max-bytes B]   keep at most B bytes of records
+                      [--max-age S]     evict records older than S seconds
+                      [--dry-run]       report without deleting
   help       This message.
 ";
 
@@ -151,8 +168,18 @@ mod tests {
     fn help_lists_commands() {
         let out = call("help").unwrap();
         for cmd in [
-            "machines", "model", "scaling", "optimize", "simulate", "tech", "trace", "faults",
+            "machines",
+            "model",
+            "scaling",
+            "optimize",
+            "simulate",
+            "tech",
+            "trace",
+            "faults",
             "lab",
+            "flame",
+            "gc",
+            "--profile",
         ] {
             assert!(out.contains(cmd), "help should mention {cmd}");
         }
@@ -397,6 +424,113 @@ mod tests {
         let f = std::fs::read_to_string(&front).unwrap();
         assert!(f.starts_with("n,p,c,mem_words,time_s,energy_j\n"), "{f}");
         assert!(f.lines().count() >= 2, "frontier should be non-empty: {f}");
+
+        // The self-profiles land next to the CSVs by default and are
+        // structurally identical across --jobs: same runs in the same
+        // order, only the host timing values differ.
+        assert!(out.contains("self-profile:"), "{out}");
+        assert!(out8.contains("worker utilization:"), "{out8}");
+        let parse = |p: &std::path::Path| {
+            let text = std::fs::read_to_string(format!("{}.profile.json", p.display())).unwrap();
+            psse_lab::prelude::SweepProfile::from_json(&psse_metrics::Json::parse(&text).unwrap())
+                .unwrap()
+        };
+        let (p1, p8) = (parse(&csv1), parse(&csv8));
+        assert_eq!(p1.jobs, 1);
+        assert_eq!(p8.jobs, 8);
+        assert_eq!(p1.runs.len(), 32);
+        let keys = |p: &psse_lab::prelude::SweepProfile| -> Vec<(String, String)> {
+            p.runs
+                .iter()
+                .map(|r| (r.label.clone(), r.digest.clone()))
+                .collect()
+        };
+        assert_eq!(
+            keys(&p1),
+            keys(&p8),
+            "profile key set must not depend on --jobs"
+        );
+        // Model runs are deterministic, so even the virtual-cost metric
+        // values agree; only wall-clock fields may differ.
+        assert_eq!(p1.metrics.to_string(), p8.metrics.to_string());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flame_is_pipe_clean_and_reprices() {
+        let dir = std::env::temp_dir().join("psse-cli-flame-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nbody.trace");
+        let tp = path.to_str().unwrap();
+        call(&format!("trace record --alg nbody --n 64 --p 4 --out {tp}")).unwrap();
+
+        // No --out: nothing but collapsed-stack lines, so the output
+        // pipes straight into flamegraph.pl / speedscope.
+        let folded = call(&format!("trace flame --in {tp}")).unwrap();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("`stack count` lines only");
+            assert_eq!(stack.split(';').count(), 3, "{line}");
+            assert!(count.parse::<u64>().unwrap() > 0, "{line}");
+        }
+
+        // --out writes the same bytes to a file and prints a summary.
+        let fp = dir.join("nbody.folded");
+        let out = call(&format!("trace flame --in {tp} --out {}", fp.display())).unwrap();
+        assert!(out.contains("collapsed stacks"), "{out}");
+        assert_eq!(std::fs::read_to_string(&fp).unwrap(), folded);
+
+        // Re-pricing the fold under a slower network changes the counts
+        // without re-recording.
+        let slow = call(&format!("trace flame --in {tp} --beta-t 1e-5")).unwrap();
+        assert_ne!(folded, slow);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_gc_bounds_the_cache_directory() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-gc-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("tiny.spec");
+        std::fs::write(
+            &spec_path,
+            "kind = model\nalg = matmul\nn = 1024\np = 4,8\n",
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        let out = call(&format!(
+            "lab run --spec {} --cache {} --profile off",
+            spec_path.display(),
+            cache.display()
+        ))
+        .unwrap();
+        assert!(!out.contains("self-profile"), "--profile off: {out}");
+        let recs = || {
+            std::fs::read_dir(&cache)
+                .map(|d| {
+                    d.filter_map(Result::ok)
+                        .filter(|e| e.path().extension().is_some_and(|x| x == "rec"))
+                        .count()
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(recs(), 2);
+
+        // Dry run reports without deleting.
+        let out = call(&format!(
+            "lab gc --cache {} --max-bytes 0 --dry-run",
+            cache.display()
+        ))
+        .unwrap();
+        assert!(out.contains("2 scanned, 2 would evict"), "{out}");
+        assert_eq!(recs(), 2);
+
+        let out = call(&format!("lab gc --cache {} --max-bytes 0", cache.display())).unwrap();
+        assert!(out.contains("2 scanned, 2 evicted"), "{out}");
+        assert_eq!(recs(), 0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -264,6 +264,40 @@ impl FaultPlan {
             .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
     }
 
+    /// Export the plan's configuration into a metrics registry under
+    /// `prefix`, so a run report names the fault regime it was priced
+    /// under. Rates are exported as parts-per-million gauges (the
+    /// registry is integer-only by design), the delay as nanoseconds,
+    /// plus the scheduled crash count and the recovery policy knobs.
+    /// Dynamic resilience *outcomes* (retries taken, checkpoint words
+    /// written) live in the simulator's per-rank counters and are
+    /// exported by `Profile::export_metrics`.
+    pub fn export_metrics(&self, reg: &psse_metrics::Registry, prefix: &str) -> Result<(), String> {
+        let ppm = |r: f64| (r * 1e6).round() as i64;
+        let s = &self.spec;
+        for (name, v) in [
+            ("drop_rate_ppm", ppm(s.drop_rate)),
+            ("corrupt_rate_ppm", ppm(s.corrupt_rate)),
+            ("duplicate_rate_ppm", ppm(s.duplicate_rate)),
+            ("delay_rate_ppm", ppm(s.delay_rate)),
+            (
+                "delay_ns",
+                psse_metrics::saturating_nanos(s.delay_seconds) as i64,
+            ),
+            ("crashes_scheduled", s.crashes.len() as i64),
+            ("max_retries", self.recovery.max_retries as i64),
+            (
+                "checkpoint_words",
+                self.recovery
+                    .checkpoint
+                    .map_or(0, |cp| cp.words.min(i64::MAX as u64) as i64),
+            ),
+        ] {
+            reg.gauge(&format!("{prefix}.{name}"))?.set(v);
+        }
+        Ok(())
+    }
+
     /// True when the plan can inject at least one fault.
     #[must_use]
     pub fn is_active(&self) -> bool {
@@ -388,6 +422,33 @@ mod tests {
             restart_seconds: 0.0,
         });
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn export_metrics_describes_the_regime() {
+        use psse_metrics::{Registry, SnapshotValue};
+        let mut p = plan(0.25, 0.0);
+        p.spec.crashes.push(CrashEvent { rank: 1, at: 2.0 });
+        p.recovery.max_retries = 3;
+        let reg = Registry::new();
+        p.export_metrics(&reg, "faults").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("faults.drop_rate_ppm"),
+            Some(&SnapshotValue::Gauge(250_000))
+        );
+        assert_eq!(
+            snap.get("faults.crashes_scheduled"),
+            Some(&SnapshotValue::Gauge(1))
+        );
+        assert_eq!(
+            snap.get("faults.max_retries"),
+            Some(&SnapshotValue::Gauge(3))
+        );
+        assert_eq!(
+            snap.get("faults.checkpoint_words"),
+            Some(&SnapshotValue::Gauge(0))
+        );
     }
 
     #[test]

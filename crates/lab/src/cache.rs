@@ -145,6 +145,111 @@ impl ResultCache {
     }
 }
 
+/// Bounds for [`gc_dir`]. `None` fields don't constrain; with both
+/// `None` the sweep only reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcConfig {
+    /// Keep at most this many bytes of `.rec` records (oldest evicted
+    /// first until under the bound).
+    pub max_bytes: Option<u64>,
+    /// Evict records whose modification time is older than this many
+    /// seconds.
+    pub max_age_secs: Option<u64>,
+    /// Report what would be evicted without deleting anything.
+    pub dry_run: bool,
+}
+
+/// What a [`gc_dir`] sweep did (or, under `dry_run`, would do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Records found.
+    pub scanned: u64,
+    /// Records evicted (or marked for eviction under `dry_run`).
+    pub evicted: u64,
+    /// Total record bytes before the sweep.
+    pub bytes_before: u64,
+    /// Total record bytes after the sweep.
+    pub bytes_after: u64,
+}
+
+/// Size/age-bounded eviction over a persistent cache directory.
+///
+/// Scans `dir` for `*.rec` records, evicts everything older than
+/// `max_age_secs`, then — if the survivors still exceed `max_bytes` —
+/// keeps evicting oldest-first until under the bound. "Oldest" is by
+/// modification time with the file name as a deterministic tie-break.
+/// Concurrent writers are safe: a record that disappears mid-sweep is
+/// skipped, and an evicted record is merely a future cache miss.
+pub fn gc_dir(dir: &Path, cfg: &GcConfig) -> Result<GcReport, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        // A missing directory holds zero records; nothing to do.
+        Err(_) => return Ok(GcReport::default()),
+    };
+    let mut records: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map(|e| e != "rec").unwrap_or(true) {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            records.push((path, meta.len(), mtime));
+        }
+    }
+    // Oldest first; equal mtimes fall back to name order so the sweep
+    // is deterministic.
+    records.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+
+    let bytes_before: u64 = records.iter().map(|r| r.1).sum();
+    let now = std::time::SystemTime::now();
+    let mut evict = vec![false; records.len()];
+    if let Some(age) = cfg.max_age_secs {
+        for (i, (_, _, mtime)) in records.iter().enumerate() {
+            let old = now
+                .duration_since(*mtime)
+                .map(|d| d.as_secs() > age)
+                .unwrap_or(false);
+            if old {
+                evict[i] = true;
+            }
+        }
+    }
+    if let Some(max) = cfg.max_bytes {
+        let mut kept: u64 = records
+            .iter()
+            .zip(&evict)
+            .filter(|(_, &e)| !e)
+            .map(|(r, _)| r.1)
+            .sum();
+        for (i, (_, len, _)) in records.iter().enumerate() {
+            if kept <= max {
+                break;
+            }
+            if !evict[i] {
+                evict[i] = true;
+                kept -= len;
+            }
+        }
+    }
+    let mut report = GcReport {
+        scanned: records.len() as u64,
+        bytes_before,
+        bytes_after: bytes_before,
+        ..GcReport::default()
+    };
+    for ((path, len, _), &doomed) in records.iter().zip(&evict) {
+        if !doomed {
+            continue;
+        }
+        if cfg.dry_run || std::fs::remove_file(path).is_ok() {
+            report.evicted += 1;
+            report.bytes_after -= len;
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +289,85 @@ mod tests {
         cache.put("b", r(2.0)).unwrap();
         assert_eq!(cache.stats().evictions, 0);
         assert!(cache.get("a").is_some());
+    }
+
+    /// Write a record and pin its mtime to `age_secs` seconds ago, so
+    /// eviction order is under test control rather than timing luck.
+    fn write_aged(dir: &Path, name: &str, bytes: usize, age_secs: u64) {
+        let path = dir.join(format!("{name}.rec"));
+        std::fs::write(&path, vec![b'x'; bytes]).unwrap();
+        let mtime = std::time::SystemTime::now() - std::time::Duration::from_secs(age_secs);
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(mtime))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_under_size_bound() {
+        let dir = std::env::temp_dir().join(format!("psse-lab-gc-size-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Lexicographically *latest* name is the *oldest* record, so a
+        // name-ordered sweep would get this wrong.
+        write_aged(&dir, "zzzz", 100, 300);
+        write_aged(&dir, "mmmm", 100, 200);
+        write_aged(&dir, "aaaa", 100, 100);
+        let report = gc_dir(
+            &dir,
+            &GcConfig {
+                max_bytes: Some(150),
+                ..GcConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.scanned, 3);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.bytes_before, 300);
+        assert_eq!(report.bytes_after, 100);
+        assert!(!dir.join("zzzz.rec").exists(), "oldest must go first");
+        assert!(!dir.join("mmmm.rec").exists());
+        assert!(dir.join("aaaa.rec").exists(), "newest survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_age_bound_and_dry_run() {
+        let dir = std::env::temp_dir().join(format!("psse-lab-gc-age-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_aged(&dir, "old", 50, 3600);
+        write_aged(&dir, "new", 50, 10);
+        // Non-record files are never touched.
+        std::fs::write(dir.join("notes.txt"), "keep me").unwrap();
+
+        let dry = gc_dir(
+            &dir,
+            &GcConfig {
+                max_age_secs: Some(600),
+                dry_run: true,
+                ..GcConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!((dry.scanned, dry.evicted), (2, 1));
+        assert!(dir.join("old.rec").exists(), "dry run deletes nothing");
+
+        let real = gc_dir(
+            &dir,
+            &GcConfig {
+                max_age_secs: Some(600),
+                ..GcConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(real.evicted, 1);
+        assert!(!dir.join("old.rec").exists());
+        assert!(dir.join("new.rec").exists());
+        assert!(dir.join("notes.txt").exists());
+        // A missing directory is an empty sweep, not an error.
+        let gone = gc_dir(&dir.join("nope"), &GcConfig::default()).unwrap();
+        assert_eq!(gone, GcReport::default());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

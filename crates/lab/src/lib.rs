@@ -47,6 +47,7 @@ pub mod pareto;
 pub mod pool;
 pub mod result;
 pub mod runner;
+pub mod selfprof;
 pub mod spec;
 
 use std::path::PathBuf;
@@ -143,6 +144,70 @@ impl Lab {
         })
     }
 
+    /// [`Lab::run_keys`] plus a self-profile: host wall-clock per key,
+    /// per-worker busy spans, and the metrics registry the runs
+    /// exported into ([`runner::execute_into`]). Result bytes are
+    /// identical to the unprofiled path; the profile is a pure
+    /// side-channel.
+    pub fn run_keys_profiled(
+        &self,
+        keys: &[RunKey],
+    ) -> (Vec<Result<RunResult, String>>, selfprof::SweepProfile) {
+        let registry = psse_metrics::Registry::new();
+        let (outcomes, pool_profile) = pool::run_ordered_timed(self.jobs(), keys, |_, key| {
+            let digest = key.digest();
+            if let Some(hit) = self.cache.get(&digest) {
+                return (Ok(hit), true);
+            }
+            match runner::execute_into(key, Some(&registry)) {
+                Ok(result) => {
+                    let _ = self.cache.put(&digest, result);
+                    (Ok(result), false)
+                }
+                Err(e) => (Err(e), false),
+            }
+        });
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut cached = Vec::with_capacity(outcomes.len());
+        for (r, c) in outcomes {
+            results.push(r);
+            cached.push(c);
+        }
+        // Virtual-cost attribution per key *occurrence* — recorded from
+        // the results in spec order, so these series are identical
+        // whatever the worker count or cache temperature (unlike the
+        // execution-time `sim.*` exports; see the `selfprof` docs).
+        let h_time = registry.histogram("virt.time_ns").expect("fresh registry");
+        let h_energy = registry
+            .histogram("virt.energy_nj")
+            .expect("fresh registry");
+        let c_retries = registry.counter("virt.retries").expect("fresh registry");
+        let c_res_words = registry
+            .counter("virt.resilience.words")
+            .expect("fresh registry");
+        let c_res_msgs = registry
+            .counter("virt.resilience.msgs")
+            .expect("fresh registry");
+        for r in results.iter().flatten() {
+            h_time.record_secs(r.time);
+            h_energy.record(psse_metrics::saturating_nanos(r.energy));
+            c_retries.add(r.retries);
+            c_res_words.add(r.resilience_words);
+            c_res_msgs.add(r.resilience_msgs);
+        }
+        let ok: Vec<bool> = results.iter().map(|r| r.is_ok()).collect();
+        let labels = keys.iter().map(|k| (k.label(), k.digest())).collect();
+        let profile = selfprof::SweepProfile::assemble(
+            &pool_profile,
+            labels,
+            &cached,
+            &ok,
+            self.cache.stats(),
+            &registry.snapshot(),
+        );
+        (results, profile)
+    }
+
     /// Expand a spec and execute it.
     pub fn run_spec(&self, spec: &spec::SweepSpec) -> SweepResults {
         let keys = spec.expand();
@@ -154,6 +219,23 @@ impl Lab {
         }
     }
 
+    /// Expand a spec and execute it with a self-profile.
+    pub fn run_spec_profiled(
+        &self,
+        spec: &spec::SweepSpec,
+    ) -> (SweepResults, selfprof::SweepProfile) {
+        let keys = spec.expand();
+        let (results, profile) = self.run_keys_profiled(&keys);
+        (
+            SweepResults {
+                keys,
+                results,
+                stats: self.cache.stats(),
+            },
+            profile,
+        )
+    }
+
     /// Cache counters accumulated so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -162,7 +244,7 @@ impl Lab {
 
 /// The usual imports for lab users.
 pub mod prelude {
-    pub use crate::cache::CacheStats;
+    pub use crate::cache::{gc_dir, CacheStats, GcConfig, GcReport};
     pub use crate::csvout::{pareto_csv, sweep_csv};
     pub use crate::error::LabError;
     pub use crate::key::{RunKey, RunKind};
@@ -170,7 +252,8 @@ pub mod prelude {
         detect_scaling_range, pareto_indices, pareto_indices_naive, DetectedRange,
     };
     pub use crate::result::{digest_f64s, RunResult};
-    pub use crate::runner::{execute, model_algorithm};
+    pub use crate::runner::{execute, execute_into, model_algorithm};
+    pub use crate::selfprof::{RunProfile, SweepProfile};
     pub use crate::spec::SweepSpec;
     pub use crate::{Lab, LabConfig, SweepResults};
 }
@@ -193,6 +276,47 @@ mod tests {
         let stats = lab.cache_stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_bitwise() {
+        let spec = SweepSpec::parse(
+            "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:8\nmem = 2000\nf = 10\n",
+        )
+        .unwrap();
+        let plain = Lab::new(LabConfig {
+            jobs: 1,
+            ..LabConfig::default()
+        })
+        .run_spec(&spec);
+        let lab = Lab::new(LabConfig {
+            jobs: 4,
+            ..LabConfig::default()
+        });
+        let (profiled, profile) = lab.run_spec_profiled(&spec);
+        assert_eq!(plain.results, profiled.results);
+
+        assert_eq!(profile.runs.len(), 8);
+        assert_eq!(profile.workers.len(), 4);
+        // Labels follow spec order and none of these fresh runs cached.
+        for (run, key) in profile.runs.iter().zip(&profiled.keys) {
+            assert_eq!(run.label, key.label());
+            assert_eq!(run.digest, key.digest());
+            assert!(!run.cached);
+            assert!(run.ok);
+        }
+        // The virt.* series saw one sample per key occurrence.
+        let virt = profile.metrics.get("virt.time_ns").expect("virt.time_ns");
+        assert_eq!(virt.get("count").and_then(|v| v.as_u64()), Some(8));
+        // Rerunning on the warm cache flips `cached` but keeps the key
+        // set and the virt.* sample count identical.
+        let (_, warm) = lab.run_spec_profiled(&spec);
+        assert!(warm.runs.iter().all(|r| r.cached));
+        let keys_cold: Vec<&str> = profile.runs.iter().map(|r| r.digest.as_str()).collect();
+        let keys_warm: Vec<&str> = warm.runs.iter().map(|r| r.digest.as_str()).collect();
+        assert_eq!(keys_cold, keys_warm);
+        let virt_warm = warm.metrics.get("virt.time_ns").expect("virt.time_ns");
+        assert_eq!(virt_warm.get("count").and_then(|v| v.as_u64()), Some(8));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use psse_metrics::saturating_nanos;
 
 /// Resolve the worker count: an explicit `jobs >= 1` wins; `0` defers to
 /// the `PSSE_LAB_JOBS` environment variable, then to the machine's
@@ -38,32 +41,131 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    run_ordered_timed(jobs, items, f).0
+}
+
+/// One worker's accounting over a [`run_ordered_timed`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSpan {
+    /// Nanoseconds spent inside `f` (busy; the rest of the pool's wall
+    /// clock was idle or contended).
+    pub busy_ns: u64,
+    /// Items this worker completed.
+    pub items: u64,
+}
+
+/// Host-side timing of one pool invocation: per-item wall-clock (input
+/// order) and per-worker busy spans. The *structure* — lengths, item
+/// order, worker count — is deterministic; only the nanosecond values
+/// vary between runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolProfile {
+    /// Worker threads actually used (after clamping to the item count).
+    pub jobs: usize,
+    /// Wall-clock of the whole map call, nanoseconds.
+    pub wall_ns: u64,
+    /// Wall-clock per item in input order, nanoseconds.
+    pub item_ns: Vec<u64>,
+    /// Per-worker busy time and item counts, indexed by worker id.
+    pub workers: Vec<WorkerSpan>,
+}
+
+impl PoolProfile {
+    /// Fraction of `jobs · wall_ns` spent busy, in `[0, 1]`. This is
+    /// the number the self-profile report prints per worker: low
+    /// utilization on a sweep means the tail of slow keys serialized.
+    pub fn utilization(&self, worker: usize) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.workers
+            .get(worker)
+            .map_or(0.0, |w| w.busy_ns as f64 / self.wall_ns as f64)
+    }
+}
+
+/// [`run_ordered`] plus host-side timing: returns the results in input
+/// order and a [`PoolProfile`] of where the wall-clock went.
+pub fn run_ordered_timed<I, T, F>(jobs: usize, items: &[I], f: F) -> (Vec<T>, PoolProfile)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
+    let started = Instant::now();
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        let mut item_ns = Vec::with_capacity(items.len());
+        let out: Vec<T> = items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                let t0 = Instant::now();
+                let r = f(i, it);
+                item_ns.push(saturating_nanos(t0.elapsed().as_secs_f64()));
+                r
+            })
+            .collect();
+        let busy: u64 = item_ns.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        let profile = PoolProfile {
+            jobs: 1,
+            wall_ns: saturating_nanos(started.elapsed().as_secs_f64()),
+            item_ns,
+            workers: vec![WorkerSpan {
+                busy_ns: busy,
+                items: items.len() as u64,
+            }],
+        };
+        return (out, profile);
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(T, u64)>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let spans: Vec<Mutex<WorkerSpan>> = (0..jobs)
+        .map(|_| Mutex::new(WorkerSpan::default()))
+        .collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for w in 0..jobs {
+            let next = &next;
+            let slots = &slots;
+            let spans = &spans;
+            let f = &f;
+            scope.spawn(move || {
+                let mut span = WorkerSpan::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let out = f(i, &items[i]);
+                    let ns = saturating_nanos(t0.elapsed().as_secs_f64());
+                    span.busy_ns = span.busy_ns.saturating_add(ns);
+                    span.items += 1;
+                    *slots[i].lock().unwrap() = Some((out, ns));
                 }
-                let out = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(out);
+                *spans[w].lock().unwrap() = span;
             });
         }
     });
-    slots
+    let mut item_ns = Vec::with_capacity(items.len());
+    let out = slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            let (r, ns) = slot
+                .into_inner()
                 .unwrap()
-                .expect("worker pool filled every slot")
+                .expect("worker pool filled every slot");
+            item_ns.push(ns);
+            r
         })
-        .collect()
+        .collect();
+    let profile = PoolProfile {
+        jobs,
+        wall_ns: saturating_nanos(started.elapsed().as_secs_f64()),
+        item_ns,
+        workers: spans.into_iter().map(|s| s.into_inner().unwrap()).collect(),
+    };
+    (out, profile)
 }
 
 #[cfg(test)]
@@ -103,5 +205,35 @@ mod tests {
     fn resolve_jobs_explicit_wins() {
         assert_eq!(resolve_jobs(3), 3);
         assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn timed_variant_accounts_every_item_and_worker() {
+        let items: Vec<u64> = (0..40).collect();
+        for jobs in [1, 4] {
+            let (got, prof) = run_ordered_timed(jobs, &items, |_, &x| {
+                // A little spin so busy times are nonzero.
+                let mut acc = x;
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x * 2
+            });
+            assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(prof.jobs, jobs);
+            assert_eq!(prof.item_ns.len(), items.len());
+            assert_eq!(prof.workers.len(), jobs);
+            // Every item was claimed by exactly one worker.
+            let claimed: u64 = prof.workers.iter().map(|w| w.items).sum();
+            assert_eq!(claimed, items.len() as u64);
+            // Busy time is at most jobs × wall time (and > 0 here).
+            let busy: u64 = prof.workers.iter().map(|w| w.busy_ns).sum();
+            assert!(busy > 0);
+            for w in 0..jobs {
+                let u = prof.utilization(w);
+                assert!((0.0..=1.5).contains(&u), "utilization {u}");
+            }
+        }
     }
 }

@@ -10,8 +10,8 @@
 //! [`Profile`](psse_sim::prelude::Profile).
 
 use psse_algos::prelude::{
-    cannon_matmul, matmul_25d, matmul_25d_abft, measure, nbody_replicated, sim_config_from,
-    summa_matmul, summa_matmul_abft,
+    cannon_matmul, matmul_25d, matmul_25d_abft, measure, measure_into, nbody_replicated,
+    sim_config_from, summa_matmul, summa_matmul_abft,
 };
 use psse_core::costs::{
     Algorithm, Cholesky25d, ClassicalMatMul, DirectNBody, FftAllToAll, FftTree, Lu25d, MatVec,
@@ -51,9 +51,24 @@ pub fn model_algorithm(alg: &str, f: f64) -> Result<Box<dyn Algorithm>, String> 
 /// Execute one run. Deterministic: equal keys produce equal results,
 /// bit-for-bit, which is what makes the content-addressed cache sound.
 pub fn execute(key: &RunKey) -> Result<RunResult, String> {
+    execute_into(key, None)
+}
+
+/// [`execute`], optionally exporting virtual-cost attribution into a
+/// metrics registry. For simulator runs the per-rank Eq. 1/2 term
+/// breakdown and raw counters land under `sim.*`
+/// (`psse_algos::bridge::measure_into`) and an active fault plan
+/// describes itself under `faults.*`; model runs have no per-rank
+/// profile and export nothing. The returned [`RunResult`] is
+/// bit-identical with and without a registry — exports are a pure
+/// side-channel, so cached and fresh executions stay interchangeable.
+pub fn execute_into(
+    key: &RunKey,
+    registry: Option<&psse_metrics::Registry>,
+) -> Result<RunResult, String> {
     match key.kind {
         RunKind::Model => execute_model(key),
-        RunKind::Simulate => execute_simulate(key),
+        RunKind::Simulate => execute_simulate(key, registry),
     }
 }
 
@@ -98,7 +113,10 @@ fn execute_model(key: &RunKey) -> Result<RunResult, String> {
     Ok(r)
 }
 
-fn execute_simulate(key: &RunKey) -> Result<RunResult, String> {
+fn execute_simulate(
+    key: &RunKey,
+    registry: Option<&psse_metrics::Registry>,
+) -> Result<RunResult, String> {
     let n = key.n as usize;
     let p = key.p as usize;
     let c = key.c as usize;
@@ -152,7 +170,15 @@ fn execute_simulate(key: &RunKey) -> Result<RunResult, String> {
         }
     };
 
-    let m = measure(&profile, &key.machine);
+    let m = match registry {
+        Some(reg) => {
+            if let Some(plan) = &key.faults {
+                plan.export_metrics(reg, "faults")?;
+            }
+            measure_into(&profile, &key.machine, reg, "sim")?
+        }
+        None => measure(&profile, &key.machine),
+    };
     Ok(RunResult {
         feasible: true,
         verified,

@@ -1,11 +1,14 @@
 //! Property-based tests: the fast Pareto extractor against the naive
-//! O(n²) dominance reference (and permutation invariance), and RunKey
-//! digest injectivity over generated grids.
+//! O(n²) dominance reference (and permutation invariance), RunKey
+//! digest injectivity over generated grids, and the self-profile's
+//! JSON round-trip.
 
 use proptest::prelude::*;
 use psse_core::machines::jaketown;
 use psse_faults::rng::SplitMix64;
+use psse_lab::pool::WorkerSpan;
 use psse_lab::prelude::*;
+use psse_metrics::{Json, Registry};
 
 /// Quantized coordinates: small integer lattices force plenty of exact
 /// ties and duplicates, the hard cases for dominance logic.
@@ -103,5 +106,55 @@ proptest! {
         prop_assert_eq!(&d1, &d2);
         prop_assert_eq!(d1.len(), 32);
         prop_assert!(d1.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    /// The self-profile survives JSON emit → parse exactly, for any
+    /// shape of run list, worker table, cache counters and attached
+    /// metric series.
+    #[test]
+    fn sweep_profile_round_trips_through_json(
+        jobs in 1u64..17,
+        wall in any::<u64>(),
+        runs_raw in prop::collection::vec((any::<u64>(), any::<bool>(), any::<bool>()), 0..12),
+        workers_raw in prop::collection::vec((any::<u64>(), 0u64..1000), 0..8),
+        cache_raw in (any::<u64>(), any::<u64>(), any::<u64>()),
+        metric_vals in prop::collection::vec(any::<u64>(), 0..6),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("virt.time_ns").unwrap();
+        for &v in &metric_vals {
+            h.record(v);
+        }
+        reg.counter("virt.retries").unwrap().add(metric_vals.len() as u64);
+        let profile = SweepProfile {
+            jobs: jobs as usize,
+            wall_ns: wall,
+            runs: runs_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(wall_ns, cached, ok))| RunProfile {
+                    label: format!("model nbody n={i} p=4"),
+                    digest: format!("{i:032x}"),
+                    wall_ns,
+                    cached,
+                    ok,
+                })
+                .collect(),
+            workers: workers_raw
+                .iter()
+                .map(|&(busy_ns, items)| WorkerSpan { busy_ns, items })
+                .collect(),
+            cache: CacheStats {
+                hits: cache_raw.0,
+                misses: cache_raw.1,
+                evictions: cache_raw.2,
+            },
+            metrics: reg.snapshot().to_json(),
+        };
+        let text = profile.to_json().to_string();
+        let back = SweepProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &profile);
+        // Emission is canonical: re-serializing reproduces the bytes.
+        prop_assert_eq!(back.to_json().to_string(), text);
     }
 }

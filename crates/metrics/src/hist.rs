@@ -1,0 +1,307 @@
+//! Mergeable log-linear histograms over `u64` samples.
+//!
+//! The value domain is split into octaves (powers of two), each divided
+//! into [`SUBBUCKETS`] linear sub-buckets — the classic HDR layout.
+//! Relative bucket width is at most `1/SUBBUCKETS` (6.25%), which is
+//! plenty for attribution ("where did the time go"), and the whole
+//! state is integers: bucket counts are `u64`, the running sum is a
+//! `u128`. That makes [`Histogram::merge`] **exactly** associative and
+//! commutative — per-worker shards reduce to the same histogram no
+//! matter how the reduction tree is shaped, which is what lets a
+//! parallel sweep emit a deterministic self-profile.
+//!
+//! Samples are raw `u64`s; callers pick the unit. The lab records
+//! wall-clock in integer nanoseconds ([`Histogram::record_secs`]
+//! converts), the simulator records flop/word/message counters
+//! directly, and Eq. 1/2 term breakdowns arrive as nano-seconds /
+//! nano-joules.
+
+/// Linear sub-buckets per octave. Must be a power of two.
+pub const SUBBUCKETS: u64 = 16;
+
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+
+/// Values below `SUBBUCKETS` get one exact bucket each; above, each
+/// octave `[2^e, 2^(e+1))` for `e in SUB_BITS..64` has `SUBBUCKETS`
+/// sub-buckets.
+const N_BUCKETS: usize = SUBBUCKETS as usize + (64 - SUB_BITS as usize) * SUBBUCKETS as usize;
+
+/// Map a sample to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // v in [2^e, 2^(e+1)), e >= SUB_BITS
+    let sub = (v >> (e - SUB_BITS)) - SUBBUCKETS; // 0..SUBBUCKETS
+    SUBBUCKETS as usize + ((e - SUB_BITS) as usize) * SUBBUCKETS as usize + sub as usize
+}
+
+/// Inclusive `(low, high)` value range covered by bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUBBUCKETS as usize {
+        return (index as u64, index as u64);
+    }
+    let i = index - SUBBUCKETS as usize;
+    let e = (i / SUBBUCKETS as usize) as u32 + SUB_BITS;
+    let sub = (i % SUBBUCKETS as usize) as u64;
+    let width = 1u64 << (e - SUB_BITS);
+    let low = (1u64 << e) + sub * width;
+    (low, low + (width - 1))
+}
+
+/// A log-linear histogram of `u64` samples with exact integer state.
+///
+/// Recording is O(1); merging is element-wise integer addition and is
+/// exactly associative and commutative (see the module docs). The
+/// in-memory footprint is one dense `Vec` of `N_BUCKETS` counters
+/// (~7.7 KiB); snapshots keep only the occupied buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a non-negative number of seconds as integer nanoseconds
+    /// (rounded; saturating at `u64::MAX`, clamping negatives and NaN
+    /// to zero).
+    pub fn record_secs(&mut self, secs: f64) {
+        self.record(saturating_nanos(secs));
+    }
+
+    /// Merge another histogram into this one. Exactly associative and
+    /// commutative: all state is integer sums, mins and maxes.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the samples (0 when empty); exact integer arithmetic
+    /// until the final division.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q·count)`,
+    /// clamped to the recorded `[min, max]`. Deterministic — a pure
+    /// function of the integer state.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let (_, high) = bucket_bounds(i);
+                return Some(high.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Overwrite the derived `sum`/`min`/`max` statistics. Used when
+    /// rebuilding a histogram from its serialized bucket form: the
+    /// replayed samples land in the right buckets but only at
+    /// bucket-low resolution, so the exact aggregates are restored
+    /// from the serialized values. No-op on an empty histogram.
+    pub(crate) fn force_stats(&mut self, sum: u128, min: u64, max: u64) {
+        if self.count > 0 {
+            self.sum = sum;
+            self.min = min;
+            self.max = max;
+        }
+    }
+
+    /// Occupied buckets as `(low, high, count)` triples, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// Convert non-negative seconds to integer nanoseconds, rounding, with
+/// NaN and negatives clamped to 0 and overflow saturating.
+pub fn saturating_nanos(secs: f64) -> u64 {
+    let ns = secs * 1e9;
+    if ns.is_nan() || ns <= 0.0 {
+        0
+    } else if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUBBUCKETS {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_domain() {
+        // Bucket bounds are contiguous and cover every probe value.
+        for v in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+        }
+        // Adjacent indices are adjacent in value.
+        for i in 0..N_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo, "gap between buckets {i} and {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_bounded() {
+        for v in [100u64, 1_000, 1_000_000, 1 << 40] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!((hi - lo) as f64 / lo as f64 <= 1.0 / SUBBUCKETS as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 150);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(50));
+        assert_eq!(h.mean(), 30.0);
+        // Median lands in the bucket containing 30.
+        let med = h.quantile(0.5).unwrap();
+        let (lo, hi) = bucket_bounds(bucket_index(30));
+        assert!((lo..=hi).contains(&med), "{med} vs [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(1_000_000);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 5 + 100 + 1_000_000);
+        assert_eq!(m.min(), Some(5));
+        assert_eq!(m.max(), Some(1_000_000));
+        // Commutativity, spot-checked (the proptest covers it broadly).
+        let mut m2 = b.clone();
+        m2.merge(&a);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let mut m = a.clone();
+        m.merge(&Histogram::new());
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn secs_conversion_clamps() {
+        assert_eq!(saturating_nanos(-1.0), 0);
+        assert_eq!(saturating_nanos(f64::NAN), 0);
+        assert_eq!(saturating_nanos(0.0), 0);
+        assert_eq!(saturating_nanos(1.5e-9), 2); // rounds
+        assert_eq!(saturating_nanos(1.0), 1_000_000_000);
+        assert_eq!(saturating_nanos(1e30), u64::MAX);
+    }
+}

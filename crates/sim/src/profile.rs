@@ -1,5 +1,7 @@
 //! Per-rank counters and whole-run profiles.
 
+use psse_metrics::{saturating_nanos, Registry};
+
 use crate::error::{SimError, SimResult};
 use crate::record::TimedEvent;
 
@@ -230,6 +232,52 @@ impl Profile {
         }
     }
 
+    /// Export this run's accounting into a metrics [`Registry`] under
+    /// `prefix`:
+    ///
+    /// * counters `{prefix}.total.*` — flops, words, messages,
+    ///   retries, crashes recovered, and resilience traffic, summed
+    ///   over ranks (and accumulating across runs exported into the
+    ///   same registry);
+    /// * gauges `{prefix}.p` and `{prefix}.mem_peak_words` — world
+    ///   size and the memory high-water mark of the *last* exported
+    ///   run;
+    /// * histograms `{prefix}.rank.*` — the per-rank distributions of
+    ///   flops, words sent, messages sent, memory peak, and finish
+    ///   time (virtual nanoseconds), one sample per rank.
+    ///
+    /// Errors only if `prefix` collides with same-named metrics of a
+    /// different kind already in the registry.
+    pub fn export_metrics(&self, reg: &Registry, prefix: &str) -> Result<(), String> {
+        for (name, v) in [
+            ("total.flops", self.total_flops()),
+            ("total.words", self.total_words_sent()),
+            ("total.msgs", self.total_msgs_sent()),
+            ("total.retries", self.total_retries()),
+            ("total.crashes_recovered", self.total_crashes_recovered()),
+            ("resilience.words", self.resilience_words()),
+            ("resilience.msgs", self.resilience_msgs()),
+        ] {
+            reg.counter(&format!("{prefix}.{name}"))?.add(v);
+        }
+        reg.gauge(&format!("{prefix}.p"))?.set(self.p() as i64);
+        reg.gauge(&format!("{prefix}.mem_peak_words"))?
+            .set(self.max_mem_peak() as i64);
+        let h_flops = reg.histogram(&format!("{prefix}.rank.flops"))?;
+        let h_words = reg.histogram(&format!("{prefix}.rank.words_sent"))?;
+        let h_msgs = reg.histogram(&format!("{prefix}.rank.msgs_sent"))?;
+        let h_mem = reg.histogram(&format!("{prefix}.rank.mem_peak"))?;
+        let h_finish = reg.histogram(&format!("{prefix}.rank.finish_ns"))?;
+        for r in &self.per_rank {
+            h_flops.record(r.flops);
+            h_words.record(r.words_sent);
+            h_msgs.record(r.msgs_sent);
+            h_mem.record(r.mem_peak);
+            h_finish.record(saturating_nanos(r.finish_time));
+        }
+        Ok(())
+    }
+
     /// Consistency check: every word sent across a link is received.
     pub fn words_balance(&self) -> (u64, u64) {
         (
@@ -314,6 +362,38 @@ mod tests {
         let a = Profile::new(vec![stats(1, 1, 1.0)]);
         let b = Profile::new(vec![stats(1, 1, 1.0), stats(1, 1, 1.0)]);
         let _ = a.then(&b);
+    }
+
+    #[test]
+    fn export_metrics_names_every_series() {
+        let reg = Registry::new();
+        let p = Profile::new(vec![stats(100, 10, 1.0), stats(300, 30, 2.5)]);
+        p.export_metrics(&reg, "sim").unwrap();
+        let snap = reg.snapshot();
+        use psse_metrics::SnapshotValue;
+        assert_eq!(
+            snap.get("sim.total.flops"),
+            Some(&SnapshotValue::Counter(400))
+        );
+        assert_eq!(snap.get("sim.p"), Some(&SnapshotValue::Gauge(2)));
+        match snap.get("sim.rank.finish_ns") {
+            Some(SnapshotValue::Histogram(h)) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.max(), Some(2_500_000_000));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // A second export accumulates counters and re-records ranks.
+        p.export_metrics(&reg, "sim").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("sim.total.flops"),
+            Some(&SnapshotValue::Counter(800))
+        );
+        // A kind collision is an error, not silent aliasing.
+        reg.counter("clash.rank.flops").unwrap();
+        let q = Profile::new(vec![stats(1, 1, 1.0)]);
+        assert!(q.export_metrics(&reg, "clash").is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 pub mod chrome;
 pub mod critical;
 pub mod error;
+pub mod flame;
 mod replay;
 pub mod textio;
 pub mod trace;

@@ -25,6 +25,10 @@
 //!   declarative sweep specs, an order-preserving worker pool,
 //!   content-addressed result caching, and Pareto-frontier /
 //!   strong-scaling-range analysis.
+//! * [`metrics`] (`psse-metrics`) — zero-dependency structured
+//!   metrics: counters, gauges, mergeable log-linear histograms, and a
+//!   registry with canonical text/JSON snapshots; powers the lab
+//!   self-profile and the simulator's Eq. 1/2 term export.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -34,6 +38,7 @@ pub use psse_core as core;
 pub use psse_faults as faults;
 pub use psse_kernels as kernels;
 pub use psse_lab as lab;
+pub use psse_metrics as metrics;
 pub use psse_sim as sim;
 pub use psse_trace as trace;
 

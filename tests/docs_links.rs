@@ -1,0 +1,188 @@
+//! Markdown link and anchor checker over the top-level documentation.
+//!
+//! Every inline link in the shipped docs must resolve: relative paths
+//! to files that exist in the repository, `#anchors` to headings that
+//! GitHub's slugger would actually generate (in the same file or the
+//! linked one). External `http(s)` URLs are skipped — the check must
+//! work offline — but everything else is load-bearing: a stale
+//! `[see DESIGN.md §10](DESIGN.md#10-...)` is a doc bug this test
+//! catches at CI time.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// The documentation set under check, all relative to the repo root.
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "TUTORIAL.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGELOG.md",
+    "PAPER.md",
+    "CHANGES.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// GitHub's heading slugger: lowercase, strip everything but
+/// alphanumerics / hyphens / underscores / spaces, spaces to hyphens.
+/// Repeated headings get `-1`, `-2`, ... suffixes.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All anchors a markdown file exposes, with GitHub's duplicate
+/// numbering. Headings inside fenced code blocks don't count.
+fn anchors_of(text: &str) -> HashSet<String> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let hashes = trimmed.chars().take_while(|&c| c == '#').count();
+        if !(1..=6).contains(&hashes) || !trimmed[hashes..].starts_with(' ') {
+            continue;
+        }
+        let base = slug(&trimmed[hashes + 1..]);
+        let mut candidate = base.clone();
+        let mut n = 0;
+        while !seen.insert(candidate.clone()) {
+            n += 1;
+            candidate = format!("{base}-{n}");
+        }
+    }
+    seen
+}
+
+/// Inline link targets in one line, with inline code spans removed so
+/// shell snippets can't masquerade as links.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut clean = String::new();
+    let mut in_code = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_code = !in_code;
+        } else if !in_code {
+            clean.push(c);
+        }
+    }
+    let mut out = Vec::new();
+    let mut rest = clean.as_str();
+    while let Some(pos) = rest.find("](") {
+        rest = &rest[pos + 2..];
+        let Some(end) = rest.find(')') else { break };
+        out.push(rest[..end].trim().to_string());
+        rest = &rest[end + 1..];
+    }
+    out
+}
+
+/// Check every link in `doc`; push one message per broken link.
+fn check_doc(doc: &str, errors: &mut Vec<String>) {
+    let root = repo_root();
+    let text = match std::fs::read_to_string(root.join(doc)) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("{doc}: unreadable: {e}"));
+            return;
+        }
+    };
+    let own_anchors = anchors_of(&text);
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for target in link_targets(line) {
+            let target = target
+                .trim_start_matches('<')
+                .trim_end_matches('>')
+                .to_string();
+            if target.contains("://") || target.starts_with("mailto:") || target.is_empty() {
+                continue;
+            }
+            let at = format!("{doc}:{}", lineno + 1);
+            if let Some(anchor) = target.strip_prefix('#') {
+                if !own_anchors.contains(anchor) {
+                    errors.push(format!("{at}: broken anchor `#{anchor}`"));
+                }
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let full = root.join(path_part);
+            if !full.exists() {
+                errors.push(format!("{at}: broken path `{path_part}`"));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if Path::new(path_part).extension().is_some_and(|e| e == "md") {
+                    let linked = std::fs::read_to_string(&full).unwrap_or_default();
+                    if !anchors_of(&linked).contains(anchor) {
+                        errors.push(format!("{at}: broken anchor `{path_part}#{anchor}`"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_doc_links_and_anchors_resolve() {
+    let mut errors = Vec::new();
+    for doc in DOCS {
+        check_doc(doc, &mut errors);
+    }
+    assert!(
+        errors.is_empty(),
+        "broken documentation links:\n  {}",
+        errors.join("\n  ")
+    );
+}
+
+#[test]
+fn slugger_matches_github_conventions() {
+    assert_eq!(slug("Observability"), "observability");
+    assert_eq!(
+        slug("10. Self-profiling & metrics"),
+        "10-self-profiling--metrics"
+    );
+    assert_eq!(slug("`psse lab run`"), "psse-lab-run");
+    assert_eq!(slug("Eq. 1 / Eq. 2 terms"), "eq-1--eq-2-terms");
+}
+
+#[test]
+fn anchor_duplicates_get_numbered() {
+    let text = "# Same\n## Same\n### Other\n";
+    let a = anchors_of(text);
+    assert!(a.contains("same"));
+    assert!(a.contains("same-1"));
+    assert!(a.contains("other"));
+}
