@@ -1,0 +1,236 @@
+//! Transport-equivalence property tests.
+//!
+//! The zero-copy overhaul added two send variants (`send_slice`,
+//! `send_shared`) next to the owning `send`, and rebuilt the wire format
+//! (one shared envelope per transfer, arithmetic chunk pricing). These
+//! tests pin the contract the rest of the workspace builds on:
+//!
+//! * the three variants are observationally identical — same virtual
+//!   times, same counters, same recorded traces — on random schedules,
+//!   clean or faulted (drop + corrupt + acked retries);
+//! * every distributed algorithm in the crate produces a bit-identical
+//!   profile and trace when re-executed, i.e. the transport introduces
+//!   no scheduling nondeterminism end to end.
+
+use proptest::prelude::*;
+use psse_algos::prelude::*;
+use psse_kernels::fft::Complex64;
+use psse_kernels::matrix::Matrix;
+use psse_kernels::nbody::Particle;
+use psse_sim::prelude::*;
+use std::sync::Arc;
+
+/// Which send entry point a schedule run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendVia {
+    Owned,
+    Slice,
+    Shared,
+}
+
+/// A randomly generated transfer: src → dst with a unique tag and a
+/// payload derived from (src, tag).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    src: usize,
+    dst: usize,
+    tag: u64,
+    len: usize,
+}
+
+fn payload_for(t: &Transfer) -> Vec<f64> {
+    (0..t.len)
+        .map(|i| (t.src * 1_000_003 + t.tag as usize * 97 + i) as f64)
+        .collect()
+}
+
+/// Strategy: a world size and a set of transfers with unique tags.
+fn schedules() -> impl Strategy<Value = (usize, Vec<Transfer>)> {
+    (2usize..6).prop_flat_map(|p| {
+        let transfer =
+            (0usize..p, 0usize..p, 0usize..200).prop_map(move |(src, dst, len)| Transfer {
+                src,
+                dst: if src == dst { (dst + 1) % p } else { dst },
+                tag: 0, // assigned below
+                len,
+            });
+        (Just(p), prop::collection::vec(transfer, 1..24)).prop_map(|(p, mut ts)| {
+            for (i, t) in ts.iter_mut().enumerate() {
+                t.tag = i as u64; // unique tags: no matching ambiguity
+            }
+            (p, ts)
+        })
+    })
+}
+
+fn run_schedule(
+    p: usize,
+    transfers: &[Transfer],
+    via: SendVia,
+    cfg: SimConfig,
+) -> SimOutcome<usize> {
+    Machine::run(p, cfg, move |rank| {
+        let me = rank.rank();
+        for t in transfers.iter().filter(|t| t.src == me) {
+            let payload = payload_for(t);
+            match via {
+                SendVia::Owned => rank.send(t.dst, Tag(t.tag), payload)?,
+                SendVia::Slice => rank.send_slice(t.dst, Tag(t.tag), &payload)?,
+                SendVia::Shared => rank.send_shared(t.dst, Tag(t.tag), Arc::new(payload))?,
+            }
+        }
+        let mut received = 0usize;
+        for t in transfers.iter().filter(|t| t.dst == me) {
+            rank.recv(t.src, Tag(t.tag))?;
+            received += 1;
+        }
+        Ok(received)
+    })
+    .expect("schedule must complete")
+}
+
+/// Default prices, small chunking (so multi-chunk pricing is hit) and
+/// trace recording on: the strictest observable surface.
+fn traced_cfg() -> SimConfig {
+    SimConfig {
+        record_trace: true,
+        max_message_words: 29, // awkward: most payloads span several chunks
+        ..SimConfig::default()
+    }
+}
+
+fn drop_corrupt_plan(seed: u64, drop_rate: f64, corrupt_rate: f64) -> FaultPlan {
+    FaultPlan {
+        spec: FaultSpec {
+            seed,
+            drop_rate,
+            corrupt_rate,
+            ..FaultSpec::default()
+        },
+        recovery: RecoveryPolicy {
+            max_retries: 24,
+            retry_backoff: 1e-9,
+            checkpoint: None,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `send`, `send_slice` and `send_shared` are interchangeable:
+    /// identical profiles (virtual times, every counter) and identical
+    /// recorded traces on random clean schedules.
+    #[test]
+    fn send_variants_are_observationally_identical((p, transfers) in schedules()) {
+        let owned = run_schedule(p, &transfers, SendVia::Owned, traced_cfg());
+        let slice = run_schedule(p, &transfers, SendVia::Slice, traced_cfg());
+        let shared = run_schedule(p, &transfers, SendVia::Shared, traced_cfg());
+        prop_assert_eq!(&owned.profile, &slice.profile);
+        prop_assert_eq!(&owned.profile, &shared.profile);
+        prop_assert_eq!(&owned.results, &slice.results);
+        prop_assert_eq!(&owned.results, &shared.results);
+    }
+
+    /// The same equivalence holds under drop + corrupt faults with
+    /// acked retries: fault decisions key on the transfer, not on how
+    /// its payload entered the transport.
+    #[test]
+    fn send_variants_match_under_faults(
+        (p, transfers) in schedules(),
+        seed in 0u64..1024,
+        drop_pct in 0u32..20,
+        corrupt_pct in 0u32..20,
+    ) {
+        let plan = drop_corrupt_plan(seed, drop_pct as f64 / 100.0, corrupt_pct as f64 / 100.0);
+        let cfg = || SimConfig { faults: Some(plan.clone()), ..traced_cfg() };
+        let owned = run_schedule(p, &transfers, SendVia::Owned, cfg());
+        let slice = run_schedule(p, &transfers, SendVia::Slice, cfg());
+        let shared = run_schedule(p, &transfers, SendVia::Shared, cfg());
+        prop_assert_eq!(&owned.profile, &slice.profile);
+        prop_assert_eq!(&owned.profile, &shared.profile);
+    }
+
+    /// A faulted end-to-end algorithm run (2.5D ABFT matmul under
+    /// drop + corrupt + retry) re-executes bit-identically: profile,
+    /// trace and numerical result.
+    #[test]
+    fn faulted_abft_matmul_reruns_bit_identical(
+        data_seed in 0u64..256,
+        fault_seed in 0u64..256,
+    ) {
+        let n = 8;
+        let a = Matrix::random(n, n, data_seed);
+        let b = Matrix::random(n, n, data_seed + 1);
+        let plan = drop_corrupt_plan(fault_seed, 0.08, 0.04);
+        let run = || {
+            let cfg = SimConfig { faults: Some(plan.clone()), ..traced_cfg() };
+            matmul_25d_abft(&a, &b, 8, 2, cfg).expect("retries absorb the injected faults")
+        };
+        let (c1, p1) = run();
+        let (c2, p2) = run();
+        prop_assert_eq!(c1.as_slice(), c2.as_slice());
+        prop_assert_eq!(p1, p2);
+    }
+}
+
+/// Run every distributed algorithm in the crate twice with tracing on
+/// and require bit-identical profiles (which include the full event
+/// trace) — the end-to-end determinism contract of the transport.
+#[test]
+fn all_algorithms_rerun_bit_identical() {
+    let n = 8;
+    let a = Matrix::random(n, n, 100);
+    let b = Matrix::random(n, n, 101);
+    let spd = Matrix::random_diagonally_dominant(n, 102);
+    let tall = Matrix::random(16, 2, 103);
+    let particles: Vec<Particle> = (0..8)
+        .map(|i| Particle::at([i as f64, 0.5 * i as f64, 0.25], 1.0 + i as f64))
+        .collect();
+    let signal: Vec<Complex64> = (0..16)
+        .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+        .collect();
+
+    type AlgoRun<'x> = Box<dyn Fn() -> Profile + 'x>;
+    let runs: Vec<(&str, AlgoRun)> = vec![
+        (
+            "cannon",
+            Box::new(|| cannon_matmul(&a, &b, 4, traced_cfg()).unwrap().1),
+        ),
+        (
+            "summa",
+            Box::new(|| summa_matmul(&a, &b, 4, 2, traced_cfg()).unwrap().1),
+        ),
+        (
+            "mm25d",
+            Box::new(|| matmul_25d(&a, &b, 8, 2, traced_cfg()).unwrap().1),
+        ),
+        (
+            "strassen",
+            Box::new(|| strassen_distributed(&a, &b, 7, traced_cfg()).unwrap().1),
+        ),
+        ("lu2d", Box::new(|| lu_2d(&spd, 4, traced_cfg()).unwrap().1)),
+        (
+            "nbody",
+            Box::new(|| nbody_replicated(&particles, 4, 2, traced_cfg()).unwrap().1),
+        ),
+        (
+            "fft",
+            Box::new(|| {
+                distributed_fft(&signal, 2, AllToAllKind::Hypercube, traced_cfg())
+                    .unwrap()
+                    .1
+            }),
+        ),
+        ("tsqr", Box::new(|| tsqr(&tall, 4, traced_cfg()).unwrap().1)),
+    ];
+    for (name, run) in &runs {
+        let p1 = run();
+        let p2 = run();
+        assert!(
+            !p1.events.is_empty() && p1.events.iter().any(|e| !e.is_empty()),
+            "{name}: trace must actually be recorded"
+        );
+        assert_eq!(p1, p2, "{name}: profile/trace must be bit-identical");
+    }
+}

@@ -1,0 +1,279 @@
+//! Wall-clock transport benchmark: how fast does the *simulator itself*
+//! run on the host machine?
+//!
+//! Every other bench in this crate measures virtual time and energy —
+//! the paper's models. This one measures the real seconds the postal
+//! transport burns to deliver them, because that cost bounds the
+//! largest `p` the workspace can sweep (the ROADMAP's "fast as the
+//! hardware allows" axis). The suite times:
+//!
+//! * ring shifts, binomial broadcasts and allreduces at
+//!   `p ∈ {16, 64, 256, 1024}` — the collective skeletons of every
+//!   distributed algorithm here;
+//! * one sim-backed SUMMA multiplication (`n = 256`, `p = 16`);
+//! * one end-to-end fault sweep (2.5D ABFT matmul with drops,
+//!   corruption and acked retries — the same workload as
+//!   `psse faults sweep --q 4 --n 64`).
+//!
+//! Results merge into `BENCH_sim.json` at the repo root, keyed by
+//! phase (`PSSE_WALLCLOCK_PHASE`, default `after`) so a before/after
+//! pair from two builds can live in one file; when both phases are
+//! present the suite recomputes per-entry speedups. Environment knobs:
+//!
+//! * `PSSE_WALLCLOCK_PHASE=before|after` — which phase to record;
+//! * `PSSE_WALLCLOCK_QUICK=1` — reduced payloads and one repetition
+//!   (the CI perf-smoke setting; still includes the `p = 1024` ring).
+
+use psse_algos::prelude::*;
+use psse_bench::report::banner;
+use psse_core::machines::jaketown;
+use psse_kernels::matrix::Matrix;
+use psse_metrics::Json;
+use psse_sim::prelude::*;
+use std::time::Instant;
+
+/// One timed suite entry: label plus best-of-`reps` milliseconds.
+struct Entry {
+    name: &'static str,
+    p: usize,
+    millis: f64,
+}
+
+/// Time `f` `reps` times and keep the minimum (least-noise estimate).
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// A flat machine with zero virtual prices: the wall-clock cost is pure
+/// transport (threads, queues, payload movement), no model arithmetic.
+fn transport_cfg() -> SimConfig {
+    SimConfig {
+        max_message_words: 1 << 12,
+        ..SimConfig::counters_only()
+    }
+}
+
+fn ring(p: usize, words: usize, steps: usize) {
+    let out = Machine::run(p, transport_cfg(), |rank| {
+        let right = (rank.rank() + 1) % rank.size();
+        let left = (rank.rank() + rank.size() - 1) % rank.size();
+        let mut block = vec![rank.rank() as f64; words];
+        for step in 0..steps {
+            block = rank.sendrecv(right, Tag(step as u64), block, left, Tag(step as u64))?;
+        }
+        Ok(block[0])
+    })
+    .expect("ring");
+    assert_eq!(out.results.len(), p);
+}
+
+fn bcast(p: usize, words: usize) {
+    let out = Machine::run(p, transport_cfg(), |rank| {
+        let group = Group::world(rank.size());
+        let data = if rank.rank() == 0 {
+            Some(vec![1.5; words])
+        } else {
+            None
+        };
+        let v = rank.broadcast(Tag(0), &group, 0, data)?;
+        Ok(v[words / 2])
+    })
+    .expect("bcast");
+    assert!(out.results.iter().all(|&x| x == 1.5));
+}
+
+fn allreduce(p: usize, words: usize) {
+    let out = Machine::run(p, transport_cfg(), |rank| {
+        let data = vec![rank.rank() as f64; words];
+        let sum = rank.allreduce_sum(Tag(0), data)?;
+        Ok(sum[0])
+    })
+    .expect("allreduce");
+    let expect = (p * (p - 1) / 2) as f64;
+    assert!(out.results.iter().all(|&x| x == expect));
+}
+
+fn summa_run(n: usize, p: usize) {
+    let a = Matrix::random(n, n, 11);
+    let b = Matrix::random(n, n, 12);
+    let q = (p as f64).sqrt() as usize;
+    let (c, prof) =
+        summa_matmul(&a, &b, p, n / q, sim_config_from(&jaketown())).expect("summa sim");
+    assert_eq!(c.rows(), n);
+    assert!(prof.total_words_sent() > 0);
+}
+
+/// The `psse faults sweep` hot loop: 2.5D ABFT matmul under a
+/// drop+corrupt plan with acked retries, across replication factors.
+fn faults_sweep(n: usize, q: usize, c_list: &[usize]) {
+    let a = Matrix::random(n, n, 42);
+    let b = Matrix::random(n, n, 43);
+    let plan = FaultPlan {
+        spec: FaultSpec {
+            seed: 42,
+            drop_rate: 0.05,
+            corrupt_rate: 0.02,
+            ..FaultSpec::default()
+        },
+        recovery: RecoveryPolicy {
+            max_retries: 24,
+            retry_backoff: 1e-8,
+            checkpoint: None,
+        },
+    };
+    for &c in c_list {
+        let p = q * q * c;
+        let mut cfg = sim_config_from(&jaketown());
+        cfg.faults = Some(plan.clone());
+        let (cm, prof) = matmul_25d_abft(&a, &b, p, c, cfg).expect("faulted 2.5D");
+        assert_eq!(cm.rows(), n);
+        assert!(prof.total_retries() > 0, "plan must inject faults");
+    }
+}
+
+/// Merge `phase → entries` into the existing `BENCH_sim.json` (if any)
+/// and recompute speedups for every entry present in both phases.
+fn write_json(phase: &str, entries: &[Entry], quick: bool) {
+    // Anchor at the workspace root (cargo bench sets cwd to the package
+    // dir), same convention as `report::results_dir`.
+    let path = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let base = std::path::PathBuf::from(dir);
+            base.parent()
+                .and_then(|p| p.parent())
+                .map(|ws| ws.join("BENCH_sim.json"))
+                .unwrap_or_else(|| base.join("BENCH_sim.json"))
+        }
+        None => std::path::PathBuf::from("BENCH_sim.json"),
+    };
+    let prior = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok());
+    let mut phases: Vec<(String, Json)> = Vec::new();
+    if let Some(Json::Obj(pairs)) = prior.as_ref().and_then(|p| p.get("phases")).cloned() {
+        phases = pairs.into_iter().filter(|(k, _)| k != phase).collect();
+    }
+    let mine = Json::Obj(
+        entries
+            .iter()
+            .map(|e| (e.name.to_string(), Json::Float(e.millis)))
+            .collect(),
+    );
+    phases.push((phase.to_string(), mine));
+    phases.sort_by(|a, b| a.0.cmp(&b.0)); // "after" < "before": stable order
+    let speedup = match (
+        phases.iter().find(|(k, _)| k == "before"),
+        phases.iter().find(|(k, _)| k == "after"),
+    ) {
+        (Some((_, Json::Obj(before))), Some((_, Json::Obj(after)))) => {
+            let mut s: Vec<(String, Json)> = Vec::new();
+            for (k, b) in before {
+                if let (Some(bv), Some(av)) = (
+                    b.as_f64(),
+                    after
+                        .iter()
+                        .find(|(ak, _)| ak == k)
+                        .and_then(|(_, v)| v.as_f64()),
+                ) {
+                    if av > 0.0 {
+                        s.push((k.clone(), Json::Float((bv / av * 100.0).round() / 100.0)));
+                    }
+                }
+            }
+            Json::Obj(s)
+        }
+        _ => Json::Obj(Vec::new()),
+    };
+    let doc = Json::obj(vec![
+        ("suite", Json::Str("wallclock_transport".into())),
+        (
+            "units",
+            Json::Str("milliseconds wall-clock, best of N repetitions".into()),
+        ),
+        ("quick", Json::Bool(quick)),
+        ("phases", Json::Obj(phases)),
+        ("speedup_before_over_after", speedup),
+    ]);
+    std::fs::write(&path, format!("{doc}\n")).expect("write BENCH_sim.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::var("PSSE_WALLCLOCK_QUICK").is_ok_and(|v| v == "1");
+    let phase = std::env::var("PSSE_WALLCLOCK_PHASE").unwrap_or_else(|_| "after".into());
+    banner("wall-clock transport suite (host seconds, not virtual time)");
+    println!("phase `{phase}`, quick = {quick}\n");
+
+    let reps = if quick { 1 } else { 3 };
+    let (ring_words, coll_words) = if quick {
+        (256, 1 << 10)
+    } else {
+        (2048, 1 << 14)
+    };
+    let mut entries: Vec<Entry> = Vec::new();
+    let push = |entries: &mut Vec<Entry>, name: &'static str, p: usize, ms: f64| {
+        println!("{name:<18} {ms:>10.2} ms");
+        entries.push(Entry {
+            name,
+            p,
+            millis: ms,
+        });
+    };
+
+    for (name, p) in [
+        ("ring/p16", 16usize),
+        ("ring/p64", 64),
+        ("ring/p256", 256),
+        ("ring/p1024", 1024),
+    ] {
+        let ms = time_best(reps, || ring(p, ring_words, 4));
+        push(&mut entries, name, p, ms);
+    }
+    for (name, p) in [
+        ("bcast/p16", 16usize),
+        ("bcast/p64", 64),
+        ("bcast/p256", 256),
+    ] {
+        let ms = time_best(reps, || bcast(p, coll_words));
+        push(&mut entries, name, p, ms);
+    }
+    for (name, p) in [
+        ("allreduce/p16", 16usize),
+        ("allreduce/p64", 64),
+        ("allreduce/p256", 256),
+    ] {
+        let ms = time_best(reps, || allreduce(p, coll_words));
+        push(&mut entries, name, p, ms);
+    }
+    if !quick {
+        let ms = time_best(reps, || bcast(1024, coll_words));
+        push(&mut entries, "bcast/p1024", 1024, ms);
+        let ms = time_best(reps, || allreduce(1024, coll_words));
+        push(&mut entries, "allreduce/p1024", 1024, ms);
+    }
+    let (sn, sp) = if quick { (128, 16) } else { (256, 16) };
+    let ms = time_best(reps, || summa_run(sn, sp));
+    push(&mut entries, "summa/p16", sp, ms);
+    let (fn_, fq, fc): (usize, usize, &[usize]) = if quick {
+        (32, 4, &[1, 2])
+    } else {
+        (64, 4, &[1, 2, 4])
+    };
+    let ms = time_best(reps, || faults_sweep(fn_, fq, fc));
+    push(&mut entries, "faults_sweep", fq * fq, ms);
+
+    // The p = 1024 ring is the scale canary: CI asserts it completes.
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.name == "ring/p1024" && e.p == 1024),
+        "p = 1024 ring must run"
+    );
+    write_json(&phase, &entries, quick);
+}

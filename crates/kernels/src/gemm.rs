@@ -27,13 +27,33 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// Blocked `C += A·B`.
+/// Register-tile width (columns of `C` held in registers across the
+/// `l` loop) and height (rows per micro-kernel invocation).
+const NR: usize = 4;
+const MR: usize = 2;
+
+/// Blocked `C += A·B` with an `MR×NR` register-tiled micro-kernel.
+///
+/// Inside each cache block the interior is walked in `MR = 2` row by
+/// `NR = 4` column tiles whose `C` entries live in accumulator
+/// registers across the whole `l` loop — one load and one store per
+/// entry per block instead of one per `l`. The accumulators start from
+/// `C`'s current values and receive one `+= a[i,l]·b[l,j]` per `l` in
+/// ascending order, i.e. the *same* f64 operation sequence per `(i,j)`
+/// as the plain loop — results are bit-identical to the scalar path
+/// (asserted by the `register_tile_is_bit_identical_to_scalar` test),
+/// which the deterministic-simulation layers above rely on.
 pub fn matmul_add_into(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(c.rows(), a.rows(), "C rows must match A rows");
     assert_eq!(c.cols(), b.cols(), "C cols must match B cols");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let (a_buf, b_buf) = (a.as_slice(), b.as_slice());
+    let op = Operands {
+        a: a.as_slice(),
+        b: b.as_slice(),
+        k,
+        n,
+    };
     let c_buf = c.as_mut_slice();
     for i0 in (0..m).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(m);
@@ -41,16 +61,75 @@ pub fn matmul_add_into(c: &mut Matrix, a: &Matrix, b: &Matrix) {
             let l1 = (l0 + BLOCK).min(k);
             for j0 in (0..n).step_by(BLOCK) {
                 let j1 = (j0 + BLOCK).min(n);
-                for i in i0..i1 {
-                    for l in l0..l1 {
-                        let ail = a_buf[i * k + l];
-                        let b_row = &b_buf[l * n + j0..l * n + j1];
-                        let c_row = &mut c_buf[i * n + j0..i * n + j1];
-                        for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                            *cj += ail * bj;
+                let mut i = i0;
+                while i + MR <= i1 {
+                    let mut j = j0;
+                    while j + NR <= j1 {
+                        op.microkernel(c_buf, i, j, l0, l1);
+                        j += NR;
+                    }
+                    // Column remainder: plain scalar loop, row by row.
+                    if j < j1 {
+                        for r in i..i + MR {
+                            op.scalar_tail(c_buf, r, j, j1, l0, l1);
                         }
                     }
+                    i += MR;
                 }
+                // Row remainder.
+                for r in i..i1 {
+                    op.scalar_tail(c_buf, r, j0, j1, l0, l1);
+                }
+            }
+        }
+    }
+}
+
+/// Read-side operands of one multiply: `A` (`…×k`, row stride `k`) and
+/// `B` (`k×n`, row stride `n`).
+struct Operands<'m> {
+    a: &'m [f64],
+    b: &'m [f64],
+    k: usize,
+    n: usize,
+}
+
+impl Operands<'_> {
+    /// `MR×NR` register tile: `C[i..i+MR, j..j+NR] += A[i..i+MR, l0..l1]
+    /// · B[l0..l1, j..j+NR]`, accumulating in registers, adds in
+    /// ascending `l` order.
+    #[inline]
+    fn microkernel(&self, c_buf: &mut [f64], i: usize, j: usize, l0: usize, l1: usize) {
+        let n = self.n;
+        let mut acc = [[0.0_f64; NR]; MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            row.copy_from_slice(&c_buf[(i + r) * n + j..(i + r) * n + j + NR]);
+        }
+        for l in l0..l1 {
+            let b_row = &self.b[l * n + j..l * n + j + NR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                let arl = self.a[(i + r) * self.k + l];
+                for (acc_j, b_j) in row.iter_mut().zip(b_row) {
+                    *acc_j += arl * b_j;
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            c_buf[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(row);
+        }
+    }
+
+    /// One row's remainder columns `[j, j1)`, plain scalar multiply-add
+    /// in ascending `l` order (identical to the untiled inner loop).
+    #[inline]
+    fn scalar_tail(&self, c_buf: &mut [f64], i: usize, j: usize, j1: usize, l0: usize, l1: usize) {
+        let n = self.n;
+        for l in l0..l1 {
+            let ail = self.a[i * self.k + l];
+            let b_row = &self.b[l * n + j..l * n + j1];
+            let c_row = &mut c_buf[i * n + j..i * n + j1];
+            for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                *cj += ail * bj;
             }
         }
     }
@@ -98,6 +177,62 @@ mod tests {
             let slow = matmul_naive(&a, &b);
             assert!(fast.max_abs_diff(&slow) < 1e-12, "mismatch at {m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn register_tile_is_bit_identical_to_scalar() {
+        // Per (i,j), both the naive loop and the tiled kernel add the
+        // products a[i,l]·b[l,j] in ascending l order starting from the
+        // same value — so the results must match to the last bit, not
+        // just to a tolerance. Shapes straddle MR, NR and BLOCK in every
+        // dimension (including all-remainder and empty-ish edges).
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (2, 4, 4),
+            (3, 5, 6),
+            (1, 64, 3),
+            (2, 64, 5),
+            (5, 1, 4),
+            (63, 65, 66),
+            (64, 64, 64),
+            (65, 67, 129),
+            (130, 3, 67),
+        ] {
+            let a = Matrix::random(m, k, 17);
+            let b = Matrix::random(k, n, 18);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            assert_eq!(
+                fast.as_slice(),
+                slow.as_slice(),
+                "bitwise mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulation_is_bit_identical_too() {
+        // C += A·B from a non-zero C: the accumulators start from C's
+        // current values, so repeated add_into must equal the naive
+        // sequence bit for bit as well.
+        let (m, k, n) = (33, 65, 34);
+        let a = Matrix::random(m, k, 19);
+        let b = Matrix::random(k, n, 20);
+        let mut c_tiled = Matrix::random(m, n, 21);
+        let mut c_ref = c_tiled.clone();
+        matmul_add_into(&mut c_tiled, &a, &b);
+        matmul_add_into(&mut c_tiled, &a, &b);
+        for _ in 0..2 {
+            for i in 0..m {
+                for l in 0..k {
+                    let ail = a[(i, l)];
+                    for j in 0..n {
+                        c_ref[(i, j)] += ail * b[(l, j)];
+                    }
+                }
+            }
+        }
+        assert_eq!(c_tiled.as_slice(), c_ref.as_slice());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! (`p − 1` exchanges — the "naive" all-to-all of the FFT analysis).
 
 use crate::error::{SimError, SimResult};
-use crate::message::Tag;
+use crate::message::{SharedPayload, Tag};
 use crate::rank::Rank;
+use std::sync::Arc;
 
 /// Number of tag offsets a single collective may consume.
 pub const TAG_WINDOW: u64 = 128;
@@ -134,8 +135,12 @@ impl Rank {
             .index_of(root)
             .ok_or_else(|| SimError::Algorithm(format!("broadcast root {root} not in group")))?;
         let v = (me + g - root_idx) % g; // virtual index, root at 0
-        let mut data = if v == 0 {
-            data.ok_or_else(|| SimError::Algorithm("broadcast root must supply data".into()))?
+                                         // One shared allocation fans out through the whole tree: each
+                                         // edge clones a reference, never the words.
+        let data: SharedPayload = if v == 0 {
+            Arc::new(
+                data.ok_or_else(|| SimError::Algorithm("broadcast root must supply data".into()))?,
+            )
         } else {
             // Receive from the parent in the binomial tree.
             let mut mask = 1usize;
@@ -143,7 +148,7 @@ impl Rank {
             loop {
                 if v & mask != 0 {
                     let parent = group.member((v - mask + root_idx) % g);
-                    break self.recv(parent, tag.offset(round))?;
+                    break self.recv_shared(parent, tag.offset(round))?;
                 }
                 mask <<= 1;
                 round += 1;
@@ -164,15 +169,13 @@ impl Rank {
             if child_v < g {
                 let child = group.member((child_v + root_idx) % g);
                 let round = mask.trailing_zeros() as u64;
-                self.send(child, tag.offset(round), data.clone())?;
+                self.send_shared(child, tag.offset(round), Arc::clone(&data))?;
             }
             mask >>= 1;
         }
-        // Root keeps ownership; non-roots received above.
-        if v == 0 && g == 1 {
-            // nothing to do
-        }
-        Ok(std::mem::take(&mut data))
+        // At most one copy, and only if a child transfer is still in
+        // flight when we materialize the caller's Vec.
+        Ok(Arc::try_unwrap(data).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Element-wise sum-reduction to the group member with global rank
@@ -310,13 +313,16 @@ impl Rank {
     ) -> SimResult<Vec<Vec<f64>>> {
         let g = group.len();
         let me = group.my_index(self)?;
-        let mut blocks: Vec<Option<Vec<f64>>> = vec![None; g];
+        let mut blocks: Vec<Option<SharedPayload>> = vec![None; g];
         let right = group.member((me + 1) % g);
         let left = group.member((me + g - 1) % g);
-        let mut current = block.clone();
-        blocks[me] = Some(block);
+        // Each block travels the ring as one shared allocation: a rank
+        // keeps a reference and forwards the same buffer, so the g − 1
+        // per-hop clones become reference-count bumps.
+        let mut current: SharedPayload = Arc::new(block);
+        blocks[me] = Some(Arc::clone(&current));
         for step in 0..g.saturating_sub(1) {
-            let incoming = self.sendrecv(
+            let incoming = self.sendrecv_shared(
                 right,
                 tag.offset(step as u64),
                 current,
@@ -324,12 +330,18 @@ impl Rank {
                 tag.offset(step as u64),
             )?;
             let src_idx = (me + g - 1 - step) % g;
-            blocks[src_idx] = Some(incoming.clone());
+            blocks[src_idx] = Some(Arc::clone(&incoming));
             current = incoming;
         }
+        drop(current);
+        // Materializing the caller's Vecs is the only point a block may
+        // be copied (when a forwarded reference is still in flight).
         Ok(blocks
             .into_iter()
-            .map(|b| b.expect("ring filled"))
+            .map(|b| {
+                let b = b.expect("ring filled");
+                Arc::try_unwrap(b).unwrap_or_else(|shared| (*shared).clone())
+            })
             .collect())
     }
 
@@ -667,7 +679,7 @@ impl Rank {
         let mut round = 0u64;
         while d < g {
             if me + d < g {
-                self.send(group.member(me + d), tag.offset(round), partial.clone())?;
+                self.send_slice(group.member(me + d), tag.offset(round), &partial)?;
             }
             if me >= d {
                 let incoming = self.recv(group.member(me - d), tag.offset(round))?;

@@ -21,6 +21,17 @@
 //! (Eq. 2) prices; `psse-algos` bridges a [`profile::Profile`] into
 //! `psse-core`'s `ExecutionSummary`.
 //!
+//! ## Zero-copy transport
+//!
+//! Payloads cross the wire as shared [`message::SharedPayload`] buffers:
+//! one envelope per transfer, chunk costs priced arithmetically, fan-out
+//! by reference count. Besides [`rank::Rank::send`] there is a borrowing
+//! [`rank::Rank::send_slice`] and a sharing [`rank::Rank::send_shared`] /
+//! [`rank::Rank::recv_shared`] pair; all variants are bit-identical in
+//! virtual time, counters, and traces (see `DESIGN.md`, "Zero-copy
+//! transport"). Rank threads are pooled and reused across `Machine::run`
+//! calls, and blocked receives wake by condvar, not by polling.
+//!
 //! ## Trace recording (opt-in)
 //!
 //! Setting [`machine::SimConfig::record_trace`] makes every rank record
@@ -62,7 +73,10 @@
 //! assert!(outcome.profile.makespan > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// scoped-job lifetime erasure in [`pool`] (see its module docs for the
+// soundness argument); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 // `!(x > 0.0)` deliberately rejects NaN alongside non-positive values;
 // `partial_cmp` would obscure that intent.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -75,7 +89,9 @@ pub mod collectives;
 pub mod error;
 pub mod grid;
 pub mod machine;
+mod mailbox;
 pub mod message;
+mod pool;
 pub mod profile;
 pub mod rank;
 pub mod record;
@@ -83,7 +99,7 @@ pub mod seqmem;
 
 pub use error::SimError;
 pub use machine::{Machine, SimConfig, SimOutcome};
-pub use message::Tag;
+pub use message::{SharedPayload, Tag};
 pub use profile::{Profile, RankStats};
 pub use psse_faults::FaultPlan;
 pub use rank::Rank;
@@ -94,7 +110,7 @@ pub mod prelude {
     pub use crate::error::SimError;
     pub use crate::grid::{Grid2, Grid3};
     pub use crate::machine::{Machine, SimConfig, SimOutcome};
-    pub use crate::message::Tag;
+    pub use crate::message::{SharedPayload, Tag};
     pub use crate::profile::{Profile, RankStats};
     pub use crate::rank::Rank;
     pub use crate::record::{EventKind, TimedEvent};

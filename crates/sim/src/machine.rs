@@ -1,12 +1,14 @@
-//! The simulated machine: configuration and the thread-per-rank runner.
+//! The simulated machine: configuration and the pooled thread-per-rank
+//! runner.
 
 use crate::error::{SimError, SimResult};
-use crate::message::Envelope;
+use crate::mailbox::Mailbox;
+use crate::pool::Crew;
 use crate::profile::{Profile, RankStats};
 use crate::rank::Rank;
 use psse_faults::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -134,10 +136,13 @@ pub struct Machine;
 
 impl Machine {
     /// Run `f` on `p` ranks. Each rank executes `f(&mut rank)` on its own
-    /// OS thread; the function returns when all ranks complete.
+    /// OS thread (reused from a process-wide pool across runs, so a
+    /// sweep of thousands of small runs pays thread creation once); the
+    /// function returns when all ranks complete.
     ///
     /// If any rank returns an error or panics, the run is poisoned:
-    /// peers blocked in `recv` are woken with
+    /// peers blocked in `recv` are woken immediately (condvar, no
+    /// polling tick) with
     /// [`SimError::PeerFailed`]/[`SimError::RecvFailed`] and the error of
     /// the lowest-numbered failing rank is returned.
     pub fn run<F, R>(p: usize, cfg: SimConfig, f: F) -> SimResult<SimOutcome<R>>
@@ -151,49 +156,37 @@ impl Machine {
         cfg.validate()?;
         let cfg = Arc::new(cfg);
         let poison = Arc::new(AtomicBool::new(false));
-
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = std::sync::mpsc::channel::<Envelope>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let senders = Arc::new(senders);
+        let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..p).map(|_| Mailbox::new()).collect());
 
         type RankOutput<R> = (R, RankStats, Vec<crate::record::TimedEvent>);
         let mut slots: Vec<Option<SimResult<RankOutput<R>>>> = Vec::with_capacity(p);
         slots.resize_with(p, || None);
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (id, rx) in receivers.into_iter().enumerate() {
+        {
+            let mut crew = Crew::new();
+            for (id, slot) in slots.iter_mut().enumerate() {
                 let cfg = Arc::clone(&cfg);
-                let senders = Arc::clone(&senders);
+                let mailboxes = Arc::clone(&mailboxes);
                 let poison = Arc::clone(&poison);
                 let f = &f;
-                handles.push(scope.spawn(move || {
-                    let mut rank = Rank::new(id, p, cfg, rx, senders, Arc::clone(&poison));
+                crew.execute(move || {
+                    let mut rank =
+                        Rank::new(id, p, cfg, Arc::clone(&mailboxes), Arc::clone(&poison));
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut rank)));
-                    match out {
+                    let res = match out {
                         Ok(Ok(v)) => {
                             // A crash that struck during a trailing
                             // `compute` (which cannot return an error)
                             // surfaces here instead of being lost.
                             if let Some(e) = rank.take_fault_error() {
-                                poison.store(true, std::sync::atomic::Ordering::SeqCst);
                                 Err(e)
                             } else {
                                 let (stats, events) = rank.into_parts();
                                 Ok((v, stats, events))
                             }
                         }
-                        Ok(Err(e)) => {
-                            poison.store(true, std::sync::atomic::Ordering::SeqCst);
-                            Err(e)
-                        }
+                        Ok(Err(e)) => Err(e),
                         Err(panic) => {
-                            poison.store(true, std::sync::atomic::Ordering::SeqCst);
                             let msg = panic
                                 .downcast_ref::<&str>()
                                 .map(|s| s.to_string())
@@ -201,35 +194,52 @@ impl Machine {
                                 .unwrap_or_else(|| "rank panicked".into());
                             Err(SimError::PeerFailed(format!("rank {id} panicked: {msg}")))
                         }
+                    };
+                    if res.is_err() {
+                        // Raise the flag, then take each mailbox lock to
+                        // notify: peers blocked in recv wake at once.
+                        poison.store(true, Ordering::SeqCst);
+                        for mb in mailboxes.iter() {
+                            mb.wake();
+                        }
                     }
-                }));
+                    *slot = Some(res);
+                });
             }
-            for (id, h) in handles.into_iter().enumerate() {
-                slots[id] = Some(h.join().unwrap_or_else(|_| {
-                    Err(SimError::PeerFailed(format!("rank {id} thread died")))
-                }));
-            }
-        });
+            // Crew's destructor blocks until every rank job has finished
+            // (and been dropped), the scoped-spawn guarantee the borrows
+            // of `f` and `slots` above rely on.
+        }
 
         let mut results = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
         let mut events = Vec::with_capacity(p);
-        // Prefer reporting a "real" error over the PeerFailed noise that
-        // poisoned peers produce.
+        // Prefer the root cause over derived noise: a "real" error (the
+        // rank that actually failed) beats a recv timeout, which beats
+        // the PeerFailed abandonment poisoned peers report. The middle
+        // tier matters under the event-driven poison wakeup: when a
+        // deadlocked rank times out, its peers abandon *immediately*, and
+        // a lower rank id's abandonment must not mask the timeout.
         let mut first_peer_failed: Option<SimError> = None;
+        let mut first_timeout: Option<SimError> = None;
         let mut first_real: Option<SimError> = None;
-        for slot in slots {
-            match slot.expect("every rank slot filled") {
+        for (id, slot) in slots.into_iter().enumerate() {
+            let filled =
+                slot.unwrap_or_else(|| Err(SimError::PeerFailed(format!("rank {id} thread died"))));
+            match filled {
                 Ok((r, s, e)) => {
                     results.push(r);
                     stats.push(s);
                     events.push(e);
                 }
-                Err(e @ SimError::PeerFailed(_)) | Err(e @ SimError::RecvFailed { .. })
-                    if first_real.is_none() =>
-                {
+                Err(e @ SimError::PeerFailed(_)) => {
                     if first_peer_failed.is_none() {
                         first_peer_failed = Some(e);
+                    }
+                }
+                Err(e @ SimError::RecvFailed { .. }) => {
+                    if first_timeout.is_none() {
+                        first_timeout = Some(e);
                     }
                 }
                 Err(e) => {
@@ -239,7 +249,7 @@ impl Machine {
                 }
             }
         }
-        if let Some(e) = first_real.or(first_peer_failed) {
+        if let Some(e) = first_real.or(first_timeout).or(first_peer_failed) {
             return Err(e);
         }
         let profile = Profile::with_events(stats, events);

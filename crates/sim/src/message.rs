@@ -1,4 +1,6 @@
-//! Message envelope and tag types.
+//! Message envelope, tag types, and the shared-payload wire format.
+
+use std::sync::Arc;
 
 /// A user-level message tag. Point-to-point receives match on
 /// `(source, tag)`; collectives consume a contiguous tag window starting
@@ -16,23 +18,41 @@ impl Tag {
     }
 }
 
-/// One wire message: a chunk of a (possibly split) user-level transfer.
+/// A reference-counted transfer payload.
+///
+/// The transport never copies payload words: `Rank::send` wraps its
+/// `Vec` once, forwarding ranks clone the `Arc` (one atomic increment),
+/// and a unique receiver unwraps the `Vec` back out. `Arc<Vec<f64>>`
+/// rather than `Arc<[f64]>` because both conversions at the API
+/// boundary (`Vec → Arc` on send, `Arc → Vec` on a sole-owner receive)
+/// are then free, whereas a slice Arc would memcpy on each. Fault
+/// injection that corrupts a payload goes through [`Arc::make_mut`], so
+/// a shared buffer is copied only when a corruption actually fires
+/// (copy-on-write).
+pub type SharedPayload = Arc<Vec<f64>>;
+
+/// One wire message: a whole user-level transfer.
+///
+/// The paper's `⌈k/m⌉` message split (Eq. 1, `S = W/m`) is *priced*
+/// arithmetically at the sender — the per-chunk `αt + βt·k` clock
+/// advances and counter increments are identical to physically splitting
+/// the payload — but only one envelope carrying the whole transfer
+/// crosses the queue. `n_chunks` records how many virtual messages the
+/// transfer was priced as, so the receiver's `msgs_recvd` counter and
+/// the recorded trace stay bit-identical to the chunked wire format.
 #[derive(Debug, Clone)]
 pub(crate) struct Envelope {
     /// Sending rank.
     pub src: usize,
-    /// User tag of the transfer this chunk belongs to.
+    /// User tag of the transfer.
     pub tag: Tag,
-    /// Chunk index within the transfer.
-    pub chunk: usize,
-    /// Total number of chunks in the transfer.
+    /// Virtual messages the transfer was priced as (`⌈words/m⌉`, min 1).
     pub n_chunks: usize,
-    /// Total payload length of the whole transfer, in words.
-    pub total_words: usize,
-    /// Virtual departure time at the sender (seconds).
+    /// Virtual departure time of the transfer's last chunk at the
+    /// sender (seconds).
     pub depart_time: f64,
-    /// This chunk's payload.
-    pub payload: Vec<f64>,
+    /// The whole transfer's payload, shared, not copied.
+    pub payload: SharedPayload,
 }
 
 #[cfg(test)]
@@ -53,5 +73,12 @@ mod tests {
         s.insert(Tag(2));
         assert_eq!(s.len(), 2);
         assert!(Tag(1) < Tag(2));
+    }
+
+    #[test]
+    fn shared_payload_is_cheap_to_clone() {
+        let p: SharedPayload = Arc::new(vec![1.0; 1024]);
+        let q = Arc::clone(&p);
+        assert_eq!(p.as_ptr(), q.as_ptr(), "clone shares the allocation");
     }
 }

@@ -3,12 +3,12 @@
 
 use crate::error::{SimError, SimResult};
 use crate::machine::SimConfig;
-use crate::message::{Envelope, Tag};
+use crate::mailbox::{Mailbox, RecvWait};
+use crate::message::{Envelope, SharedPayload, Tag};
 use crate::profile::RankStats;
 use crate::record::{EventKind, TimedEvent};
 use psse_faults::{FaultPlan, LinkFaultKind};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,9 +47,7 @@ pub struct Rank {
     cfg: Arc<SimConfig>,
     time: f64,
     stats: RankStats,
-    rx: Receiver<Envelope>,
-    txs: Arc<Vec<Sender<Envelope>>>,
-    pending: Vec<Envelope>,
+    mailboxes: Arc<Vec<Mailbox>>,
     poison: Arc<AtomicBool>,
     events: Vec<TimedEvent>,
     fault: Option<Box<FaultState>>,
@@ -60,8 +58,7 @@ impl Rank {
         id: usize,
         p: usize,
         cfg: Arc<SimConfig>,
-        rx: Receiver<Envelope>,
-        txs: Arc<Vec<Sender<Envelope>>>,
+        mailboxes: Arc<Vec<Mailbox>>,
         poison: Arc<AtomicBool>,
     ) -> Self {
         let fault = cfg.faults.as_ref().map(|plan| {
@@ -83,9 +80,7 @@ impl Rank {
             cfg,
             time: 0.0,
             stats: RankStats::default(),
-            rx,
-            txs,
-            pending: Vec::new(),
+            mailboxes,
             poison,
             events: Vec::new(),
             fault,
@@ -263,14 +258,16 @@ impl Rank {
     /// (`max_retries > 0`) burn failed attempts with exponential
     /// virtual-time backoff until one succeeds; a drop without retries
     /// is [`SimError::RetriesExhausted`]; a corruption without retries
-    /// silently perturbs one payload word (ABFT's job to catch). Delay
-    /// stalls the sender. Returns `true` when the transfer must also be
+    /// silently perturbs one payload word (ABFT's job to catch) —
+    /// copy-on-write through [`Arc::make_mut`], so a shared payload is
+    /// only duplicated when a corruption actually fires. Delay stalls
+    /// the sender. Returns `true` when the transfer must also be
     /// re-charged as a duplicate after delivery.
     fn inject_send_faults(
         &mut self,
         dest: usize,
         tag: Tag,
-        payload: &mut [f64],
+        payload: &mut SharedPayload,
         alpha: f64,
         beta: f64,
     ) -> SimResult<bool> {
@@ -293,7 +290,8 @@ impl Rank {
             Some(LinkFaultKind::Corrupt) if fs.plan.recovery.max_retries == 0 => {
                 if !payload.is_empty() {
                     let i = fs.plan.corrupt_index(self.id, dest, seq, payload.len());
-                    payload[i] = corrupt_word(payload[i]);
+                    let words = Arc::make_mut(payload);
+                    words[i] = corrupt_word(words[i]);
                 }
                 Ok(false)
             }
@@ -400,23 +398,42 @@ impl Rank {
 
     /// Send `payload` to `dest` under `tag`. Never blocks (eager,
     /// unbounded buffering). Transfers longer than the machine's maximum
-    /// message size are split; the sender's clock advances by
-    /// `αt + k·βt` per chunk — at the intra-node prices when a
-    /// [`crate::machine::Hierarchy`] is configured and `dest` shares this
-    /// rank's node. A self-send is free (no link is crossed) and the
-    /// payload becomes immediately receivable.
+    /// message size count `⌈k/m⌉` messages and the sender's clock
+    /// advances by `αt + k·βt` per chunk — at the intra-node prices when
+    /// a [`crate::machine::Hierarchy`] is configured and `dest` shares
+    /// this rank's node. A self-send is free (no link is crossed) and
+    /// the payload becomes immediately receivable.
+    ///
+    /// This is a zero-copy wrapper over [`Rank::send_shared`]; use
+    /// [`Rank::send_slice`] when you would otherwise clone a buffer to
+    /// call it.
     pub fn send(&mut self, dest: usize, tag: Tag, payload: Vec<f64>) -> SimResult<()> {
+        self.send_shared(dest, tag, Arc::new(payload))
+    }
+
+    /// Borrowing send: like [`Rank::send`], but copies the words out of
+    /// `payload` itself (once, into the wire buffer) instead of making
+    /// the caller clone a `Vec` it wants to keep.
+    pub fn send_slice(&mut self, dest: usize, tag: Tag, payload: &[f64]) -> SimResult<()> {
+        self.send_shared(dest, tag, Arc::new(payload.to_vec()))
+    }
+
+    /// Shared send: like [`Rank::send`], but the payload is a
+    /// reference-counted buffer the wire can carry without copying —
+    /// the right call when the same data goes to several peers (fan-out
+    /// in a broadcast tree, forwarding in an allgather ring). Pricing,
+    /// counters, fault decisions, and traces are identical to
+    /// [`Rank::send`].
+    pub fn send_shared(&mut self, dest: usize, tag: Tag, payload: SharedPayload) -> SimResult<()> {
         self.check_peer(dest)?;
         self.fail_if_crashed()?;
         let t0 = self.time;
         if dest == self.id {
             let words = payload.len();
-            self.pending.push(Envelope {
+            self.mailboxes[self.id].push(Envelope {
                 src: self.id,
                 tag,
-                chunk: 0,
                 n_chunks: 1,
-                total_words: words,
                 depart_time: self.time,
                 payload,
             });
@@ -445,13 +462,12 @@ impl Rank {
         let t_send = self.time;
         let total = payload.len();
         let n_chunks = if total == 0 { 1 } else { total.div_ceil(m) };
-        let mut chunks: Vec<Vec<f64>> = if total == 0 {
-            vec![Vec::new()]
-        } else {
-            payload.chunks(m).map(|c| c.to_vec()).collect()
-        };
-        for (i, chunk) in chunks.drain(..).enumerate() {
-            let k = chunk.len();
+        // Arithmetic chunk pricing: the same per-chunk clock and counter
+        // updates (in the same f64 order) that physically splitting the
+        // payload performed, without materializing any chunk.
+        let mut left = total;
+        loop {
+            let k = left.min(m);
             self.time += alpha + beta * k as f64;
             self.stats.msgs_sent += 1;
             self.stats.words_sent += k as u64;
@@ -459,19 +475,22 @@ impl Rank {
                 self.stats.msgs_sent_intra += 1;
                 self.stats.words_sent_intra += k as u64;
             }
-            let env = Envelope {
-                src: self.id,
-                tag,
-                chunk: i,
-                n_chunks,
-                total_words: total,
-                depart_time: self.time,
-                payload: chunk,
-            };
-            self.txs[dest]
-                .send(env)
-                .map_err(|_| SimError::PeerFailed(format!("rank {dest} is gone")))?;
+            if left <= m {
+                break;
+            }
+            left -= m;
         }
+        // One wire message for the whole transfer. Its departure time is
+        // the sender's clock after all chunk pricing — bit-identical to
+        // the old per-chunk envelopes' latest departure, which is what
+        // the receiver's clock advances to.
+        self.mailboxes[dest].push(Envelope {
+            src: self.id,
+            tag,
+            n_chunks,
+            depart_time: self.time,
+            payload,
+        });
         self.record(
             t_send,
             EventKind::Send {
@@ -503,96 +522,65 @@ impl Rank {
         Ok(())
     }
 
-    /// Receive the transfer sent by `src` under `tag`, blocking until all
-    /// of its chunks have arrived. The rank's clock advances to the
-    /// latest chunk departure time (`max(t_local, t_depart)`).
+    /// Receive the transfer sent by `src` under `tag`, blocking until it
+    /// arrives. The rank's clock advances to the transfer's departure
+    /// time (`max(t_local, t_depart)`).
     pub fn recv(&mut self, src: usize, tag: Tag) -> SimResult<Vec<f64>> {
+        let shared = self.recv_shared(src, tag)?;
+        // Sole owner (the common case: sender dropped its handle) means
+        // the Vec is unwrapped without copying.
+        Ok(Arc::try_unwrap(shared).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Like [`Rank::recv`], but returns the shared wire buffer itself —
+    /// zero-copy even when the sender (or another receiver downstream)
+    /// still holds a reference, e.g. when forwarding the same payload
+    /// onward in a ring or tree.
+    pub fn recv_shared(&mut self, src: usize, tag: Tag) -> SimResult<SharedPayload> {
         self.check_peer(src)?;
         self.fail_if_crashed()?;
         let t0 = self.time;
         let deadline = Instant::now() + self.cfg.recv_timeout;
-        // Collect the chunks of (src, tag).
-        let mut have: Vec<Envelope> = Vec::new();
-        let mut needed = usize::MAX;
-        loop {
-            // Harvest matching chunks from the pending buffer.
-            let mut i = 0;
-            while i < self.pending.len() {
-                if self.pending[i].src == src && self.pending[i].tag == tag {
-                    let env = self.pending.swap_remove(i);
-                    needed = env.n_chunks;
-                    have.push(env);
-                } else {
-                    i += 1;
-                }
-            }
-            if have.len() == needed {
-                break;
-            }
-            // A poisoned run can never complete this receive; checked on
-            // every iteration — not just after a 25 ms timeout — so a
-            // rank being fed a steady stream of unrelated traffic still
-            // notices a dead peer immediately.
-            if self.poison.load(Ordering::SeqCst) {
+        // Event-driven block: woken by the matching push or by the
+        // poison flag (a poisoned run can never complete this receive).
+        let env = match self.mailboxes[self.id].recv(src, tag, deadline, &self.poison) {
+            RecvWait::Message(env) => env,
+            RecvWait::Poisoned => {
                 return Err(SimError::PeerFailed(format!(
                     "rank {} abandoned recv from {src}: a peer rank failed",
                     self.id
                 )));
             }
-            // Block for more traffic.
-            match self.rx.recv_timeout(std::time::Duration::from_millis(25)) {
-                Ok(env) => self.pending.push(env),
-                Err(RecvTimeoutError::Timeout) => {
-                    if Instant::now() >= deadline {
-                        return Err(SimError::RecvFailed {
-                            rank: self.id,
-                            src,
-                            cause: format!(
-                                "no matching message for tag {tag:?} within {:?} (deadlock?)",
-                                self.cfg.recv_timeout
-                            ),
-                        });
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(SimError::RecvFailed {
-                        rank: self.id,
-                        src,
-                        cause: "all peers disconnected".into(),
-                    });
-                }
+            RecvWait::TimedOut => {
+                return Err(SimError::RecvFailed {
+                    rank: self.id,
+                    src,
+                    cause: format!(
+                        "no matching message for tag {tag:?} within {:?} (deadlock?)",
+                        self.cfg.recv_timeout
+                    ),
+                });
             }
-        }
-        // Reassemble in chunk order; clock advances to the last arrival.
-        have.sort_by_key(|e| e.chunk);
-        let total = have[0].total_words;
-        let mut out = Vec::with_capacity(total);
-        let mut latest = self.time;
-        for env in &have {
-            latest = latest.max(env.depart_time);
-        }
-        for env in have {
-            out.extend_from_slice(&env.payload);
-        }
-        self.time = latest;
+        };
+        self.time = self.time.max(env.depart_time);
+        let words = env.payload.len();
         if src != self.id {
-            self.stats.words_recvd += out.len() as u64;
-            self.stats.msgs_recvd += needed as u64;
+            self.stats.words_recvd += words as u64;
+            self.stats.msgs_recvd += env.n_chunks as u64;
         }
         self.record(
             t0,
             EventKind::Recv {
                 src,
                 tag: tag.0,
-                words: out.len(),
-                msgs: needed,
+                words,
+                msgs: env.n_chunks,
             },
         );
         if self.fault.is_some() {
             self.fault_epilogue();
         }
-        debug_assert_eq!(out.len(), total);
-        Ok(out)
+        Ok(env.payload)
     }
 
     /// Send to `dest` and receive from `src` in one call. Safe in rings
@@ -607,6 +595,20 @@ impl Rank {
     ) -> SimResult<Vec<f64>> {
         self.send(dest, send_tag, payload)?;
         self.recv(src, recv_tag)
+    }
+
+    /// [`Rank::sendrecv`] over shared buffers: forward one reference,
+    /// receive the next — the zero-copy step of a ring exchange.
+    pub fn sendrecv_shared(
+        &mut self,
+        dest: usize,
+        send_tag: Tag,
+        payload: SharedPayload,
+        src: usize,
+        recv_tag: Tag,
+    ) -> SimResult<SharedPayload> {
+        self.send_shared(dest, send_tag, payload)?;
+        self.recv_shared(src, recv_tag)
     }
 }
 
@@ -1208,6 +1210,107 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.resilience_words(), 0);
         assert_eq!(a.total_retries(), 0);
+    }
+
+    #[test]
+    fn send_variants_are_bit_identical() {
+        // send / send_slice / send_shared must produce the same profile
+        // and trace down to the last bit (multi-chunk, traced, timed).
+        let cfg = || SimConfig {
+            gamma_t: 1e-9,
+            beta_t: 1e-6,
+            alpha_t: 1e-3,
+            max_message_words: 37,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let run = |mode: usize| {
+            Machine::run(3, cfg(), move |rank| {
+                let data: Vec<f64> = (0..100).map(|i| (i + rank.rank()) as f64).collect();
+                let dest = (rank.rank() + 1) % rank.size();
+                let src = (rank.rank() + 2) % rank.size();
+                match mode {
+                    0 => rank.send(dest, Tag(1), data.clone())?,
+                    1 => rank.send_slice(dest, Tag(1), &data)?,
+                    _ => rank.send_shared(dest, Tag(1), Arc::new(data.clone()))?,
+                }
+                let v = rank.recv(src, Tag(1))?;
+                Ok(v[0])
+            })
+            .unwrap()
+        };
+        let a = run(0);
+        let b = run(1);
+        let c = run(2);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(b.profile, c.profile);
+        assert_eq!(a.results, b.results);
+        assert_eq!(b.results, c.results);
+    }
+
+    #[test]
+    fn shared_fanout_delivers_the_same_buffer() {
+        // One Arc sent to two peers crosses the wire without copying:
+        // both receivers observe the root's allocation.
+        let out = Machine::run(3, SimConfig::counters_only(), |rank| {
+            if rank.rank() == 0 {
+                let data: SharedPayload = Arc::new(vec![4.0; 64]);
+                let ptr = data.as_ptr() as usize;
+                rank.send_shared(1, Tag(0), Arc::clone(&data))?;
+                rank.send_shared(2, Tag(0), data)?;
+                Ok(ptr)
+            } else {
+                let v = rank.recv_shared(0, Tag(0))?;
+                assert!(v.iter().all(|&x| x == 4.0));
+                Ok(v.as_ptr() as usize)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], out.results[1]);
+        assert_eq!(out.results[0], out.results[2]);
+    }
+
+    #[test]
+    fn corrupting_a_shared_payload_leaves_other_holders_clean() {
+        // Copy-on-write: a corruption fault on one link must not reach
+        // the sender's buffer or a sibling transfer sharing it.
+        let mut plan = drop_plan(0.0, 0);
+        plan.spec.corrupt_rate = 1.0;
+        let out = Machine::run(3, fault_cfg(plan), |rank| {
+            if rank.rank() == 0 {
+                let data: SharedPayload = Arc::new(vec![2.0; 50]);
+                rank.send_shared(1, Tag(0), Arc::clone(&data))?;
+                rank.send_shared(2, Tag(0), Arc::clone(&data))?;
+                assert!(
+                    data.iter().all(|&x| x == 2.0),
+                    "sender's buffer must stay clean"
+                );
+                Ok(0)
+            } else {
+                let v = rank.recv(0, Tag(0))?;
+                Ok(v.iter().filter(|&&x| x != 2.0).count())
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 1, "link 0→1 corrupts exactly one word");
+        assert_eq!(out.results[2], 1, "link 0→2 corrupts exactly one word");
+    }
+
+    #[test]
+    fn same_tag_transfers_are_fifo() {
+        // Two back-to-back transfers under one (src, tag) key arrive in
+        // send order.
+        Machine::run(2, SimConfig::counters_only(), |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, Tag(0), vec![1.0])?;
+                rank.send(1, Tag(0), vec![2.0])?;
+            } else {
+                assert_eq!(rank.recv(0, Tag(0))?, vec![1.0]);
+                assert_eq!(rank.recv(0, Tag(0))?, vec![2.0]);
+            }
+            Ok(())
+        })
+        .unwrap();
     }
 
     #[test]
