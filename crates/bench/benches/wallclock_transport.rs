@@ -13,7 +13,10 @@
 //! * one sim-backed SUMMA multiplication (`n = 256`, `p = 16`);
 //! * one end-to-end fault sweep (2.5D ABFT matmul with drops,
 //!   corruption and acked retries — the same workload as
-//!   `psse faults sweep --q 4 --n 64`).
+//!   `psse faults sweep --q 4 --n 64`);
+//! * event-backend binomial allreduces at `p ∈ {10^4, 10^5}` — the
+//!   discrete-event scheduler's mega-scale canary (quick mode keeps
+//!   the `p = 10^4` point).
 //!
 //! Results merge into `BENCH_sim.json` at the repo root, keyed by
 //! phase (`PSSE_WALLCLOCK_PHASE`, default `after`) so a before/after
@@ -107,6 +110,27 @@ fn summa_run(n: usize, p: usize) {
         summa_matmul(&a, &b, p, n / q, sim_config_from(&jaketown())).expect("summa sim");
     assert_eq!(c.rows(), n);
     assert!(prof.total_words_sent() > 0);
+}
+
+/// The event backend's scale canary: a counted binomial allreduce at
+/// `p` ranks in one process — the workload `psse-event` exists for
+/// (thread-per-rank transport tops out around `p ≈ 10^3`; the event
+/// scheduler is expected to clear `10^5` in well under a second).
+fn event_allreduce(p: usize, words: usize) {
+    let cfg = SimConfig {
+        backend: Backend::Events,
+        max_message_words: 1 << 12,
+        ..SimConfig::counters_only()
+    };
+    let out = psse_event::run_programs(
+        p,
+        &cfg,
+        psse_event::programs::BinomialAllreduce::counted(Tag(0), words),
+    )
+    .expect("event allreduce");
+    let t =
+        psse_event::programs::BinomialAllreduce::expected_totals(p as u64, words as u64, 1 << 12);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
 }
 
 /// The `psse faults sweep` hot loop: 2.5D ABFT matmul under a
@@ -267,6 +291,16 @@ fn main() {
     };
     let ms = time_best(reps, || faults_sweep(fn_, fq, fc));
     push(&mut entries, "faults_sweep", fq * fq, ms);
+
+    // Event backend: mega-scale p in one process. The thread transport
+    // stops at p = 1024 above; these entries are the backend's reason
+    // to exist and the wall-clock budget CI's mega-scale job leans on.
+    let ms = time_best(reps, || event_allreduce(10_000, coll_words));
+    push(&mut entries, "event/p10k", 10_000, ms);
+    if !quick {
+        let ms = time_best(reps, || event_allreduce(100_000, coll_words));
+        push(&mut entries, "event/p100k", 100_000, ms);
+    }
 
     // The p = 1024 ring is the scale canary: CI asserts it completes.
     assert!(

@@ -41,7 +41,7 @@ const MACHINE_KEYS: [&str; 11] = [
 
 /// Keys consumed by [`run_algorithm`] (shared by `simulate` and
 /// `trace record`).
-const RUN_KEYS: [&str; 7] = ["alg", "n", "p", "c", "seed", "panel", "cols"];
+const RUN_KEYS: [&str; 8] = ["alg", "n", "p", "c", "seed", "panel", "cols", "backend"];
 
 /// Build the allowed-key list for [`crate::args::Args::expect_keys`]
 /// from slices of shared and command-specific keys.
@@ -97,6 +97,11 @@ fn machine_from(args: &Args) -> Result<(MachineParams, String), String> {
     }
     mp.validate().map_err(|e| e.to_string())?;
     Ok((mp, name))
+}
+
+/// Resolve `--backend threads|events` (default threads).
+fn backend_from(args: &Args) -> Result<psse_sim::Backend, String> {
+    args.str_or("backend", "threads").parse()
 }
 
 fn algorithm_from(args: &Args) -> Result<Box<dyn Algorithm>, String> {
@@ -437,8 +442,10 @@ fn run_algorithm(
 pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
     args.expect_keys(&allowed(&[&MACHINE_KEYS, &RUN_KEYS]))?;
     let (mp, mname) = machine_from(args)?;
-    let cfg = sim_config_from(&mp);
+    let mut cfg = sim_config_from(&mp);
+    cfg.backend = backend_from(args)?;
     let alg = args.req("alg")?;
+    let backend = cfg.backend;
     let (profile, verified) = run_algorithm(args, cfg)?;
 
     let m = measure(&profile, &mp);
@@ -447,6 +454,7 @@ pub fn simulate(args: &Args, out: &mut String) -> CmdResult {
         "algorithm : {alg} on {} ranks (machine `{mname}`)",
         profile.p()
     );
+    let _ = writeln!(out, "backend   : {backend}");
     let _ = writeln!(
         out,
         "numerics  : {}",
@@ -550,6 +558,7 @@ fn trace_record(args: &Args, out: &mut String) -> CmdResult {
     args.expect_keys(&allowed(&[&MACHINE_KEYS, &RUN_KEYS, &["out"]]))?;
     let (mp, mname) = machine_from(args)?;
     let mut cfg = sim_config_from(&mp);
+    cfg.backend = backend_from(args)?;
     cfg.record_trace = true;
     let alg = args.req("alg")?.to_string();
     let (profile, verified) = run_algorithm(args, cfg.clone())?;
@@ -746,9 +755,11 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
             "mtbf",
             "out",
             "jobs",
+            "backend",
         ],
     ]))?;
     let (mp, mname) = machine_from(args)?;
+    let backend = backend_from(args)?;
     let n = args.u64_or("n", 32)? as usize;
     let q = args.u64_or("q", 4)? as usize;
     let c_list: Vec<usize> = args
@@ -790,7 +801,7 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
 
     let _ = writeln!(
         out,
-        "fault sweep: 2.5D matmul, n = {n}, q = {q}, machine `{mname}`, seed {seed}"
+        "fault sweep: 2.5D matmul, n = {n}, q = {q}, machine `{mname}`, seed {seed}, backend {backend}"
     );
     let _ = writeln!(
         out,
@@ -838,6 +849,7 @@ fn faults_sweep(args: &Args, out: &mut String) -> CmdResult {
             k.c = c as u64;
             k.seed = seed;
             k.faults = faults;
+            k.backend = backend;
             keys.push(k);
         }
     }

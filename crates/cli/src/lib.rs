@@ -101,6 +101,8 @@ COMMANDS:
   simulate   Run the real algorithm on the virtual machine and price it.
                --alg cannon|summa|mm25d|mm3d|strassen|lu|solve|nbody|fft|matvec
                --n N --p P [--c C] [--panel W] [--seed S]
+               [--backend threads|events]  execution backend (default threads;
+                                           both are bit-identical by contract)
   tech       Technology scaling (Figs. 6-7): generations to a target.
                [--target GFLOPS_W]
   trace      Record, replay, analyse and export event traces.
@@ -125,7 +127,7 @@ COMMANDS:
                       [--duplicate-rate R] [--delay-rate R] [--delay-seconds S]
                       [--retries K] [--backoff S] [--checkpoint-interval S]
                       [--checkpoint-words W] [--restart S] [--mtbf S]
-                      [--out FILE.csv]
+                      [--backend threads|events] [--out FILE.csv]
                       run 2.5D matmul per c with and without the fault plan,
                       verify faulted numerics match fault-free, report the
                       measured energy overhead against the Eq. 2 resilience
@@ -264,6 +266,24 @@ mod tests {
     }
 
     #[test]
+    fn simulate_backend_flag_selects_events_and_matches_threads() {
+        let th = call("simulate --alg mm25d --n 16 --p 32 --c 2").unwrap();
+        assert!(th.contains("backend   : threads"), "{th}");
+        let ev = call("simulate --alg mm25d --n 16 --p 32 --c 2 --backend events").unwrap();
+        assert!(ev.contains("backend   : events"), "{ev}");
+        // Everything but the backend line is byte-identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("backend"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&th), strip(&ev));
+        let err = call("simulate --alg mm25d --n 16 --p 32 --c 2 --backend fibers").unwrap_err();
+        assert!(err.contains("fibers"), "{err}");
+    }
+
+    #[test]
     fn simulate_rejects_bad_grids() {
         assert!(call("simulate --alg cannon --n 16 --p 3").is_err());
     }
@@ -376,6 +396,22 @@ mod tests {
             (overhead - model).abs() <= 2e-3 * overhead.abs(),
             "overhead {overhead} vs model {model}"
         );
+    }
+
+    #[test]
+    fn faults_sweep_backends_produce_identical_csvs() {
+        let dir = std::env::temp_dir().join("psse-cli-faults-backend-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let th = dir.join("threads.csv");
+        let ev = dir.join("events.csv");
+        let base = "faults sweep --q 2 --c-list 1,2 --n 16 --seed 7 --drop-rate 0.1 --retries 16";
+        call(&format!("{base} --backend threads --out {}", th.display())).unwrap();
+        call(&format!("{base} --backend events --out {}", ev.display())).unwrap();
+        // The sweep CSV — virtual times, energies, retry counts — is a
+        // pure function of the run, so the backends must agree on every
+        // byte.
+        assert_eq!(std::fs::read(&th).unwrap(), std::fs::read(&ev).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Backend dispatch: run the same rank programs on the thread-per-rank
+//! machine (the bit-identity oracle) or the discrete-event executor.
+
+use crate::exec::{EventMachine, EventOutcome};
+use crate::program::RankProgram;
+use crate::step::{Delivered, Step};
+use psse_sim::error::SimResult;
+use psse_sim::{Backend, Machine, SimConfig};
+
+/// Environment variable selecting the event backend's worker count:
+/// `1` (or unset) runs the serial virtual-time scheduler, `> 1` the
+/// round-based work-stealing executor. Output is byte-identical either
+/// way; the knob only trades wall-clock for cores.
+pub const EVENT_WORKERS_ENV: &str = "PSSE_EVENT_WORKERS";
+
+fn event_workers() -> usize {
+    std::env::var(EVENT_WORKERS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+}
+
+/// Run one program per rank on the backend selected by
+/// [`SimConfig::backend`]:
+///
+/// * [`Backend::Threads`] — each program's steps are replayed through a
+///   `psse_sim::Rank` on its own pooled OS thread. Every step maps to
+///   the exact `Rank` call the closure API would make (`Compute` →
+///   `compute`, `Send` → `send_shared`, `Recv` → `recv_shared`,
+///   markers → `mark_collective_begin`/`end`), so this is the oracle
+///   the event backend is checked against.
+/// * [`Backend::Events`] — [`EventMachine`] prices the same steps in
+///   one process, scheduled by virtual time; byte-identical profiles,
+///   traces, and fault counters, feasible to `p = 10^6`.
+///
+/// `make(rank, p)` constructs rank `rank`'s program.
+pub fn run_programs<P, F>(p: usize, cfg: &SimConfig, make: F) -> SimResult<EventOutcome<P>>
+where
+    P: RankProgram + Send,
+    F: Fn(usize, usize) -> P + Sync,
+{
+    match cfg.backend {
+        Backend::Threads => {
+            let outcome = Machine::run(p, cfg.clone(), |rank| {
+                let mut prog = make(rank.rank(), rank.size());
+                let mut delivered: Option<Delivered> = None;
+                loop {
+                    match prog.next(delivered.take()) {
+                        Step::Compute { flops } => rank.compute(flops),
+                        Step::Send { dest, tag, payload } => {
+                            rank.send_shared(dest, tag, payload.into_shared())?;
+                        }
+                        Step::Recv { src, tag } => {
+                            let data = rank.recv_shared(src, tag)?;
+                            delivered = Some(Delivered {
+                                words: data.len(),
+                                data: Some(data),
+                            });
+                        }
+                        Step::CollBegin { op } => rank.mark_collective_begin(op),
+                        Step::CollEnd { op } => rank.mark_collective_end(op),
+                        Step::Done => break,
+                    }
+                }
+                Ok(prog)
+            })?;
+            Ok(EventOutcome {
+                programs: outcome.results,
+                profile: outcome.profile,
+            })
+        }
+        Backend::Events => {
+            let workers = event_workers();
+            if workers > 1 {
+                EventMachine::run_parallel(p, cfg, make, workers)
+            } else {
+                EventMachine::run(p, cfg, make)
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # psse-event — a deterministic discrete-event backend for
+//! `p = 10^5`–`10^6` simulated ranks
+//!
+//! The thread-per-rank machine in `psse-sim` is the repo's ground
+//! truth, but one OS thread per rank caps it around `p ≈ 10^4`. This
+//! crate removes the thread: each rank becomes a **resumable state
+//! machine** (a [`RankProgram`] returning explicit continuation
+//! [`Step`]s — compute, send, receive, collective markers, done) and a
+//! single process schedules all of them by **virtual time** from a
+//! deterministic priority queue with `(time, rank, seq)` tie-breaking.
+//!
+//! The contract is bit-identity: the event executor prices every
+//! operation with the same floating-point arithmetic, in the same
+//! order, as `psse_sim::Rank` — Eq. 1 chunked sends, postal-model
+//! receives, fault injection with retries/backoff/checkpoints, trace
+//! recording. Profiles are pure functions of the message DAG, so both
+//! backends produce byte-identical profiles, traces, and fault
+//! counters (enforced by the cross-backend tests here and the
+//! repo-level `proptest_backends` property test). Pick a backend with
+//! [`psse_sim::SimConfig::backend`] and [`run_programs`]; the thread
+//! pool stays the oracle at small `p`, the event backend runs the real
+//! algorithms — binomial/recursive-doubling/ring allreduce, the 2.5D
+//! matmul skeleton — at `p = 10^5`–`10^6` in one process, with counted
+//! (allocation-free) payloads.
+//!
+//! Deadlocks are *proven*, not timed out: sends are eager, so when no
+//! rank is runnable and some are live, every live rank is blocked on a
+//! `(src, tag)` queue no future send can fill, and the executor
+//! reports the full blocked set as [`psse_sim::SimError::Deadlock`] in
+//! zero wall-clock time.
+//!
+//! An optional round-based work-stealing executor
+//! ([`EventMachine::run_parallel`], selected by the
+//! [`bridge::EVENT_WORKERS_ENV`] variable) spreads ranks across
+//! threads without changing one observable byte: per-`(src, tag)`
+//! matching depends only on per-sender order, which round-merging
+//! preserves.
+//!
+//! ## Example
+//!
+//! ```
+//! use psse_event::{run_programs, BinomialAllreduce};
+//! use psse_sim::{Backend, SimConfig, Tag};
+//!
+//! let cfg = SimConfig {
+//!     backend: Backend::Events,
+//!     ..SimConfig::default()
+//! };
+//! // A real allreduce over 10_000 ranks, in-process, no threads.
+//! let out = run_programs(10_000, &cfg, BinomialAllreduce::counted(Tag(0), 8)).unwrap();
+//! let t = BinomialAllreduce::expected_totals(10_000, 8, 1 << 16);
+//! assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+//! assert_eq!(out.profile.total_words_sent(), t.words);
+//! assert_eq!(out.profile.total_flops(), t.flops);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+mod ctx;
+pub mod exec;
+pub mod program;
+pub mod programs;
+pub mod step;
+
+pub use bridge::run_programs;
+pub use exec::{EventMachine, EventOutcome};
+pub use program::RankProgram;
+pub use programs::{
+    BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce,
+};
+pub use step::{Delivered, Payload, Step};
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::bridge::run_programs;
+    pub use crate::exec::{EventMachine, EventOutcome};
+    pub use crate::program::RankProgram;
+    pub use crate::programs::{
+        BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce,
+    };
+    pub use crate::step::{Delivered, Payload, Step};
+    pub use psse_sim::{Backend, SimConfig, Tag};
+}

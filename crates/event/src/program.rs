@@ -1,0 +1,38 @@
+//! The resumable rank-program trait.
+
+use crate::step::{Delivered, Step};
+
+/// A rank's algorithm as a resumable state machine.
+///
+/// The executor repeatedly calls [`RankProgram::next`]; the program
+/// returns its next visible action as a [`Step`] and keeps whatever
+/// private state it needs between calls. `delivered` is `Some` exactly
+/// when the *previous* step was [`Step::Recv`] and carries that
+/// transfer's payload; it is `None` otherwise.
+///
+/// The same program runs unchanged on either backend via
+/// [`crate::run_programs`]: on `Backend::Threads` each step is replayed
+/// through a `psse_sim::Rank` on its own pooled thread (the bit-identity
+/// oracle); on `Backend::Events` steps are priced by the event
+/// executor's rank context and scheduled by virtual time —
+/// byte-identical profiles, six orders of magnitude more ranks per
+/// process.
+///
+/// Contract:
+/// * `next` is called until it returns [`Step::Done`], never after;
+/// * a program must consume every transfer it is sent (unreceived
+///   transfers fail the debug-build balance check, like the thread
+///   backend);
+/// * all sim-visible behavior must go through steps — a program that
+///   does hidden work is still deterministic but prices nothing.
+pub trait RankProgram {
+    /// Produce the next step. See the trait docs for the `delivered`
+    /// contract.
+    fn next(&mut self, delivered: Option<Delivered>) -> Step;
+}
+
+impl<T: RankProgram + ?Sized> RankProgram for Box<T> {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        (**self).next(delivered)
+    }
+}

@@ -1,0 +1,787 @@
+//! Built-in rank programs: the paper's real algorithms in resumable
+//! form, with closed-form Eq. 1 count helpers for exact verification.
+//!
+//! [`BinomialAllreduce`] replays `psse-sim`'s
+//! `Rank::allreduce_sum` (binomial reduce to rank 0, binomial
+//! broadcast back, including the nested collective trace markers)
+//! step-for-step, so on the thread backend it is bit-identical to the
+//! native collective — that test is the anchor of the whole backend's
+//! fidelity. [`RecursiveDoublingAllreduce`] and [`RingAllreduce`] are
+//! the classic alternatives with different S/W trade-offs, and
+//! [`Matmul25D`] is the communication skeleton of the paper's 2.5D
+//! matrix multiply (replication, Cannon-style shifts, layer reduction)
+//! in counted form for `p = 10^5`–`10^6` runs.
+//!
+//! Every program supports *counted* payloads (words priced, no buffers
+//! allocated — mandatory at mega-scale) and the allreduces also run in
+//! *data* mode carrying real values (used by the cross-backend
+//! identity tests, where results must match too).
+
+use crate::program::RankProgram;
+use crate::step::{Delivered, Payload, Step};
+use psse_sim::{SharedPayload, Tag};
+use std::sync::Arc;
+
+/// Exact Eq. 1 operation totals for a program over the whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTotals {
+    /// Total messages sent across links (after splitting at `m` words).
+    pub msgs: u64,
+    /// Total words sent across links.
+    pub words: u64,
+    /// Total flops charged.
+    pub flops: u64,
+}
+
+/// Messages for one transfer of `words` words under message cap `m` —
+/// the `⌈k/m⌉` of Eq. 1 (an empty transfer still costs one message).
+fn chunks(words: u64, m: u64) -> u64 {
+    if words == 0 {
+        1
+    } else {
+        words.div_ceil(m)
+    }
+}
+
+/// The payload a program sends: real data when it has any, counted
+/// words otherwise.
+#[derive(Debug, Clone)]
+enum Buf {
+    Counted(usize),
+    Data(SharedPayload),
+}
+
+impl Buf {
+    fn words(&self) -> usize {
+        match self {
+            Buf::Counted(w) => *w,
+            Buf::Data(d) => d.len(),
+        }
+    }
+
+    fn payload(&self) -> Payload {
+        match self {
+            Buf::Counted(w) => Payload::Counted(*w),
+            Buf::Data(d) => Payload::Data(Arc::clone(d)),
+        }
+    }
+
+    /// Merge a delivered contribution elementwise (data mode only; the
+    /// arithmetic itself is free — the matching `Compute` step prices
+    /// the adds, exactly like `reduce_sum_impl`).
+    fn merge(&mut self, d: &Delivered) {
+        assert_eq!(
+            d.words,
+            self.words(),
+            "reduce contributions disagree in length"
+        );
+        if let Buf::Data(acc) = self {
+            let acc = Arc::make_mut(acc);
+            for (a, b) in acc.iter_mut().zip(d.values()) {
+                *a += b;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binomial allreduce (the native collective, resumable)
+// ---------------------------------------------------------------------
+
+enum ArState {
+    Begin,
+    BeginReduce,
+    Reduce,
+    ReduceMerge,
+    EndReduce,
+    BeginBcast,
+    BcastRoot,
+    BcastFan,
+    EndBcast,
+    End,
+    Done,
+}
+
+/// `Rank::allreduce_sum` as a resumable program: binomial-tree reduce
+/// to rank 0 (`⌈log₂p⌉` rounds, one `n`-flop merge per child), then
+/// binomial-tree broadcast back at tag offset 64 — the exact step and
+/// trace-marker sequence of the thread backend's native collective.
+pub struct BinomialAllreduce {
+    tag: Tag,
+    acc: Buf,
+    st: ArState,
+    p: usize,
+    me: usize,
+    mask: usize,
+    round: u64,
+    fan_mask: usize,
+}
+
+impl BinomialAllreduce {
+    /// Counted mode: price an allreduce of `words` words per rank
+    /// without allocating payloads (the mega-scale form).
+    pub fn counted(tag: Tag, words: usize) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Counted(words), me, p)
+    }
+
+    /// Data mode: really sum `data` across all ranks (every rank ends
+    /// with the elementwise global sum, retrievable via
+    /// [`BinomialAllreduce::result`]).
+    pub fn with_data(tag: Tag, data: Vec<f64>) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Data(Arc::new(data.clone())), me, p)
+    }
+
+    fn new(tag: Tag, acc: Buf, me: usize, p: usize) -> Self {
+        BinomialAllreduce {
+            tag,
+            acc,
+            st: ArState::Begin,
+            p,
+            me,
+            mask: 1,
+            round: 0,
+            fan_mask: 0,
+        }
+    }
+
+    /// The reduced values (data mode, after the run completes).
+    pub fn result(&self) -> Option<&[f64]> {
+        match &self.acc {
+            Buf::Data(d) => Some(d),
+            Buf::Counted(_) => None,
+        }
+    }
+
+    /// Closed-form Eq. 1 totals: the reduce and broadcast trees each
+    /// have `p − 1` edges carrying `n` words, and every reduce edge
+    /// costs one `n`-flop merge at its head.
+    pub fn expected_totals(p: u64, n: u64, m: u64) -> OpTotals {
+        let edges = 2 * (p - 1);
+        OpTotals {
+            msgs: edges * chunks(n, m),
+            words: edges * n,
+            flops: (p - 1) * n,
+        }
+    }
+}
+
+impl RankProgram for BinomialAllreduce {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        let (g, v) = (self.p, self.me); // world group, root 0: v == me
+        loop {
+            match self.st {
+                ArState::Begin => {
+                    self.st = ArState::BeginReduce;
+                    return Step::CollBegin {
+                        op: "allreduce_sum",
+                    };
+                }
+                ArState::BeginReduce => {
+                    self.st = ArState::Reduce;
+                    return Step::CollBegin { op: "reduce_sum" };
+                }
+                ArState::Reduce => {
+                    if self.mask >= g {
+                        self.st = ArState::EndReduce;
+                        continue;
+                    }
+                    if v & self.mask != 0 {
+                        // Child: one send to the parent ends my reduce.
+                        let parent = v - self.mask;
+                        let tag = self.tag.offset(self.round);
+                        self.st = ArState::EndReduce;
+                        return Step::Send {
+                            dest: parent,
+                            tag,
+                            payload: self.acc.payload(),
+                        };
+                    }
+                    let child = v + self.mask;
+                    if child < g {
+                        let tag = self.tag.offset(self.round);
+                        self.st = ArState::ReduceMerge;
+                        return Step::Recv { src: child, tag };
+                    }
+                    self.mask <<= 1;
+                    self.round += 1;
+                }
+                ArState::ReduceMerge => {
+                    let d = delivered.as_ref().expect("recv step delivers");
+                    let flops = self.acc.words() as u64;
+                    self.acc.merge(d);
+                    self.mask <<= 1;
+                    self.round += 1;
+                    self.st = ArState::Reduce;
+                    return Step::Compute { flops };
+                }
+                ArState::EndReduce => {
+                    self.st = ArState::BeginBcast;
+                    return Step::CollEnd { op: "reduce_sum" };
+                }
+                ArState::BeginBcast => {
+                    self.st = ArState::BcastRoot;
+                    return Step::CollBegin { op: "broadcast" };
+                }
+                ArState::BcastRoot => {
+                    if v == 0 {
+                        self.fan_mask = g.next_power_of_two() >> 1;
+                        self.st = ArState::BcastFan;
+                        continue;
+                    }
+                    let lowbit = v & v.wrapping_neg();
+                    let round = lowbit.trailing_zeros() as u64;
+                    self.st = ArState::BcastFan; // fan starts after recv
+                    self.fan_mask = lowbit >> 1;
+                    return Step::Recv {
+                        src: v - lowbit,
+                        tag: self.tag.offset(64 + round),
+                    };
+                }
+                ArState::BcastFan => {
+                    if let Some(d) = delivered.as_ref() {
+                        // The broadcast payload replaces my buffer
+                        // (zero-copy: the same Arc fans out below).
+                        self.acc = match &d.data {
+                            Some(data) => Buf::Data(Arc::clone(data)),
+                            None => Buf::Counted(d.words),
+                        };
+                    }
+                    while self.fan_mask > 0 {
+                        let mask = self.fan_mask;
+                        self.fan_mask >>= 1;
+                        let child = v + mask;
+                        if child < g {
+                            let round = mask.trailing_zeros() as u64;
+                            return Step::Send {
+                                dest: child,
+                                tag: self.tag.offset(64 + round),
+                                payload: self.acc.payload(),
+                            };
+                        }
+                    }
+                    self.st = ArState::EndBcast;
+                }
+                ArState::EndBcast => {
+                    self.st = ArState::End;
+                    return Step::CollEnd { op: "broadcast" };
+                }
+                ArState::End => {
+                    self.st = ArState::Done;
+                    return Step::CollEnd {
+                        op: "allreduce_sum",
+                    };
+                }
+                ArState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recursive-doubling allreduce
+// ---------------------------------------------------------------------
+
+enum RdState {
+    Begin,
+    Round,
+    Sent,
+    Merge,
+    End,
+    Done,
+}
+
+/// Recursive-doubling allreduce (`p` a power of two): `log₂p` rounds of
+/// pairwise exchange with partner `me ⊕ 2^k`, each followed by an
+/// `n`-flop merge. Latency-optimal: every rank is done after `log₂p`
+/// sends, at the cost of `p·log₂p` total messages.
+pub struct RecursiveDoublingAllreduce {
+    tag: Tag,
+    acc: Buf,
+    st: RdState,
+    p: usize,
+    me: usize,
+    k: u64,
+}
+
+impl RecursiveDoublingAllreduce {
+    /// Counted mode (see [`BinomialAllreduce::counted`]).
+    pub fn counted(tag: Tag, words: usize) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Counted(words), me, p)
+    }
+
+    /// Data mode: every rank ends with the elementwise global sum.
+    pub fn with_data(tag: Tag, data: Vec<f64>) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Data(Arc::new(data.clone())), me, p)
+    }
+
+    fn new(tag: Tag, acc: Buf, me: usize, p: usize) -> Self {
+        assert!(
+            p.is_power_of_two(),
+            "recursive doubling requires p to be a power of two, got {p}"
+        );
+        RecursiveDoublingAllreduce {
+            tag,
+            acc,
+            st: RdState::Begin,
+            p,
+            me,
+            k: 0,
+        }
+    }
+
+    /// The reduced values (data mode, after the run completes).
+    pub fn result(&self) -> Option<&[f64]> {
+        match &self.acc {
+            Buf::Data(d) => Some(d),
+            Buf::Counted(_) => None,
+        }
+    }
+
+    /// Closed-form totals: every rank sends `n` words in each of the
+    /// `log₂p` rounds and merges once per round.
+    pub fn expected_totals(p: u64, n: u64, m: u64) -> OpTotals {
+        let rounds = p.trailing_zeros() as u64;
+        OpTotals {
+            msgs: p * rounds * chunks(n, m),
+            words: p * rounds * n,
+            flops: p * rounds * n,
+        }
+    }
+}
+
+impl RankProgram for RecursiveDoublingAllreduce {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        loop {
+            match self.st {
+                RdState::Begin => {
+                    self.st = RdState::Round;
+                    return Step::CollBegin { op: "allreduce_rd" };
+                }
+                RdState::Round => {
+                    if 1usize << self.k >= self.p {
+                        self.st = RdState::End;
+                        continue;
+                    }
+                    let partner = self.me ^ (1usize << self.k);
+                    self.st = RdState::Sent;
+                    return Step::Send {
+                        dest: partner,
+                        tag: self.tag.offset(self.k),
+                        payload: self.acc.payload(),
+                    };
+                }
+                RdState::Sent => {
+                    let partner = self.me ^ (1usize << self.k);
+                    self.st = RdState::Merge;
+                    return Step::Recv {
+                        src: partner,
+                        tag: self.tag.offset(self.k),
+                    };
+                }
+                RdState::Merge => {
+                    let d = delivered.as_ref().expect("recv step delivers");
+                    let flops = self.acc.words() as u64;
+                    self.acc.merge(d);
+                    self.k += 1;
+                    self.st = RdState::Round;
+                    return Step::Compute { flops };
+                }
+                RdState::End => {
+                    self.st = RdState::Done;
+                    return Step::CollEnd { op: "allreduce_rd" };
+                }
+                RdState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ring allreduce
+// ---------------------------------------------------------------------
+
+enum RingState {
+    Begin,
+    Round,
+    Sent,
+    Merge,
+    End,
+    Done,
+}
+
+/// Naive ring allreduce: in each of `p − 1` rounds every rank forwards
+/// the block it last received (initially its own contribution) to its
+/// right neighbour and accumulates the block arriving from the left.
+/// After `p − 1` rounds every original block has visited every rank, so
+/// all ranks hold the global sum. `O(p²)` total messages — the
+/// bandwidth-hungry baseline the tree algorithms beat.
+pub struct RingAllreduce {
+    tag: Tag,
+    /// The accumulated sum.
+    acc: Buf,
+    /// The block to forward next (the last one received).
+    fwd: Buf,
+    st: RingState,
+    p: usize,
+    me: usize,
+    round: u64,
+}
+
+impl RingAllreduce {
+    /// Counted mode (see [`BinomialAllreduce::counted`]).
+    pub fn counted(tag: Tag, words: usize) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Counted(words), me, p)
+    }
+
+    /// Data mode: every rank ends with the elementwise global sum.
+    pub fn with_data(tag: Tag, data: Vec<f64>) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(tag, Buf::Data(Arc::new(data.clone())), me, p)
+    }
+
+    fn new(tag: Tag, acc: Buf, me: usize, p: usize) -> Self {
+        let fwd = acc.clone();
+        RingAllreduce {
+            tag,
+            acc,
+            fwd,
+            st: RingState::Begin,
+            p,
+            me,
+            round: 0,
+        }
+    }
+
+    /// The reduced values (data mode, after the run completes).
+    pub fn result(&self) -> Option<&[f64]> {
+        match &self.acc {
+            Buf::Data(d) => Some(d),
+            Buf::Counted(_) => None,
+        }
+    }
+
+    /// Closed-form totals: `p` ranks each send `n` words and merge once
+    /// in each of the `p − 1` rounds.
+    pub fn expected_totals(p: u64, n: u64, m: u64) -> OpTotals {
+        let rounds = p - 1;
+        OpTotals {
+            msgs: p * rounds * chunks(n, m),
+            words: p * rounds * n,
+            flops: p * rounds * n,
+        }
+    }
+}
+
+impl RankProgram for RingAllreduce {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        loop {
+            match self.st {
+                RingState::Begin => {
+                    self.st = RingState::Round;
+                    return Step::CollBegin {
+                        op: "allreduce_ring",
+                    };
+                }
+                RingState::Round => {
+                    if self.round as usize >= self.p - 1 {
+                        self.st = RingState::End;
+                        continue;
+                    }
+                    let right = (self.me + 1) % self.p;
+                    self.st = RingState::Sent;
+                    return Step::Send {
+                        dest: right,
+                        tag: self.tag.offset(self.round),
+                        payload: self.fwd.payload(),
+                    };
+                }
+                RingState::Sent => {
+                    let left = (self.me + self.p - 1) % self.p;
+                    self.st = RingState::Merge;
+                    return Step::Recv {
+                        src: left,
+                        tag: self.tag.offset(self.round),
+                    };
+                }
+                RingState::Merge => {
+                    let d = delivered.as_ref().expect("recv step delivers");
+                    let flops = self.acc.words() as u64;
+                    self.acc.merge(d);
+                    // Forward the received block onward next round.
+                    self.fwd = match &d.data {
+                        Some(data) => Buf::Data(Arc::clone(data)),
+                        None => Buf::Counted(d.words),
+                    };
+                    self.round += 1;
+                    self.st = RingState::Round;
+                    return Step::Compute { flops };
+                }
+                RingState::End => {
+                    self.st = RingState::Done;
+                    return Step::CollEnd {
+                        op: "allreduce_ring",
+                    };
+                }
+                RingState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2.5D matmul (counted communication skeleton)
+// ---------------------------------------------------------------------
+
+/// Tag offsets for the matmul's three phases (Tag is a flat `u64`
+/// namespace; these programs own their whole tag window).
+const MM_REP_A: u64 = 0;
+const MM_REP_B: u64 = 1;
+const MM_SHIFT: u64 = 16;
+const MM_REDUCE: u64 = 1 << 40;
+
+enum MmState {
+    Begin,
+    RepSend,
+    RepRecvA,
+    RepRecvB,
+    RoundCompute,
+    ShiftSendA,
+    ShiftSendB,
+    ShiftRecvA,
+    ShiftRecvB,
+    Reduce,
+    ReduceMerge,
+    End,
+    Done,
+}
+
+/// The communication skeleton of the paper's 2.5D matrix multiply on a
+/// `q × q × c` grid (`p = q²c`, `c | q`), counted payloads only:
+///
+/// 1. **Replication** — layer 0 sends its A and B blocks (`b²` words
+///    each) up to the `c − 1` other layers;
+/// 2. **Shift-multiply** — `s = q/c` Cannon rounds per layer, each
+///    `2b³` flops then an A-shift right and B-shift down of `b²` words;
+/// 3. **Layer reduction** — binomial reduce of the `b²`-word C block
+///    across the `c` layers of each `(i, j)`, one `b²`-flop merge per
+///    edge.
+///
+/// [`Matmul25D::expected_totals`] gives the exact Eq. 1 counts, so a
+/// `p = 10^6` run can be verified word-for-word against the closed
+/// form.
+pub struct Matmul25D {
+    q: usize,
+    c: usize,
+    /// Block words: `b²`.
+    bw: usize,
+    /// Block dimension `b`.
+    b: u64,
+    st: MmState,
+    /// Grid coordinates: row, column, layer.
+    i: usize,
+    j: usize,
+    k: usize,
+    /// Replication fan-out cursor (layer-0 ranks): next layer, phase.
+    rep_layer: usize,
+    rep_b: bool,
+    /// Shift round cursor.
+    round: usize,
+    /// Layer-reduce mask walk.
+    mask: usize,
+    red_round: u64,
+}
+
+impl Matmul25D {
+    /// Build the per-rank constructor for a `q × q × c` grid with block
+    /// dimension `b` (so blocks are `b²` words). Panics unless
+    /// `c >= 1`, `q % c == 0`.
+    pub fn counted(q: usize, c: usize, b: u64) -> impl Fn(usize, usize) -> Self + Sync {
+        assert!(c >= 1, "2.5D grid needs c >= 1");
+        assert_eq!(q % c, 0, "2.5D grid needs c | q (got q={q}, c={c})");
+        move |me, p| {
+            assert_eq!(p, q * q * c, "p must equal q*q*c");
+            let k = me / (q * q);
+            let i = (me % (q * q)) / q;
+            let j = me % q;
+            Matmul25D {
+                q,
+                c,
+                bw: (b * b) as usize,
+                b,
+                st: MmState::Begin,
+                i,
+                j,
+                k,
+                rep_layer: 1,
+                rep_b: false,
+                round: 0,
+                mask: 1,
+                red_round: 0,
+            }
+        }
+    }
+
+    fn id(&self, i: usize, j: usize, k: usize) -> usize {
+        k * self.q * self.q + i * self.q + j
+    }
+
+    /// Shift rounds per layer: `s = q / c`.
+    fn s(&self) -> usize {
+        self.q / self.c
+    }
+
+    /// Closed-form Eq. 1 totals for the whole machine (blocks of `b²`
+    /// words assumed not to split, i.e. `b² ≤ m`):
+    ///
+    /// * replication: `q² · 2(c−1)` sends;
+    /// * shifts: `p · s · 2` sends and `p · s · 2b³` flops;
+    /// * reduction: `q² · (c−1)` sends and `q² · (c−1) · b²` flops.
+    pub fn expected_totals(q: u64, c: u64, b: u64) -> OpTotals {
+        let p = q * q * c;
+        let s = q / c;
+        let bw = b * b;
+        let sends = q * q * 2 * (c - 1) + p * s * 2 + q * q * (c - 1);
+        OpTotals {
+            msgs: sends,
+            words: sends * bw,
+            flops: p * s * 2 * b * b * b + q * q * (c - 1) * bw,
+        }
+    }
+}
+
+impl RankProgram for Matmul25D {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        let (q, c, bw) = (self.q, self.c, self.bw);
+        loop {
+            match self.st {
+                MmState::Begin => {
+                    self.st = if c == 1 {
+                        MmState::RoundCompute
+                    } else if self.k == 0 {
+                        MmState::RepSend
+                    } else {
+                        MmState::RepRecvA
+                    };
+                    return Step::CollBegin { op: "matmul_25d" };
+                }
+                MmState::RepSend => {
+                    if self.rep_layer >= c {
+                        self.st = MmState::RoundCompute;
+                        continue;
+                    }
+                    let dest = self.id(self.i, self.j, self.rep_layer);
+                    let tag = if self.rep_b {
+                        self.rep_layer += 1;
+                        Tag(MM_REP_B)
+                    } else {
+                        Tag(MM_REP_A)
+                    };
+                    self.rep_b = !self.rep_b;
+                    return Step::Send {
+                        dest,
+                        tag,
+                        payload: Payload::Counted(bw),
+                    };
+                }
+                MmState::RepRecvA => {
+                    self.st = MmState::RepRecvB;
+                    return Step::Recv {
+                        src: self.id(self.i, self.j, 0),
+                        tag: Tag(MM_REP_A),
+                    };
+                }
+                MmState::RepRecvB => {
+                    self.st = MmState::RoundCompute;
+                    return Step::Recv {
+                        src: self.id(self.i, self.j, 0),
+                        tag: Tag(MM_REP_B),
+                    };
+                }
+                MmState::RoundCompute => {
+                    let _ = delivered; // replication payload is counted
+                    if self.round >= self.s() {
+                        self.st = MmState::Reduce;
+                        continue;
+                    }
+                    self.st = MmState::ShiftSendA;
+                    return Step::Compute {
+                        flops: 2 * self.b * self.b * self.b,
+                    };
+                }
+                MmState::ShiftSendA => {
+                    let right = self.id(self.i, (self.j + 1) % q, self.k);
+                    self.st = MmState::ShiftSendB;
+                    return Step::Send {
+                        dest: right,
+                        tag: Tag(MM_SHIFT + 2 * self.round as u64),
+                        payload: Payload::Counted(bw),
+                    };
+                }
+                MmState::ShiftSendB => {
+                    let down = self.id((self.i + 1) % q, self.j, self.k);
+                    self.st = MmState::ShiftRecvA;
+                    return Step::Send {
+                        dest: down,
+                        tag: Tag(MM_SHIFT + 2 * self.round as u64 + 1),
+                        payload: Payload::Counted(bw),
+                    };
+                }
+                MmState::ShiftRecvA => {
+                    let left = self.id(self.i, (self.j + q - 1) % q, self.k);
+                    self.st = MmState::ShiftRecvB;
+                    return Step::Recv {
+                        src: left,
+                        tag: Tag(MM_SHIFT + 2 * self.round as u64),
+                    };
+                }
+                MmState::ShiftRecvB => {
+                    let up = self.id((self.i + q - 1) % q, self.j, self.k);
+                    self.round += 1;
+                    self.st = MmState::RoundCompute;
+                    return Step::Recv {
+                        src: up,
+                        tag: Tag(MM_SHIFT + 2 * (self.round as u64 - 1) + 1),
+                    };
+                }
+                MmState::Reduce => {
+                    // Binomial reduce of C across layers, root layer 0.
+                    let v = self.k;
+                    if self.mask >= c {
+                        self.st = MmState::End;
+                        continue;
+                    }
+                    if v & self.mask != 0 {
+                        let parent = self.id(self.i, self.j, v - self.mask);
+                        let tag = Tag(MM_REDUCE + self.red_round);
+                        self.st = MmState::End;
+                        return Step::Send {
+                            dest: parent,
+                            tag,
+                            payload: Payload::Counted(bw),
+                        };
+                    }
+                    let child_v = v + self.mask;
+                    if child_v < c {
+                        let child = self.id(self.i, self.j, child_v);
+                        let tag = Tag(MM_REDUCE + self.red_round);
+                        self.st = MmState::ReduceMerge;
+                        return Step::Recv { src: child, tag };
+                    }
+                    self.mask <<= 1;
+                    self.red_round += 1;
+                }
+                MmState::ReduceMerge => {
+                    debug_assert!(delivered.is_some(), "recv step delivers");
+                    self.mask <<= 1;
+                    self.red_round += 1;
+                    self.st = MmState::Reduce;
+                    return Step::Compute { flops: bw as u64 };
+                }
+                MmState::End => {
+                    self.st = MmState::Done;
+                    return Step::CollEnd { op: "matmul_25d" };
+                }
+                MmState::Done => return Step::Done,
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The continuation vocabulary of a rank program.
+//!
+//! A rank program is a resumable state machine: the executor calls
+//! [`crate::program::RankProgram::next`] and gets back one [`Step`] —
+//! the program's next visible action. Everything between two steps is
+//! private program state; everything the simulator prices or records is
+//! a step. This is the explicit-continuation form of the closure-based
+//! `psse-sim` rank program: instead of blocking inside `recv`, the
+//! program *returns* `Step::Recv` and is resumed with the delivery.
+
+use psse_sim::{SharedPayload, Tag};
+use std::sync::Arc;
+
+/// What a send puts on the wire.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// `words` words, priced and counted but never materialized — the
+    /// mega-scale mode (a million-rank run cannot afford real buffers).
+    Counted(usize),
+    /// Real words, shared zero-copy exactly like the thread backend's
+    /// [`psse_sim::SharedPayload`] wire format.
+    Data(SharedPayload),
+}
+
+impl Payload {
+    /// Payload length in words.
+    pub fn words(&self) -> usize {
+        match self {
+            Payload::Counted(w) => *w,
+            Payload::Data(d) => d.len(),
+        }
+    }
+
+    /// Materialize for the thread backend's wire (counted payloads
+    /// become zero-filled buffers of the same length, so pricing and
+    /// counters are unchanged).
+    pub fn into_shared(self) -> SharedPayload {
+        match self {
+            Payload::Counted(w) => Arc::new(vec![0.0; w]),
+            Payload::Data(d) => d,
+        }
+    }
+}
+
+/// A completed receive, handed to the program's next resumption.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// Payload length in words.
+    pub words: usize,
+    /// The received buffer; `None` when the transfer was counted-only.
+    pub data: Option<SharedPayload>,
+}
+
+impl Delivered {
+    /// The received words, or an empty slice for counted transfers.
+    pub fn values(&self) -> &[f64] {
+        self.data.as_deref().map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// One visible action of a rank program. Mirrors the `psse-sim` rank
+/// API one-to-one so a program can run on either backend byte-for-byte
+/// (see `crate::run_programs`).
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Execute `flops` floating-point operations (`γt·flops` seconds).
+    Compute {
+        /// Operations charged.
+        flops: u64,
+    },
+    /// Send `payload` to `dest` under `tag` (eager, never blocks).
+    Send {
+        /// Destination rank.
+        dest: usize,
+        /// Transfer tag.
+        tag: Tag,
+        /// The payload.
+        payload: Payload,
+    },
+    /// Block until the transfer from `src` under `tag` arrives; the
+    /// program is resumed with `Some(`[`Delivered`]`)`.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Transfer tag.
+        tag: Tag,
+    },
+    /// Trace marker: a collective began (no cost; recorded only when
+    /// tracing, exactly like the built-in collectives' markers).
+    CollBegin {
+        /// Collective name, e.g. `"allreduce_sum"`.
+        op: &'static str,
+    },
+    /// Trace marker: the matching collective completed.
+    CollEnd {
+        /// Collective name.
+        op: &'static str,
+    },
+    /// The program finished; `next` will not be called again.
+    Done,
+}

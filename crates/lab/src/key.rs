@@ -18,6 +18,7 @@
 use psse_core::params::MachineParams;
 use psse_faults::rng::hash_key;
 use psse_sim::prelude::FaultPlan;
+use psse_sim::Backend;
 
 /// What kind of execution a [`RunKey`] requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,11 @@ pub struct RunKey {
     pub machine: MachineParams,
     /// Optional fault plan (simulator runs only).
     pub faults: Option<FaultPlan>,
+    /// Which simulator backend executes the run (simulator runs only;
+    /// model runs ignore it). Both backends are bit-identical by
+    /// contract, but the backend is still part of the identity so a
+    /// cross-backend comparison sweep gets distinct cache slots.
+    pub backend: Backend,
 }
 
 impl RunKey {
@@ -107,6 +113,7 @@ impl RunKey {
             clamp_mem: false,
             machine,
             faults: None,
+            backend: Backend::Threads,
         }
     }
 
@@ -186,6 +193,16 @@ impl RunKey {
                 }
             }
         }
+        // Appended after the fault block so every pre-backend digest is
+        // preserved: the default (`Threads`) adds nothing, and only a
+        // non-default backend extends the word stream.
+        if self.backend != Backend::Threads {
+            w.push(u64::from_le_bytes(*b"backend\0"));
+            w.push(match self.backend {
+                Backend::Threads => unreachable!(),
+                Backend::Events => 1,
+            });
+        }
         w
     }
 
@@ -205,7 +222,7 @@ impl RunKey {
     /// A short human-readable label for summaries and error messages.
     pub fn label(&self) -> String {
         format!(
-            "{}:{} n={} p={} c={}{}{}",
+            "{}:{} n={} p={} c={}{}{}{}",
             self.kind.as_str(),
             self.alg,
             self.n,
@@ -220,6 +237,11 @@ impl RunKey {
                 " +faults"
             } else {
                 ""
+            },
+            if self.backend != Backend::Threads {
+                format!(" backend={}", self.backend)
+            } else {
+                String::new()
             },
         )
     }
@@ -277,8 +299,22 @@ mod tests {
             clamp_mem: false,
             machine,
             faults: None,
+            backend: Backend::Threads,
         };
         assert_eq!(k.digest(), "9a71881ab929cb833887064fb2109475");
+    }
+
+    #[test]
+    fn backend_extends_the_identity_without_disturbing_old_digests() {
+        // `Threads` (the default) must hash exactly as the pre-backend
+        // layout did — the word stream is untouched — while `Events`
+        // gets its own cache slot and a visible label suffix.
+        let base = RunKey::simulate("mm25d", 16, 8, jaketown());
+        let mut ev = base.clone();
+        ev.backend = Backend::Events;
+        assert_ne!(base.digest(), ev.digest());
+        assert!(!base.label().contains("backend="), "{}", base.label());
+        assert!(ev.label().ends_with(" backend=events"), "{}", ev.label());
     }
 
     #[test]

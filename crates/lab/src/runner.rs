@@ -122,6 +122,7 @@ fn execute_simulate(
     let c = key.c as usize;
     let mut cfg = sim_config_from(&key.machine);
     cfg.faults = key.faults.clone();
+    cfg.backend = key.backend;
 
     let (output_digest, verified, profile) = match key.alg.as_str() {
         "mm25d" | "mm25d-abft" | "summa" | "summa-abft" | "cannon" => {

@@ -30,6 +30,7 @@ use std::str::FromStr;
 use psse_core::machines::{cloud_instance, cluster_node, embedded_soc, jaketown};
 use psse_core::params::MachineParams;
 use psse_sim::prelude::{CheckpointPolicy, FaultPlan, FaultSpec, RecoveryPolicy};
+use psse_sim::Backend;
 
 use crate::error::LabError;
 use crate::key::{RunKey, RunKind};
@@ -63,6 +64,8 @@ pub struct SweepSpec {
     pub clamp_mem: bool,
     /// Fault plan applied to every run (simulator sweeps).
     pub faults: Option<FaultPlan>,
+    /// Simulator backend (`backend = threads|events`, default threads).
+    pub backend: Backend,
 }
 
 const MACHINE_KEYS: [&str; 10] = [
@@ -200,6 +203,7 @@ impl SweepSpec {
         let mut f = 20.0;
         let mut seed = 42u64;
         let mut clamp_mem = false;
+        let mut backend = Backend::Threads;
         let mut fault_vals: Vec<(usize, f64)> = Vec::new(); // (FAULT_KEYS index, value)
 
         for (i, raw) in text.lines().enumerate() {
@@ -236,6 +240,11 @@ impl SweepSpec {
                         ));
                     }
                     machine_name = value.to_string();
+                }
+                "backend" => {
+                    backend = value
+                        .parse::<Backend>()
+                        .map_err(|e| LabError::spec(lineno, e))?;
                 }
                 "n" => n = parse_u64_list(value, lineno)?,
                 "p" => p = parse_u64_list(value, lineno)?,
@@ -350,6 +359,7 @@ impl SweepSpec {
             seed,
             clamp_mem,
             faults,
+            backend,
         })
     }
 
@@ -388,6 +398,7 @@ impl SweepSpec {
                             clamp_mem: self.clamp_mem,
                             machine: self.machine.clone(),
                             faults: self.faults.clone(),
+                            backend: self.backend,
                         });
                     }
                 }
@@ -497,6 +508,21 @@ mod tests {
         assert_eq!(plan.spec.drop_rate, 0.02);
         assert_eq!(plan.recovery.max_retries, 8);
         assert!(plan.recovery.checkpoint.is_none());
+    }
+
+    #[test]
+    fn backend_key_selects_the_event_backend() {
+        let spec =
+            SweepSpec::parse("kind = simulate\nalg = mm25d\nn = 16\np = 8\nbackend = events\n")
+                .unwrap();
+        assert_eq!(spec.backend, Backend::Events);
+        assert!(spec.expand().iter().all(|k| k.backend == Backend::Events));
+        // Default is the thread backend; bad values are line-reported.
+        let spec = SweepSpec::parse("kind = model\nalg = nbody\nn = 4\np = 2\n").unwrap();
+        assert_eq!(spec.backend, Backend::Threads);
+        let err = SweepSpec::parse("kind = model\nalg = nbody\nn = 4\np = 2\nbackend = fibers\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("fibers"), "{err}");
     }
 
     #[test]

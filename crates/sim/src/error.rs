@@ -83,6 +83,17 @@ pub enum SimError {
         /// Attempts made (original send + retries).
         attempts: u32,
     },
+    /// True deadlock, proven rather than timed out: every live rank is
+    /// blocked in a receive and no blocked rank has a matching message
+    /// queued, so no progress is possible. Raised by the event-driven
+    /// backend ([`crate::machine::Backend::Events`]), which never
+    /// sleeps on a wall clock.
+    Deadlock {
+        /// The rank that proved the deadlock (lowest blocked rank id).
+        rank: usize,
+        /// Every blocked rank id, ascending.
+        blocked: Vec<usize>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -129,6 +140,13 @@ impl fmt::Display for SimError {
                 f,
                 "rank {rank} gave up sending to {dest} after {attempts} failed attempts"
             ),
+            SimError::Deadlock { rank, blocked } => {
+                write!(
+                    f,
+                    "deadlock proven at rank {rank}: ranks {blocked:?} are all blocked \
+                     in recv with no matching message queued"
+                )
+            }
         }
     }
 }
@@ -188,6 +206,13 @@ mod tests {
                     attempts: 7,
                 },
                 "7 failed attempts",
+            ),
+            (
+                SimError::Deadlock {
+                    rank: 0,
+                    blocked: vec![0, 1],
+                },
+                "[0, 1]",
             ),
         ];
         for (e, frag) in cases {

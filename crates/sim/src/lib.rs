@@ -95,10 +95,11 @@ mod pool;
 pub mod profile;
 pub mod rank;
 pub mod record;
+mod registry;
 pub mod seqmem;
 
 pub use error::SimError;
-pub use machine::{Machine, SimConfig, SimOutcome};
+pub use machine::{Backend, Machine, SimConfig, SimOutcome};
 pub use message::{SharedPayload, Tag};
 pub use profile::{Profile, RankStats};
 pub use psse_faults::FaultPlan;
@@ -109,7 +110,7 @@ pub mod prelude {
     pub use crate::collectives::Group;
     pub use crate::error::SimError;
     pub use crate::grid::{Grid2, Grid3};
-    pub use crate::machine::{Machine, SimConfig, SimOutcome};
+    pub use crate::machine::{Backend, Machine, SimConfig, SimOutcome};
     pub use crate::message::{SharedPayload, Tag};
     pub use crate::profile::{Profile, RankStats};
     pub use crate::rank::Rank;

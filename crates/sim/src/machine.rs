@@ -6,11 +6,69 @@ use crate::mailbox::Mailbox;
 use crate::pool::Crew;
 use crate::profile::{Profile, RankStats};
 use crate::rank::Rank;
+use crate::registry::EventRegistry;
 use psse_faults::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which execution backend drives blocking receives.
+///
+/// Virtual time, counters and traces are a pure function of the message
+/// DAG on either backend, so the two produce **byte-identical**
+/// profiles; they differ only in how a blocked receive waits and how a
+/// stuck program is diagnosed:
+///
+/// * [`Backend::Threads`] (default) parks the receiver on its mailbox
+///   condvar with the wall-clock patience of
+///   [`SimConfig::recv_timeout`]; a deadlock is *suspected* after the
+///   timeout ([`SimError::RecvFailed`]).
+/// * [`Backend::Events`] registers the receiver with a per-run
+///   blocked-rank registry and never sleeps on a wall clock; a deadlock
+///   is *proven* the moment every live rank is blocked with no matching
+///   message queued, and reported with the full blocked rank set
+///   ([`SimError::Deadlock`]).
+///
+/// The mega-scale discrete-event executor in `psse-event` also keys off
+/// this flag: its `run_programs` entry point dispatches rank programs
+/// to the thread pool (`Threads`, the bit-identity oracle) or to the
+/// single priority-queue scheduler (`Events`, for p = 10⁵–10⁶).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Thread-per-rank with wall-clock recv patience (the default).
+    #[default]
+    Threads,
+    /// Event-driven blocking with proven deadlock detection.
+    Events,
+}
+
+impl Backend {
+    /// The spec-file / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Events => "events",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" | "thread" => Ok(Backend::Threads),
+            "events" | "event" => Ok(Backend::Events),
+            other => Err(format!("unknown backend `{other}` (threads|events)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Two-level machine hierarchy (paper Fig. 2): ranks are grouped into
 /// nodes of `cores_per_node` consecutive ids; messages between ranks of
@@ -60,6 +118,17 @@ pub struct SimConfig {
     /// bit-identical to a build without the feature, at the cost of one
     /// branch per operation.
     pub faults: Option<FaultPlan>,
+    /// How blocking receives wait and how deadlock is diagnosed; see
+    /// [`Backend`]. Identical virtual-time output either way.
+    pub backend: Backend,
+    /// Floor of the rank-thread pool's demand-based idle trim: a
+    /// finishing run never trims the parked fleet below this many
+    /// threads (see `sim/src/pool.rs`).
+    pub pool_idle_floor: usize,
+    /// Ceiling of the idle pool; parked threads beyond it exit. The
+    /// `PSSE_POOL_IDLE_MAX` environment variable overrides this at run
+    /// time.
+    pub pool_idle_max: usize,
 }
 
 impl Default for SimConfig {
@@ -74,6 +143,9 @@ impl Default for SimConfig {
             hierarchy: None,
             record_trace: false,
             faults: None,
+            backend: Backend::Threads,
+            pool_idle_floor: crate::pool::IDLE_FLOOR,
+            pool_idle_max: crate::pool::IDLE_CAP,
         }
     }
 }
@@ -105,6 +177,12 @@ impl SimConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate().map_err(SimError::InvalidConfig)?;
+        }
+        if self.pool_idle_floor > self.pool_idle_max {
+            return Err(SimError::InvalidConfig(format!(
+                "pool_idle_floor ({}) must not exceed pool_idle_max ({})",
+                self.pool_idle_floor, self.pool_idle_max
+            )));
         }
         Ok(())
     }
@@ -154,6 +232,11 @@ impl Machine {
             return Err(SimError::InvalidConfig("world size p must be >= 1".into()));
         }
         cfg.validate()?;
+        let (floor, cap) = crate::pool::effective_limits(cfg.pool_idle_floor, cfg.pool_idle_max);
+        let registry = match cfg.backend {
+            Backend::Threads => None,
+            Backend::Events => Some(Arc::new(EventRegistry::new(p))),
+        };
         let cfg = Arc::new(cfg);
         let poison = Arc::new(AtomicBool::new(false));
         let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..p).map(|_| Mailbox::new()).collect());
@@ -163,15 +246,22 @@ impl Machine {
         slots.resize_with(p, || None);
 
         {
-            let mut crew = Crew::new();
+            let mut crew = Crew::with_limits(floor, cap);
             for (id, slot) in slots.iter_mut().enumerate() {
                 let cfg = Arc::clone(&cfg);
                 let mailboxes = Arc::clone(&mailboxes);
                 let poison = Arc::clone(&poison);
+                let registry = registry.clone();
                 let f = &f;
                 crew.execute(move || {
-                    let mut rank =
-                        Rank::new(id, p, cfg, Arc::clone(&mailboxes), Arc::clone(&poison));
+                    let mut rank = Rank::new(
+                        id,
+                        p,
+                        cfg,
+                        Arc::clone(&mailboxes),
+                        Arc::clone(&poison),
+                        registry.clone(),
+                    );
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut rank)));
                     let res = match out {
                         Ok(Ok(v)) => {
@@ -202,6 +292,15 @@ impl Machine {
                         for mb in mailboxes.iter() {
                             mb.wake();
                         }
+                        if let Some(reg) = registry.as_deref() {
+                            reg.poison();
+                        }
+                    }
+                    if let Some(reg) = registry.as_deref() {
+                        // One fewer live rank: the remaining blocked set
+                        // may now be total (a completed rank that never
+                        // sent what a peer still waits for).
+                        reg.rank_done(&mailboxes);
                     }
                     *slot = Some(res);
                 });
@@ -391,6 +490,120 @@ mod tests {
             matches!(r, Err(SimError::RecvFailed { .. })),
             "expected deadlock detection, got {r:?}"
         );
+    }
+
+    #[test]
+    fn events_backend_proves_deadlock_with_blocked_set() {
+        // The classic cross-wait: both ranks recv first. Under Events
+        // the error is immediate and names every blocked rank — no
+        // wall-clock sleep (recv_timeout is deliberately huge).
+        let cfg = SimConfig {
+            backend: Backend::Events,
+            recv_timeout: Duration::from_secs(3600),
+            ..SimConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let r: SimResult<SimOutcome<Vec<f64>>> =
+            Machine::run(2, cfg, |rank| rank.recv(1 - rank.rank(), Tag(0)));
+        match r {
+            Err(SimError::Deadlock { blocked, .. }) => assert_eq!(blocked, vec![0, 1]),
+            other => panic!("expected a proven deadlock, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "proof must not sleep: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn events_backend_deadlock_after_peer_completion() {
+        // Rank 1 completes without sending; rank 0 can then never
+        // proceed. The completion itself must trigger the proof.
+        let cfg = SimConfig {
+            backend: Backend::Events,
+            recv_timeout: Duration::from_secs(3600),
+            ..SimConfig::default()
+        };
+        let r: SimResult<SimOutcome<f64>> = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                let v = rank.recv(1, Tag(0))?;
+                Ok(v[0])
+            } else {
+                Ok(0.0)
+            }
+        });
+        match r {
+            Err(SimError::Deadlock { rank: 0, blocked }) => assert_eq!(blocked, vec![0]),
+            other => panic!("expected a proven deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_backend_failing_rank_unblocks_waiting_peer() {
+        let cfg = SimConfig {
+            backend: Backend::Events,
+            recv_timeout: Duration::from_secs(3600),
+            ..SimConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let r: SimResult<SimOutcome<Vec<f64>>> = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                Err(SimError::Algorithm("poisoner".into()))
+            } else {
+                rank.recv(0, Tag(1))
+            }
+        });
+        assert!(matches!(r, Err(SimError::Algorithm(_))), "{r:?}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn backends_are_bit_identical_on_a_ring() {
+        let run = |backend: Backend| {
+            let cfg = SimConfig {
+                backend,
+                record_trace: true,
+                ..SimConfig::default()
+            };
+            Machine::run(6, cfg, |rank| {
+                let right = (rank.rank() + 1) % rank.size();
+                let left = (rank.rank() + rank.size() - 1) % rank.size();
+                let mut block = vec![rank.rank() as f64; 64];
+                for step in 0..6u64 {
+                    block = rank.sendrecv(right, Tag(step), block, left, Tag(step))?;
+                    rank.compute(500);
+                }
+                Ok(block[0])
+            })
+            .unwrap()
+        };
+        let a = run(Backend::Threads);
+        let b = run(Backend::Events);
+        assert_eq!(a.profile, b.profile, "profiles must match byte-for-byte");
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("threads".parse::<Backend>().unwrap(), Backend::Threads);
+        assert_eq!("events".parse::<Backend>().unwrap(), Backend::Events);
+        assert!("fibers".parse::<Backend>().is_err());
+        assert_eq!(Backend::Events.to_string(), "events");
+        assert_eq!(Backend::default(), Backend::Threads);
+    }
+
+    #[test]
+    fn reversed_pool_limits_rejected() {
+        let cfg = SimConfig {
+            pool_idle_floor: 100,
+            pool_idle_max: 10,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            Machine::run(1, cfg, |_| Ok(())),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -106,6 +106,29 @@ impl Mailbox {
         let _queues = lock_queues(&self.queues);
         self.cv.notify_all();
     }
+
+    /// Non-blocking receive: pop the next transfer from `src` under
+    /// `tag` if one is already queued. The event-driven backend's block
+    /// path (see `crate::registry`) polls this under the registry lock
+    /// instead of ever parking on this mailbox's condvar.
+    pub(crate) fn try_recv(&self, src: usize, tag: Tag) -> Option<Envelope> {
+        let mut queues = lock_queues(&self.queues);
+        let q = queues.get_mut(&(src, tag))?;
+        let env = q.pop_front();
+        if q.is_empty() {
+            queues.remove(&(src, tag));
+        }
+        env
+    }
+
+    /// Whether a transfer from `src` under `tag` is queued right now.
+    /// Used by the deadlock probe: a blocked rank with a matching
+    /// message is about to make progress, so the system is not stuck.
+    pub(crate) fn has_match(&self, src: usize, tag: Tag) -> bool {
+        lock_queues(&self.queues)
+            .get(&(src, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
 }
 
 #[cfg(test)]

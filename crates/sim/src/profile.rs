@@ -66,7 +66,11 @@ impl Profile {
         Profile::with_events(per_rank, Vec::new())
     }
 
-    pub(crate) fn with_events(per_rank: Vec<RankStats>, events: Vec<Vec<TimedEvent>>) -> Self {
+    /// Build a profile from per-rank counters plus per-rank event logs
+    /// (makespan is the max of the `finish_time`s). Used by the
+    /// thread-per-rank runner and by external executors (`psse-event`)
+    /// that account the same counters outside this crate.
+    pub fn with_events(per_rank: Vec<RankStats>, events: Vec<Vec<TimedEvent>>) -> Self {
         let makespan = per_rank
             .iter()
             .map(|r| r.finish_time)

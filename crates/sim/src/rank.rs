@@ -7,6 +7,7 @@ use crate::mailbox::{Mailbox, RecvWait};
 use crate::message::{Envelope, SharedPayload, Tag};
 use crate::profile::RankStats;
 use crate::record::{EventKind, TimedEvent};
+use crate::registry::{BlockOutcome, EventRegistry};
 use psse_faults::{FaultPlan, LinkFaultKind};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -51,6 +52,9 @@ pub struct Rank {
     poison: Arc<AtomicBool>,
     events: Vec<TimedEvent>,
     fault: Option<Box<FaultState>>,
+    /// Present only under [`crate::machine::Backend::Events`]: blocking
+    /// receives register here instead of sleeping on a wall clock.
+    registry: Option<Arc<EventRegistry>>,
 }
 
 impl Rank {
@@ -60,6 +64,7 @@ impl Rank {
         cfg: Arc<SimConfig>,
         mailboxes: Arc<Vec<Mailbox>>,
         poison: Arc<AtomicBool>,
+        registry: Option<Arc<EventRegistry>>,
     ) -> Self {
         let fault = cfg.faults.as_ref().map(|plan| {
             Box::new(FaultState {
@@ -84,6 +89,7 @@ impl Rank {
             poison,
             events: Vec::new(),
             fault,
+            registry,
         }
     }
 
@@ -129,6 +135,25 @@ impl Rank {
         }
     }
 
+    /// Record a collective-begin trace marker (no-op unless recording).
+    /// Public so external step-driven executors (`psse-event`'s rank
+    /// programs) can emit the same markers the built-in collectives do.
+    pub fn mark_collective_begin(&mut self, op: &str) {
+        if self.cfg.record_trace {
+            let t = self.time;
+            self.record(t, EventKind::CollBegin { op: op.to_string() });
+        }
+    }
+
+    /// Record the matching collective-end trace marker; see
+    /// [`Rank::mark_collective_begin`].
+    pub fn mark_collective_end(&mut self, op: &str) {
+        if self.cfg.record_trace {
+            let t = self.time;
+            self.record(t, EventKind::CollEnd { op: op.to_string() });
+        }
+    }
+
     /// Record a collective begin/end marker pair around `body`. The end
     /// marker is only written when the collective succeeds; a failing
     /// collective aborts the run anyway.
@@ -137,15 +162,9 @@ impl Rank {
         op: &str,
         body: impl FnOnce(&mut Self) -> SimResult<T>,
     ) -> SimResult<T> {
-        if self.cfg.record_trace {
-            let t = self.time;
-            self.record(t, EventKind::CollBegin { op: op.to_string() });
-        }
+        self.mark_collective_begin(op);
         let out = body(self)?;
-        if self.cfg.record_trace {
-            let t = self.time;
-            self.record(t, EventKind::CollEnd { op: op.to_string() });
-        }
+        self.mark_collective_end(op);
         Ok(out)
     }
 
@@ -491,6 +510,11 @@ impl Rank {
             depart_time: self.time,
             payload,
         });
+        if let Some(reg) = &self.registry {
+            // Wake registry-parked receivers to re-check their mailboxes
+            // (Events-backend receives never park on the mailbox condvar).
+            reg.notify_send();
+        }
         self.record(
             t_send,
             EventKind::Send {
@@ -540,26 +564,55 @@ impl Rank {
         self.check_peer(src)?;
         self.fail_if_crashed()?;
         let t0 = self.time;
-        let deadline = Instant::now() + self.cfg.recv_timeout;
-        // Event-driven block: woken by the matching push or by the
-        // poison flag (a poisoned run can never complete this receive).
-        let env = match self.mailboxes[self.id].recv(src, tag, deadline, &self.poison) {
-            RecvWait::Message(env) => env,
-            RecvWait::Poisoned => {
-                return Err(SimError::PeerFailed(format!(
-                    "rank {} abandoned recv from {src}: a peer rank failed",
-                    self.id
-                )));
-            }
-            RecvWait::TimedOut => {
-                return Err(SimError::RecvFailed {
-                    rank: self.id,
-                    src,
-                    cause: format!(
-                        "no matching message for tag {tag:?} within {:?} (deadlock?)",
-                        self.cfg.recv_timeout
-                    ),
-                });
+        let env = match &self.registry {
+            // Events backend: no wall clock anywhere. Block on the
+            // registry until the message is queued, the run is poisoned,
+            // or deadlock is *proven* (every live rank blocked, nothing
+            // queued for any of them).
+            Some(reg) => loop {
+                match self.mailboxes[self.id].try_recv(src, tag) {
+                    Some(env) => break env,
+                    None => match reg.block_until_ready(self.id, src, tag, &self.mailboxes) {
+                        BlockOutcome::Ready => continue,
+                        BlockOutcome::Poisoned => {
+                            return Err(SimError::PeerFailed(format!(
+                                "rank {} abandoned recv from {src}: a peer rank failed",
+                                self.id
+                            )));
+                        }
+                        BlockOutcome::Deadlocked(blocked) => {
+                            return Err(SimError::Deadlock {
+                                rank: self.id,
+                                blocked,
+                            });
+                        }
+                    },
+                }
+            },
+            // Threads backend: park on the mailbox condvar, woken by the
+            // matching push or by the poison flag (a poisoned run can
+            // never complete this receive).
+            None => {
+                let deadline = Instant::now() + self.cfg.recv_timeout;
+                match self.mailboxes[self.id].recv(src, tag, deadline, &self.poison) {
+                    RecvWait::Message(env) => env,
+                    RecvWait::Poisoned => {
+                        return Err(SimError::PeerFailed(format!(
+                            "rank {} abandoned recv from {src}: a peer rank failed",
+                            self.id
+                        )));
+                    }
+                    RecvWait::TimedOut => {
+                        return Err(SimError::RecvFailed {
+                            rank: self.id,
+                            src,
+                            cause: format!(
+                                "no matching message for tag {tag:?} within {:?} (deadlock?)",
+                                self.cfg.recv_timeout
+                            ),
+                        });
+                    }
+                }
             }
         };
         self.time = self.time.max(env.depart_time);

@@ -10,6 +10,10 @@
 //!   optimization suite, the §VI case study and machine database.
 //! * [`sim`] (`psse-sim`) — a deterministic virtual-time distributed
 //!   machine simulator with per-rank flop/word/message/memory counters.
+//! * [`event`] (`psse-event`) — the discrete-event simulator backend:
+//!   resumable rank programs scheduled by virtual time, byte-identical
+//!   to the thread backend (`SimConfig::backend`) and scaling to
+//!   `p = 10^5`–`10^6` ranks in one process.
 //! * [`kernels`] (`psse-kernels`) — local dense kernels (GEMM, Strassen,
 //!   LU, FFT, n-body forces).
 //! * [`algos`] (`psse-algos`) — the distributed algorithms executed on
@@ -35,6 +39,7 @@
 
 pub use psse_algos as algos;
 pub use psse_core as core;
+pub use psse_event as event;
 pub use psse_faults as faults;
 pub use psse_kernels as kernels;
 pub use psse_lab as lab;
