@@ -14,8 +14,8 @@ use psse_kernels::matrix::Matrix;
 use psse_kernels::nbody::{accumulate_forces, random_particles};
 use psse_kernels::rng::XorShift64;
 use psse_lab::prelude::{
-    detect_scaling_range, gc_dir, pareto_csv, sweep_csv, GcConfig, Lab, LabConfig, RunKey,
-    SweepSpec,
+    detect_scaling_range, fsck_dir, gc_dir, pareto_csv, spec_digest, sweep_csv, GcConfig, Journal,
+    Lab, LabConfig, RunKey, SweepSpec,
 };
 use psse_sim::profile::Profile;
 use psse_trace::Trace;
@@ -923,7 +923,8 @@ pub fn lab_cmd(action: &str, args: &Args, out: &mut String) -> CmdResult {
         "run" => lab_run(args, out),
         "expand" => lab_expand(args, out),
         "gc" => lab_gc(args, out),
-        other => Err(format!("unknown lab action `{other}` (run|expand|gc)")),
+        "fsck" => lab_fsck(args, out),
+        other => Err(format!("unknown lab action `{other}` (run|expand|gc|fsck)")),
     }
 }
 
@@ -938,7 +939,8 @@ fn lab_spec_from(args: &Args) -> Result<(SweepSpec, String), String> {
 
 fn lab_run(args: &Args, out: &mut String) -> CmdResult {
     args.expect_keys(&[
-        "spec", "jobs", "out", "pareto", "cache", "scaling", "profile", "top",
+        "spec", "jobs", "out", "pareto", "cache", "scaling", "profile", "top", "journal", "resume",
+        "timeout",
     ])?;
     let (spec, path) = lab_spec_from(args)?;
     // `--cache DIR` persists results under DIR; `off` (or omitting the
@@ -947,11 +949,51 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         None | Some("") | Some("off") => None,
         Some(dir) => Some(std::path::PathBuf::from(dir)),
     };
-    let lab = Lab::new(LabConfig {
+    // Watchdog budget: `--timeout S` overrides the spec's `timeout`
+    // key. The budget never enters run identity, so cache digests and
+    // CSV bytes are independent of it.
+    let timeout_secs = match args.get("timeout") {
+        None => spec.timeout,
+        Some(_) => Some(args.req_f64("timeout")?),
+    };
+    let timeout = match timeout_secs {
+        None => None,
+        Some(s) if s > 0.0 && s.is_finite() => Some(std::time::Duration::from_secs_f64(s)),
+        Some(s) => {
+            return Err(format!(
+                "--timeout must be a positive number of seconds, got {s}"
+            ))
+        }
+    };
+    let mut lab = Lab::new(LabConfig {
         jobs: args.u64_or("jobs", 0)? as usize,
         cache_dir,
+        timeout,
         ..LabConfig::default()
     });
+    // `--journal FILE` appends one checksummed line per finished run;
+    // `--resume` replays completed runs from it (skipping their
+    // execution) before continuing the sweep.
+    let mut replayed_runs = 0usize;
+    let journal_path = args.get("journal").filter(|v| !v.is_empty());
+    match journal_path {
+        Some(jp) => {
+            let sd = spec_digest(&spec.expand());
+            let journal = if args.has("resume") {
+                let (journal, replayed) = Journal::open_resume(std::path::Path::new(jp), &sd)?;
+                replayed_runs = replayed.len();
+                lab.seed(&replayed);
+                journal
+            } else {
+                Journal::create(std::path::Path::new(jp), &sd)?
+            };
+            lab.set_journal(journal);
+        }
+        None if args.has("resume") => {
+            return Err("--resume requires --journal FILE".into());
+        }
+        None => {}
+    }
     // Self-profile destination: `--profile off` disables it, `--profile
     // FILE` overrides it, and by default the JSON lands next to the
     // sweep CSV (`<out>.profile.json`) or, with no `--out`, in the
@@ -979,6 +1021,9 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         spec.machine_name
     );
     let _ = writeln!(out, "jobs      : {}", lab.jobs());
+    if let Some(jp) = journal_path {
+        let _ = writeln!(out, "journal   : {jp} ({replayed_runs} runs replayed)");
+    }
     let (sweep, profile) = if profile_path.is_some() {
         let (sweep, profile) = lab.run_spec_profiled(&spec);
         (sweep, Some(profile))
@@ -1002,11 +1047,13 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
     let s = sweep.stats;
     let _ = writeln!(
         out,
-        "cache     : hits={} misses={} evictions={} hit_rate={:.1}%",
+        "cache     : hits={} misses={} evictions={} hit_rate={:.1}% corrupt={} quarantined={}",
         s.hits,
         s.misses,
         s.evictions,
-        s.hit_rate()
+        s.hit_rate(),
+        s.corrupt,
+        s.quarantined,
     );
     if args.has("scaling") {
         lab_scaling_report(&sweep, out);
@@ -1024,6 +1071,57 @@ fn lab_run(args: &Args, out: &mut String) -> CmdResult {
         let _ = write!(out, "{}", profile.render(top));
         std::fs::write(path, profile.to_json().to_string()).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "wrote self-profile JSON to {path}");
+    }
+    // Failures surface as a nonzero exit *after* every requested output
+    // is written: completed work is never discarded, and the journal
+    // holds the successes for a `--resume` retry.
+    if sweep.failures() > 0 {
+        let failed: Vec<String> = sweep
+            .keys
+            .iter()
+            .zip(&sweep.results)
+            .filter(|(_, r)| r.is_err())
+            .map(|(k, _)| k.label())
+            .collect();
+        return Err(format!(
+            "{} of {} runs failed: {}",
+            failed.len(),
+            sweep.results.len(),
+            failed.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+/// `psse lab fsck`: offline verification of a persistent cache
+/// directory — every record's checksum is re-checked and corrupt
+/// records are moved (never deleted) into `quarantine/`.
+fn lab_fsck(args: &Args, out: &mut String) -> CmdResult {
+    args.expect_keys(&["cache", "dry-run"])?;
+    let dir = args.req("cache")?;
+    let dry_run = args.has("dry-run");
+    let report = fsck_dir(std::path::Path::new(dir), dry_run)?;
+    let verb = if dry_run {
+        "would quarantine"
+    } else {
+        "quarantined"
+    };
+    let _ = writeln!(out, "cache     : {dir}");
+    let _ = writeln!(
+        out,
+        "records   : {} scanned, {} ok, {} corrupt ({} {verb})",
+        report.scanned, report.ok, report.corrupt, report.quarantined
+    );
+    let _ = writeln!(
+        out,
+        "quarantine: {} records held from earlier incidents",
+        report.previously_quarantined
+    );
+    if report.corrupt > 0 {
+        return Err(format!(
+            "{} corrupt record(s) in {dir} ({verb})",
+            report.corrupt
+        ));
     }
     Ok(())
 }
@@ -1060,6 +1158,11 @@ fn lab_gc(args: &Args, out: &mut String) -> CmdResult {
         out,
         "bytes     : {} before, {} after",
         report.bytes_before, report.bytes_after
+    );
+    let _ = writeln!(
+        out,
+        "quarantine: {} records ({} bytes), never evicted",
+        report.quarantined, report.quarantined_bytes
     );
     Ok(())
 }

@@ -18,8 +18,10 @@
 //! psse trace    export --in run.trace --out run.trace.json
 //! psse trace    flame --in run.trace | flamegraph.pl > flame.svg
 //! psse lab      run --spec sweep.spec --jobs 8 --out sweep.csv --pareto front.csv
+//! psse lab      run --spec sweep.spec --journal sweep.journal --resume
 //! psse lab      expand --spec sweep.spec
 //! psse lab      gc --cache .labcache --max-bytes 1e8 --max-age 604800
+//! psse lab      fsck --cache .labcache
 //! ```
 //!
 //! All logic lives in [`run`] so it can be tested without spawning the
@@ -61,7 +63,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
     }
     if argv[0] == "lab" {
         if argv.len() < 2 {
-            return Err("usage: psse lab <run|expand|gc> [--option value]...".into());
+            return Err("usage: psse lab <run|expand|gc|fsck> [--option value]...".into());
         }
         let args = Args::parse(&argv[1..])?;
         let action = args.command.clone();
@@ -147,11 +149,24 @@ COMMANDS:
                                         <out>.profile.json, or
                                         <spec stem>.profile.json without --out)
                       [--top K]         slowest keys shown in the profile (5)
+                      [--journal FILE]  append one checksummed line per finished
+                                        run; torn tails from a kill -9 are
+                                        detected and truncated on resume
+                      [--resume]        replay completed runs from --journal and
+                                        skip them; the final CSV is
+                                        byte-identical to an uninterrupted sweep
+                      [--timeout S]     per-run wall-clock watchdog for
+                                        simulator runs (overrides the spec
+                                        `timeout` key); a hung run fails alone
                expand --spec FILE  print the expanded run list with digests
                gc     --cache DIR  evict old cache records, oldest first
                       [--max-bytes B]   keep at most B bytes of records
                       [--max-age S]     evict records older than S seconds
                       [--dry-run]       report without deleting
+                                        (quarantine/ is reported, never evicted)
+               fsck   --cache DIR  re-verify every record checksum; corrupt
+                      records move to quarantine/ (exit 1 if any found)
+                      [--dry-run]       report without moving
   help       This message.
 ";
 
@@ -568,6 +583,127 @@ mod tests {
         assert!(out.contains("2 scanned, 2 evicted"), "{out}");
         assert_eq!(recs(), 0);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_run_journal_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-journal-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("nbody.spec");
+        std::fs::write(
+            &spec_path,
+            "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:8\nmem = 2000\nf = 10\n",
+        )
+        .unwrap();
+        let (sp, journal, csv_a, csv_b) = (
+            spec_path.display().to_string(),
+            dir.join("sweep.journal"),
+            dir.join("a.csv"),
+            dir.join("b.csv"),
+        );
+
+        // Reference run, then a journaled run "killed" mid-write.
+        call(&format!("lab run --spec {sp} --out {}", csv_a.display())).unwrap();
+        let out = call(&format!(
+            "lab run --spec {sp} --journal {} --out {}",
+            journal.display(),
+            csv_b.display()
+        ))
+        .unwrap();
+        assert!(out.contains("journal   :"), "{out}");
+        assert!(out.contains("(0 runs replayed)"), "{out}");
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - 11]).unwrap();
+
+        // Resume: replayed runs become cache hits, CSV bytes identical.
+        let out = call(&format!(
+            "lab run --spec {sp} --journal {} --resume --out {}",
+            journal.display(),
+            csv_b.display()
+        ))
+        .unwrap();
+        assert!(!out.contains("(0 runs replayed)"), "{out}");
+        assert!(out.contains("runs replayed)"), "{out}");
+        assert!(!out.contains("cache     : hits=0 "), "{out}");
+        assert_eq!(
+            std::fs::read(&csv_a).unwrap(),
+            std::fs::read(&csv_b).unwrap(),
+            "resumed CSV must be byte-identical"
+        );
+
+        // --resume without --journal is a usage error.
+        let err = call(&format!("lab run --spec {sp} --resume")).unwrap_err();
+        assert!(err.contains("--resume requires --journal"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_fsck_quarantines_corrupt_records_and_fails() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-fsck-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("tiny.spec");
+        std::fs::write(
+            &spec_path,
+            "kind = model\nalg = matmul\nn = 1024\np = 4,8\n",
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        call(&format!(
+            "lab run --spec {} --cache {} --profile off",
+            spec_path.display(),
+            cache.display()
+        ))
+        .unwrap();
+
+        // A healthy cache passes.
+        let out = call(&format!("lab fsck --cache {}", cache.display())).unwrap();
+        assert!(out.contains("2 scanned, 2 ok, 0 corrupt"), "{out}");
+
+        // Corrupt one record: dry-run reports without moving, the real
+        // pass quarantines and exits nonzero.
+        let rec = std::fs::read_dir(&cache)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "rec"))
+            .unwrap();
+        std::fs::write(&rec, "garbage\n").unwrap();
+        let err = call(&format!("lab fsck --cache {} --dry-run", cache.display())).unwrap_err();
+        assert!(err.contains("would quarantine"), "{err}");
+        assert!(rec.exists(), "dry run must not move the record");
+        let err = call(&format!("lab fsck --cache {}", cache.display())).unwrap_err();
+        assert!(err.contains("1 corrupt record"), "{err}");
+        assert!(!rec.exists(), "corrupt record must move to quarantine/");
+        assert!(cache
+            .join("quarantine")
+            .join(rec.file_name().unwrap())
+            .exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lab_run_failed_keys_exit_nonzero_after_writing_outputs() {
+        let dir = std::env::temp_dir().join("psse-cli-lab-fail-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("bad.spec");
+        // p = 4 forms a valid 2×2 grid; p = 3 cannot — one key fails.
+        std::fs::write(&spec_path, "kind = simulate\nalg = mm25d\nn = 8\np = 4,3\n").unwrap();
+        let csv = dir.join("sweep.csv");
+        let err = call(&format!(
+            "lab run --spec {} --out {} --profile off",
+            spec_path.display(),
+            csv.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("1 of 2 runs failed"), "{err}");
+        assert!(err.contains("p=3"), "failure list names the key: {err}");
+        // The CSV for the surviving run was still written.
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.lines().count() >= 2, "{body}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

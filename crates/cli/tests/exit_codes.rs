@@ -1,0 +1,158 @@
+//! Process-level exit-code audit: every failure path of the `psse`
+//! binary must exit nonzero with a one-line `error: ...` reason on
+//! stderr, and success paths must exit zero — scripts and CI gate on
+//! these codes.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn psse(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_psse"))
+        .args(args)
+        .output()
+        .expect("spawn psse")
+}
+
+fn stderr_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).trim().to_string()
+}
+
+fn write_spec(dir: &Path, name: &str, body: &str) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, body).unwrap();
+    p.display().to_string()
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    let out = psse(&["help"]);
+    assert!(out.status.success(), "{}", stderr_line(&out));
+    let dir = std::env::temp_dir().join(format!("psse-exit0-{}", std::process::id()));
+    let spec = write_spec(
+        &dir,
+        "ok.spec",
+        "kind = model\nalg = nbody\nn = 1000\np = 2,4\n",
+    );
+    let out = psse(&["lab", "run", "--spec", &spec, "--profile", "off"]);
+    assert!(out.status.success(), "{}", stderr_line(&out));
+    assert!(stderr_line(&out).is_empty(), "{}", stderr_line(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_spec_file_exits_nonzero_with_reason() {
+    let out = psse(&["lab", "run", "--spec", "/nonexistent/sweep.spec"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_line(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("/nonexistent/sweep.spec"), "{err}");
+    assert_eq!(err.lines().count(), 1, "one-line reason: {err}");
+}
+
+#[test]
+fn malformed_spec_exits_nonzero_with_line_number() {
+    let dir = std::env::temp_dir().join(format!("psse-exit-badspec-{}", std::process::id()));
+    let spec = write_spec(&dir, "bad.spec", "kind = model\nalg = nbody\nbogus = 1\n");
+    let out = psse(&["lab", "run", "--spec", &spec]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_line(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("line 3"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_run_keys_exit_nonzero_but_keep_outputs() {
+    let dir = std::env::temp_dir().join(format!("psse-exit-failkeys-{}", std::process::id()));
+    let spec = write_spec(
+        &dir,
+        "fail.spec",
+        "kind = simulate\nalg = mm25d\nn = 8\np = 4,3\n",
+    );
+    let csv = dir.join("sweep.csv").display().to_string();
+    let out = psse(&[
+        "lab",
+        "run",
+        "--spec",
+        &spec,
+        "--out",
+        &csv,
+        "--profile",
+        "off",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_line(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("1 of 2 runs failed"), "{err}");
+    // stdout still carries the summary and the CSV was written.
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("runs      :"), "{stdout}");
+    assert!(std::fs::metadata(dir.join("sweep.csv")).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_exit_code_tracks_corruption() {
+    let dir = std::env::temp_dir().join(format!("psse-exit-fsck-{}", std::process::id()));
+    let spec = write_spec(
+        &dir,
+        "ok.spec",
+        "kind = model\nalg = matmul\nn = 1024\np = 4\n",
+    );
+    let cache = dir.join("cache").display().to_string();
+    let out = psse(&[
+        "lab",
+        "run",
+        "--spec",
+        &spec,
+        "--cache",
+        &cache,
+        "--profile",
+        "off",
+    ]);
+    assert!(out.status.success(), "{}", stderr_line(&out));
+
+    let out = psse(&["lab", "fsck", "--cache", &cache]);
+    assert!(out.status.success(), "clean cache: {}", stderr_line(&out));
+
+    let rec = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "rec"))
+        .unwrap();
+    std::fs::write(&rec, "garbage\n").unwrap();
+    let out = psse(&["lab", "fsck", "--cache", &cache]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_line(&out).contains("corrupt"),
+        "{}",
+        stderr_line(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_and_faults_failures_exit_nonzero() {
+    let out = psse(&["trace", "replay", "--in", "/nonexistent/run.trace"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_line(&out).starts_with("error:"));
+    let out = psse(&[
+        "faults",
+        "sweep",
+        "--q",
+        "2",
+        "--c-list",
+        "1",
+        "--n",
+        "16",
+        "--drop-rate",
+        "1.5",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_line(&out).starts_with("error:"));
+    let out = psse(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_line(&out).contains("unknown subcommand"));
+}

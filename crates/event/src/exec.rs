@@ -273,6 +273,14 @@ impl EventMachine {
         let mut errors: Vec<(usize, SimError)> = Vec::new();
         let mut out: Vec<Outgoing> = Vec::new();
         while let Some(Reverse(key)) = heap.pop() {
+            // Cooperative cancellation: a watchdog can abandon a hung
+            // sweep between scheduler turns (the loop never sleeps, so
+            // one check per pop is cheap and prompt).
+            if let Some(flag) = &cfg.cancel {
+                if flag.is_cancelled() {
+                    return Err(SimError::Cancelled);
+                }
+            }
             let r = key.rank;
             if slots[r].status != Status::Runnable {
                 continue;
@@ -335,6 +343,13 @@ impl EventMachine {
         let mut runnable: Vec<usize> = (0..p).collect();
         let mut errors: Vec<(usize, SimError)> = Vec::new();
         while !runnable.is_empty() {
+            // Same cooperative cancellation point as the serial loop,
+            // checked once per round.
+            if let Some(flag) = &cfg.cancel {
+                if flag.is_cancelled() {
+                    return Err(SimError::Cancelled);
+                }
+            }
             let cursor = AtomicUsize::new(0);
             let n_workers = workers.min(runnable.len());
             // One delivery buffer per worker; merged in worker order

@@ -1,23 +1,34 @@
 //! Content-addressed result cache: in-memory memoization with optional
-//! one-line-per-record persistence.
+//! one-line-per-record persistence and self-healing integrity checks.
 //!
 //! Keys are [`RunKey`](crate::key::RunKey) digests (32 hex chars);
 //! values are [`RunResult`]s. The in-memory layer is a bounded map with
 //! FIFO eviction; the optional disk layer stores each record as a file
-//! named after its digest so concurrent writers never interleave, and
-//! treats unreadable records as misses.
+//! named after its digest so concurrent writers never interleave.
 //!
-//! Counters (hits / misses / evictions) are for the human-readable run
-//! summary only. Under a parallel pool two workers may race on the same
-//! duplicated key and both miss, so counter values can vary by ±ε with
-//! thread count — result *bytes* never do.
+//! Every disk record carries a trailing splitmix64 checksum computed
+//! over `"{digest} {v1-line}"` — binding the record to its *filename*
+//! as well as its bytes, so a record copied under the wrong digest, a
+//! torn write, or bit rot all fail verification. A record that fails is
+//! **quarantined** (moved into a `quarantine/` subdirectory, never
+//! deleted), counted in [`CacheStats::corrupt`], and the run is simply
+//! recomputed; forensics survive, output bytes never change.
+//!
+//! Counters (hits / misses / evictions / corrupt) are for the
+//! human-readable run summary only. Under a parallel pool two workers
+//! may race on the same duplicated key and both miss, so counter values
+//! can vary by ±ε with thread count — result *bytes* never do.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
-use crate::result::RunResult;
+use crate::result::{line_checksum, RunResult};
+
+/// Name of the subdirectory corrupt records are moved into (next to the
+/// `.rec` files). Never garbage-collected, never deleted by the lab.
+pub const QUARANTINE_SUBDIR: &str = "quarantine";
 
 /// Snapshot of cache activity for the run summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +39,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// In-memory records dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Disk records that failed checksum/parse verification on read.
+    pub corrupt: u64,
+    /// Corrupt records successfully moved into `quarantine/` (≤
+    /// `corrupt`: the move can fail on a read-only directory).
+    pub quarantined: u64,
 }
 
 impl CacheStats {
@@ -55,6 +71,53 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    corrupt: AtomicU64,
+    quarantined: AtomicU64,
+    /// Digests whose disk record was found corrupt (and possibly left
+    /// in place because quarantining failed, e.g. read-only dir): never
+    /// re-read, so a bad record is paid for exactly once.
+    bad: Mutex<std::collections::HashSet<String>>,
+    /// Set after the first failed disk write: the cache degrades to
+    /// memory-only memoization instead of failing every run.
+    disk_dead: AtomicBool,
+}
+
+/// Encode a disk record: the `v1` result line plus a trailing checksum
+/// over `"{digest} {line}"`, binding content to filename.
+fn encode_record(digest: &str, result: &RunResult) -> String {
+    let line = result.to_line();
+    let sum = line_checksum(&format!("{digest} {line}"));
+    format!("{line} {sum:016x}\n")
+}
+
+/// Decode and verify a disk record read from `{digest}.rec`. `None` on
+/// any malformation: missing/short checksum, checksum mismatch (torn
+/// write, bit rot, record under the wrong filename), or an unparseable
+/// result line.
+fn decode_record(digest: &str, text: &str) -> Option<RunResult> {
+    let text = text.trim_end();
+    let (line, sum_hex) = text.rsplit_once(' ')?;
+    if sum_hex.len() != 16 {
+        return None;
+    }
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    if sum != line_checksum(&format!("{digest} {line}")) {
+        return None;
+    }
+    RunResult::from_line(line)
+}
+
+/// Move `{digest}.rec` into `dir/quarantine/`, creating the
+/// subdirectory on demand. Returns whether the move succeeded (it can
+/// fail on a read-only directory; the record is then left in place).
+fn quarantine_record(dir: &Path, digest: &str) -> bool {
+    let qdir = dir.join(QUARANTINE_SUBDIR);
+    std::fs::create_dir_all(&qdir).is_ok()
+        && std::fs::rename(
+            dir.join(format!("{digest}.rec")),
+            qdir.join(format!("{digest}.rec")),
+        )
+        .is_ok()
 }
 
 impl ResultCache {
@@ -71,6 +134,10 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            bad: Mutex::new(std::collections::HashSet::new()),
+            disk_dead: AtomicBool::new(false),
         }
     }
 
@@ -78,21 +145,48 @@ impl ResultCache {
         dir.join(format!("{digest}.rec"))
     }
 
-    /// Look up a digest; counts a hit or a miss.
+    /// Look up a digest; counts a hit or a miss. A disk record that
+    /// fails verification is quarantined on first sight (see the module
+    /// docs) and the lookup is a miss — so the caller recomputes and
+    /// output bytes are unaffected.
     pub fn get(&self, digest: &str) -> Option<RunResult> {
         {
-            let mem = self.mem.lock().unwrap();
+            // A worker panic while holding the lock must not poison the
+            // whole sweep's memoization.
+            let mem = self.mem.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(r) = mem.map.get(digest) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(*r);
             }
         }
         if let Some(dir) = &self.dir {
-            if let Ok(text) = std::fs::read_to_string(Self::record_path(dir, digest)) {
-                if let Some(r) = RunResult::from_line(text.trim_end()) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    self.insert_mem(digest, r);
-                    return Some(r);
+            let known_bad = self
+                .bad
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .contains(digest);
+            if !known_bad {
+                if let Ok(text) = std::fs::read_to_string(Self::record_path(dir, digest)) {
+                    match decode_record(digest, &text) {
+                        Some(r) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            self.insert_mem(digest, r);
+                            return Some(r);
+                        }
+                        None => {
+                            // Corrupt: quarantine once, remember the
+                            // digest so it is never re-read (the move
+                            // can fail on a read-only dir).
+                            self.corrupt.fetch_add(1, Ordering::Relaxed);
+                            if quarantine_record(dir, digest) {
+                                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.bad
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .insert(digest.to_string());
+                        }
+                    }
                 }
             }
         }
@@ -101,7 +195,7 @@ impl ResultCache {
     }
 
     fn insert_mem(&self, digest: &str, result: RunResult) {
-        let mut mem = self.mem.lock().unwrap();
+        let mut mem = self.mem.lock().unwrap_or_else(PoisonError::into_inner);
         if mem.map.contains_key(digest) {
             return;
         }
@@ -116,22 +210,43 @@ impl ResultCache {
     }
 
     /// Store a result under its digest (memory + disk when configured).
-    /// Disk write failures are reported but non-fatal: the run already
-    /// succeeded, so the caller's results are intact either way.
+    ///
+    /// Disk write failures are non-fatal: the first one prints a single
+    /// warning to stderr and the cache degrades to memory-only
+    /// memoization — the sweep's results are intact either way. The
+    /// returned error reports that first failure so callers that *want*
+    /// to surface it can.
     pub fn put(&self, digest: &str, result: RunResult) -> Result<(), String> {
         self.insert_mem(digest, result);
         if let Some(dir) = &self.dir {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
-            let path = Self::record_path(dir, digest);
-            // Write-then-rename so a concurrent reader never sees a
-            // truncated record; names include the digest so two writers
-            // of the same key write identical bytes anyway.
-            let tmp = dir.join(format!("{digest}.tmp{}", std::process::id()));
-            std::fs::write(&tmp, format!("{}\n", result.to_line()))
-                .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-            std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+            if self.disk_dead.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            if let Err(e) = Self::disk_put(dir, digest, &result) {
+                if !self.disk_dead.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: cache dir {} is unwritable ({e}); \
+                         continuing with memory-only memoization",
+                        dir.display()
+                    );
+                    return Err(e);
+                }
+            }
         }
+        Ok(())
+    }
+
+    fn disk_put(dir: &Path, digest: &str, result: &RunResult) -> Result<(), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
+        let path = Self::record_path(dir, digest);
+        // Write-then-rename so a concurrent reader never sees a
+        // truncated record; names include the digest so two writers
+        // of the same key write identical bytes anyway.
+        let tmp = dir.join(format!("{digest}.tmp{}", std::process::id()));
+        std::fs::write(&tmp, encode_record(digest, result))
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
         Ok(())
     }
 
@@ -141,6 +256,8 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +287,10 @@ pub struct GcReport {
     pub bytes_before: u64,
     /// Total record bytes after the sweep.
     pub bytes_after: u64,
+    /// Records sitting in `quarantine/` — reported, never evicted.
+    pub quarantined: u64,
+    /// Total bytes held by quarantined records.
+    pub quarantined_bytes: u64,
 }
 
 /// Size/age-bounded eviction over a persistent cache directory.
@@ -180,6 +301,10 @@ pub struct GcReport {
 /// modification time with the file name as a deterministic tie-break.
 /// Concurrent writers are safe: a record that disappears mid-sweep is
 /// skipped, and an evicted record is merely a future cache miss.
+///
+/// The `quarantine/` subdirectory is never swept — corrupt records are
+/// evidence, not garbage — but its contents are counted in the report
+/// so an operator sees them pile up.
 pub fn gc_dir(dir: &Path, cfg: &GcConfig) -> Result<GcReport, String> {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
@@ -246,6 +371,83 @@ pub fn gc_dir(dir: &Path, cfg: &GcConfig) -> Result<GcReport, String> {
             report.evicted += 1;
             report.bytes_after -= len;
         }
+    }
+    // Count (never touch) the quarantine.
+    if let Ok(qentries) = std::fs::read_dir(dir.join(QUARANTINE_SUBDIR)) {
+        for entry in qentries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    report.quarantined += 1;
+                    report.quarantined_bytes += meta.len();
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// What an offline [`fsck_dir`] verification pass found (and, unless
+/// `dry_run`, repaired by quarantining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// `.rec` records examined.
+    pub scanned: u64,
+    /// Records whose checksum and result line verified.
+    pub ok: u64,
+    /// Records that failed verification.
+    pub corrupt: u64,
+    /// Corrupt records moved into `quarantine/` this pass (0 under
+    /// `dry_run`; can trail `corrupt` if a move fails).
+    pub quarantined: u64,
+    /// Records already sitting in `quarantine/` before this pass.
+    pub previously_quarantined: u64,
+}
+
+/// Offline cache verification: read every `*.rec` record in `dir`,
+/// verify its trailing checksum against its filename digest and parse
+/// the result line, and quarantine (never delete) everything that
+/// fails. With `dry_run` the pass only reports. A missing directory is
+/// an empty, successful pass.
+///
+/// The scan order is sorted by file name so reports are deterministic.
+pub fn fsck_dir(dir: &Path, dry_run: bool) -> Result<FsckReport, String> {
+    let mut report = FsckReport::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(report),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|e| e == "rec").unwrap_or(false))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let digest = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        report.scanned += 1;
+        let good = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| decode_record(&digest, &text))
+            .is_some();
+        if good {
+            report.ok += 1;
+        } else {
+            report.corrupt += 1;
+            if !dry_run && quarantine_record(dir, &digest) {
+                report.quarantined += 1;
+            }
+        }
+    }
+    if let Ok(qentries) = std::fs::read_dir(dir.join(QUARANTINE_SUBDIR)) {
+        report.previously_quarantined = qentries
+            .flatten()
+            .filter(|e| e.metadata().map(|m| m.is_file()).unwrap_or(false))
+            .count() as u64
+            - report.quarantined;
     }
     Ok(report)
 }
@@ -382,9 +584,118 @@ mod tests {
         let cache = ResultCache::new(16, Some(dir.clone()));
         assert_eq!(cache.get("deadbeef"), Some(r(4.0)));
         assert_eq!(cache.stats().hits, 1);
-        // Corrupt record reads as a miss, not an error.
+        // Corrupt record reads as a miss and is quarantined, not deleted.
         std::fs::write(dir.join("ffff.rec"), "garbage\n").unwrap();
         assert!(cache.get("ffff").is_none());
+        let s = cache.stats();
+        assert_eq!((s.corrupt, s.quarantined), (1, 1));
+        assert!(!dir.join("ffff.rec").exists(), "moved out of the cache");
+        assert!(
+            dir.join(QUARANTINE_SUBDIR).join("ffff.rec").exists(),
+            "preserved for forensics"
+        );
+        // Second lookup: still a miss, but the record is not re-read
+        // and the corrupt counter does not climb.
+        assert!(cache.get("ffff").is_none());
+        assert_eq!(cache.stats().corrupt, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_bound_to_wrong_filename_is_quarantined() {
+        // A bit-perfect record copied under a different digest must not
+        // verify: the checksum covers the filename digest too.
+        let dir = std::env::temp_dir().join(format!("psse-lab-cache-xname-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(16, Some(dir.clone()));
+        cache.put("aaaa", r(1.0)).unwrap();
+        std::fs::copy(dir.join("aaaa.rec"), dir.join("bbbb.rec")).unwrap();
+        let fresh = ResultCache::new(16, Some(dir.clone()));
+        assert!(fresh.get("bbbb").is_none());
+        assert_eq!(fresh.stats().corrupt, 1);
+        assert!(dir.join(QUARANTINE_SUBDIR).join("bbbb.rec").exists());
+        // The genuine record still verifies.
+        assert_eq!(fresh.get("aaaa"), Some(r(1.0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_reports_quarantine_without_touching_it() {
+        let dir = std::env::temp_dir().join(format!("psse-lab-gc-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join(QUARANTINE_SUBDIR)).unwrap();
+        write_aged(&dir, "live", 40, 7200);
+        std::fs::write(dir.join(QUARANTINE_SUBDIR).join("bad.rec"), "garbage\n").unwrap();
+        // Evict everything evictable: the quarantined record must
+        // survive and be reported separately.
+        let report = gc_dir(
+            &dir,
+            &GcConfig {
+                max_bytes: Some(0),
+                ..GcConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!((report.scanned, report.evicted), (1, 1));
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.quarantined_bytes, 8);
+        assert!(!dir.join("live.rec").exists());
+        assert!(dir.join(QUARANTINE_SUBDIR).join("bad.rec").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_verifies_quarantines_and_reports() {
+        let dir = std::env::temp_dir().join(format!("psse-lab-fsck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(16, Some(dir.clone()));
+        cache.put("good", r(1.0)).unwrap();
+        cache.put("torn", r(2.0)).unwrap();
+        // Truncate one record mid-line, plant one unparseable one.
+        let torn = std::fs::read_to_string(dir.join("torn.rec")).unwrap();
+        std::fs::write(dir.join("torn.rec"), &torn[..torn.len() / 2]).unwrap();
+        std::fs::write(dir.join("junk.rec"), "not a record\n").unwrap();
+
+        let dry = fsck_dir(&dir, true).unwrap();
+        assert_eq!((dry.scanned, dry.ok, dry.corrupt), (3, 1, 2));
+        assert_eq!(dry.quarantined, 0, "dry run moves nothing");
+        assert!(dir.join("junk.rec").exists());
+
+        let real = fsck_dir(&dir, false).unwrap();
+        assert_eq!((real.scanned, real.ok, real.corrupt), (3, 1, 2));
+        assert_eq!(real.quarantined, 2);
+        assert!(dir.join("good.rec").exists());
+        assert!(dir.join(QUARANTINE_SUBDIR).join("torn.rec").exists());
+        assert!(dir.join(QUARANTINE_SUBDIR).join("junk.rec").exists());
+
+        // A second pass sees a clean cache and the old quarantine.
+        let again = fsck_dir(&dir, false).unwrap();
+        assert_eq!((again.scanned, again.ok, again.corrupt), (1, 1, 0));
+        assert_eq!(again.previously_quarantined, 2);
+        // Missing directory: empty pass.
+        assert_eq!(
+            fsck_dir(&dir.join("nope"), false).unwrap(),
+            FsckReport::default()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_degrades_to_memory_only() {
+        // Point the disk layer at a path that cannot be a directory (a
+        // regular file), so every write fails: the cache must keep
+        // memoizing in memory and keep returning Ok after warning once.
+        let base = std::env::temp_dir().join(format!("psse-lab-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let not_a_dir = base.join("file");
+        std::fs::write(&not_a_dir, "occupied").unwrap();
+        let cache = ResultCache::new(16, Some(not_a_dir.clone()));
+        let first = cache.put("aa", r(1.0));
+        assert!(first.is_err(), "first failure is reported");
+        assert!(cache.put("bb", r(2.0)).is_ok(), "then degraded quietly");
+        assert_eq!(cache.get("aa"), Some(r(1.0)), "memory layer still works");
+        assert_eq!(cache.get("bb"), Some(r(2.0)));
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -42,6 +42,7 @@
 pub mod cache;
 pub mod csvout;
 pub mod error;
+pub mod journal;
 pub mod key;
 pub mod pareto;
 pub mod pool;
@@ -66,6 +67,13 @@ pub struct LabConfig {
     pub cache_dir: Option<PathBuf>,
     /// In-memory cache capacity (records; FIFO eviction beyond it).
     pub cache_capacity: usize,
+    /// Per-run wall-clock watchdog for simulator runs: a run that
+    /// exceeds the budget is cancelled cooperatively and recorded as a
+    /// deterministic `timeout: ...` failure while the rest of the sweep
+    /// continues. `None` (the default) never cancels. Wall-clock only —
+    /// the timeout is deliberately *not* part of the run identity, so
+    /// it never perturbs cache digests.
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl Default for LabConfig {
@@ -74,6 +82,7 @@ impl Default for LabConfig {
             jobs: 0,
             cache_dir: None,
             cache_capacity: 65_536,
+            timeout: None,
         }
     }
 }
@@ -112,18 +121,88 @@ impl SweepResults {
 pub struct Lab {
     config: LabConfig,
     cache: ResultCache,
+    journal: Option<journal::Journal>,
 }
 
 impl Lab {
     /// Build an engine with the given configuration.
     pub fn new(config: LabConfig) -> Lab {
         let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone());
-        Lab { config, cache }
+        Lab {
+            config,
+            cache,
+            journal: None,
+        }
+    }
+
+    /// Attach a sweep journal: every successful run (fresh or cached)
+    /// is appended as a checksummed line, so a killed process resumes
+    /// via [`Lab::seed`] + [`journal::Journal::open_resume`] instead of
+    /// restarting.
+    pub fn set_journal(&mut self, journal: journal::Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Pre-load `digest → result` pairs (typically a journal replay)
+    /// into the cache, so the next sweep treats them as hits. Results
+    /// round-trip bit-exactly, which is what keeps a resumed CSV
+    /// byte-identical to an uninterrupted one.
+    pub fn seed(&self, replayed: &std::collections::HashMap<String, RunResult>) {
+        for (digest, result) in replayed {
+            let _ = self.cache.put(digest, *result);
+        }
     }
 
     /// The resolved worker count this engine will use.
     pub fn jobs(&self) -> usize {
         pool::resolve_jobs(self.config.jobs)
+    }
+
+    /// One key, end to end: cache lookup, watched execution with panic
+    /// containment, cache fill, journal append. Returns the outcome and
+    /// whether it was served from cache.
+    fn run_one(
+        &self,
+        key: &RunKey,
+        registry: Option<&psse_metrics::Registry>,
+    ) -> (Result<RunResult, String>, bool) {
+        let digest = key.digest();
+        if let Some(hit) = self.cache.get(&digest) {
+            if let Some(j) = &self.journal {
+                j.record(&digest, &hit);
+            }
+            return (Ok(hit), true);
+        }
+        // A panicking run fails alone: the payload becomes this key's
+        // deterministic error string and the sweep carries on.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Test-only failpoint so panic containment is testable
+            // without depending on any real algorithm panicking.
+            #[cfg(test)]
+            if key.alg == "__panic" {
+                panic!("injected failure for `__panic`");
+            }
+            runner::execute_watched(key, registry, self.config.timeout)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(format!("panic: {msg}"))
+        });
+        match executed {
+            Ok(result) => {
+                // Persistence problems are non-fatal: the run succeeded.
+                let _ = self.cache.put(&digest, result);
+                if let Some(j) = &self.journal {
+                    j.record(&digest, &result);
+                }
+                (Ok(result), false)
+            }
+            Err(e) => (Err(e), false),
+        }
     }
 
     /// Execute an explicit key list; results come back in input order
@@ -132,16 +211,7 @@ impl Lab {
     /// (modulo benign races between workers — counters may vary, bytes
     /// never do).
     pub fn run_keys(&self, keys: &[RunKey]) -> Vec<Result<RunResult, String>> {
-        pool::run_ordered(self.jobs(), keys, |_, key| {
-            let digest = key.digest();
-            if let Some(hit) = self.cache.get(&digest) {
-                return Ok(hit);
-            }
-            let result = runner::execute(key)?;
-            // Persistence problems are non-fatal: the run succeeded.
-            let _ = self.cache.put(&digest, result);
-            Ok(result)
-        })
+        pool::run_ordered(self.jobs(), keys, |_, key| self.run_one(key, None).0)
     }
 
     /// [`Lab::run_keys`] plus a self-profile: host wall-clock per key,
@@ -155,17 +225,7 @@ impl Lab {
     ) -> (Vec<Result<RunResult, String>>, selfprof::SweepProfile) {
         let registry = psse_metrics::Registry::new();
         let (outcomes, pool_profile) = pool::run_ordered_timed(self.jobs(), keys, |_, key| {
-            let digest = key.digest();
-            if let Some(hit) = self.cache.get(&digest) {
-                return (Ok(hit), true);
-            }
-            match runner::execute_into(key, Some(&registry)) {
-                Ok(result) => {
-                    let _ = self.cache.put(&digest, result);
-                    (Ok(result), false)
-                }
-                Err(e) => (Err(e), false),
-            }
+            self.run_one(key, Some(&registry))
         });
         let mut results = Vec::with_capacity(outcomes.len());
         let mut cached = Vec::with_capacity(outcomes.len());
@@ -195,6 +255,18 @@ impl Lab {
             c_res_words.add(r.resilience_words);
             c_res_msgs.add(r.resilience_msgs);
         }
+        // Cache-integrity incidents surface in the metrics registry as
+        // well as the summary line, so a service scraping profiles sees
+        // quarantine events without parsing stderr.
+        let cache_stats = self.cache.stats();
+        registry
+            .counter("cache.corrupt")
+            .expect("fresh registry")
+            .add(cache_stats.corrupt);
+        registry
+            .counter("cache.quarantined")
+            .expect("fresh registry")
+            .add(cache_stats.quarantined);
         let ok: Vec<bool> = results.iter().map(|r| r.is_ok()).collect();
         let labels = keys.iter().map(|k| (k.label(), k.digest())).collect();
         let profile = selfprof::SweepProfile::assemble(
@@ -202,7 +274,7 @@ impl Lab {
             labels,
             &cached,
             &ok,
-            self.cache.stats(),
+            cache_stats,
             &registry.snapshot(),
         );
         (results, profile)
@@ -244,15 +316,18 @@ impl Lab {
 
 /// The usual imports for lab users.
 pub mod prelude {
-    pub use crate::cache::{gc_dir, CacheStats, GcConfig, GcReport};
+    pub use crate::cache::{
+        fsck_dir, gc_dir, CacheStats, FsckReport, GcConfig, GcReport, QUARANTINE_SUBDIR,
+    };
     pub use crate::csvout::{pareto_csv, sweep_csv};
     pub use crate::error::LabError;
+    pub use crate::journal::{spec_digest, Journal};
     pub use crate::key::{RunKey, RunKind};
     pub use crate::pareto::{
         detect_scaling_range, pareto_indices, pareto_indices_naive, DetectedRange,
     };
-    pub use crate::result::{digest_f64s, RunResult};
-    pub use crate::runner::{execute, execute_into, model_algorithm};
+    pub use crate::result::{digest_f64s, line_checksum, RunResult};
+    pub use crate::runner::{execute, execute_into, execute_watched, model_algorithm};
     pub use crate::selfprof::{RunProfile, SweepProfile};
     pub use crate::spec::SweepSpec;
     pub use crate::{Lab, LabConfig, SweepResults};
@@ -317,6 +392,65 @@ mod tests {
         assert_eq!(keys_cold, keys_warm);
         let virt_warm = warm.metrics.get("virt.time_ns").expect("virt.time_ns");
         assert_eq!(virt_warm.get("count").and_then(|v| v.as_u64()), Some(8));
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_to_identical_results() {
+        let spec = SweepSpec::parse(
+            "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:6\nmem = 2000\nf = 10\n",
+        )
+        .unwrap();
+        let keys = spec.expand();
+        let sd = spec_digest(&keys);
+        let path =
+            std::env::temp_dir().join(format!("psse-lab-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Uninterrupted reference.
+        let reference = Lab::new(LabConfig::default()).run_spec(&spec);
+
+        // First attempt journals everything...
+        let mut lab = Lab::new(LabConfig::default());
+        lab.set_journal(Journal::create(&path, &sd).unwrap());
+        let first = lab.run_spec(&spec);
+        assert_eq!(first.results, reference.results);
+
+        // ...then "crash" by truncating the journal mid-line and resume.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+        let (journal, replayed) = Journal::open_resume(&path, &sd).unwrap();
+        assert!(!replayed.is_empty() && replayed.len() < keys.len());
+        let mut lab2 = Lab::new(LabConfig::default());
+        lab2.seed(&replayed);
+        lab2.set_journal(journal);
+        let resumed = lab2.run_spec(&spec);
+        assert_eq!(resumed.results, reference.results, "byte-identical resume");
+        // Replayed keys were served from the seeded cache.
+        assert!(lab2.cache_stats().hits >= replayed.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_key_fails_alone() {
+        use psse_core::machines::jaketown;
+        // `__panic` trips the test-only failpoint inside `run_one`: the
+        // injected panic must become *that key's* error string while
+        // every sibling key completes normally, for any worker count.
+        for jobs in [1, 3] {
+            let lab = Lab::new(LabConfig {
+                jobs,
+                ..LabConfig::default()
+            });
+            let good = RunKey::model("nbody", 1000, 10, jaketown());
+            let bad = RunKey::model("__panic", 1000, 10, jaketown());
+            let keys = vec![good.clone(), bad, good];
+            let results = lab.run_keys(&keys);
+            assert!(results[0].is_ok(), "jobs={jobs}: {:?}", results[0]);
+            assert!(results[2].is_ok(), "jobs={jobs}: {:?}", results[2]);
+            let err = results[1].as_ref().unwrap_err();
+            assert!(err.starts_with("panic:"), "jobs={jobs}: {err}");
+            assert!(err.contains("injected failure"), "jobs={jobs}: {err}");
+        }
     }
 
     #[test]

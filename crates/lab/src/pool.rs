@@ -5,9 +5,16 @@
 //! pre-sized output vector. The output is therefore in *input* order
 //! regardless of which worker finished when, which is what makes lab
 //! CSVs byte-identical for any `--jobs` value.
+//!
+//! Panic containment: a panic inside `f` is caught per item, the worker
+//! moves on, and every remaining item still runs. The first panic (by
+//! *input* index, so deterministically — not by wall-clock) is re-raised
+//! after reassembly. Callers that want a panic to become per-item data
+//! instead (the lab does) wrap their own `catch_unwind` inside `f`.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use psse_metrics::saturating_nanos;
@@ -33,8 +40,11 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 
 /// Map `f` over `items` using `jobs` worker threads, returning results
 /// in input order. `f` receives `(index, &item)`. With `jobs <= 1` the
-/// loop runs inline on the caller's thread (no pool overhead, and
-/// panics propagate directly — handy under test).
+/// loop runs inline on the caller's thread (no pool overhead).
+///
+/// A panicking item does not poison the pool: every other item still
+/// runs, and the lowest-index panic is re-raised once reassembly is
+/// complete (see the module docs).
 pub fn run_ordered<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
 where
     I: Sync,
@@ -95,17 +105,28 @@ where
     let jobs = jobs.max(1).min(items.len().max(1));
     let started = Instant::now();
     if jobs <= 1 {
+        // Inline path: same containment contract as the pool — finish
+        // every item, then re-raise the first panic.
         let mut item_ns = Vec::with_capacity(items.len());
-        let out: Vec<T> = items
-            .iter()
-            .enumerate()
-            .map(|(i, it)| {
-                let t0 = Instant::now();
-                let r = f(i, it);
-                item_ns.push(saturating_nanos(t0.elapsed().as_secs_f64()));
-                r
-            })
-            .collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut out: Vec<T> = Vec::with_capacity(items.len());
+        for (i, it) in items.iter().enumerate() {
+            let t0 = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| f(i, it))) {
+                Ok(r) => {
+                    item_ns.push(saturating_nanos(t0.elapsed().as_secs_f64()));
+                    out.push(r);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
         let busy: u64 = item_ns.iter().fold(0u64, |a, &b| a.saturating_add(b));
         let profile = PoolProfile {
             jobs: 1,
@@ -119,7 +140,11 @@ where
         return (out, profile);
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(T, u64)>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    // A slot holds the item's result or the panic payload `f` raised
+    // for it — so one bad item cannot leave any slot unfilled.
+    type SlotValue<T> = Result<(T, u64), Box<dyn std::any::Any + Send>>;
+    let slots: Vec<Mutex<Option<SlotValue<T>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     let spans: Vec<Mutex<WorkerSpan>> = (0..jobs)
         .map(|_| Mutex::new(WorkerSpan::default()))
         .collect();
@@ -137,33 +162,52 @@ where
                         break;
                     }
                     let t0 = Instant::now();
-                    let out = f(i, &items[i]);
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
                     let ns = saturating_nanos(t0.elapsed().as_secs_f64());
                     span.busy_ns = span.busy_ns.saturating_add(ns);
                     span.items += 1;
-                    *slots[i].lock().unwrap() = Some((out, ns));
+                    // A peer's panic while holding this lock cannot
+                    // happen (each slot has exactly one writer), but
+                    // poison tolerance costs nothing and keeps the
+                    // reassembly below total.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(out.map(|r| (r, ns)));
                 }
-                *spans[w].lock().unwrap() = span;
+                *spans[w].lock().unwrap_or_else(PoisonError::into_inner) = span;
             });
         }
     });
     let mut item_ns = Vec::with_capacity(items.len());
-    let out = slots
-        .into_iter()
-        .map(|slot| {
-            let (r, ns) = slot
-                .into_inner()
-                .unwrap()
-                .expect("worker pool filled every slot");
-            item_ns.push(ns);
-            r
-        })
-        .collect();
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in slots {
+        let filled = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .expect("worker pool filled every slot");
+        match filled {
+            Ok((r, ns)) => {
+                item_ns.push(ns);
+                out.push(r);
+            }
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
     let profile = PoolProfile {
         jobs,
         wall_ns: saturating_nanos(started.elapsed().as_secs_f64()),
         item_ns,
-        workers: spans.into_iter().map(|s| s.into_inner().unwrap()).collect(),
+        workers: spans
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect(),
     };
     (out, profile)
 }
@@ -205,6 +249,55 @@ mod tests {
     fn resolve_jobs_explicit_wins() {
         assert_eq!(resolve_jobs(3), 3);
         assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn panicking_item_does_not_stop_the_others() {
+        // One poisoned item out of 32: every other item must still run,
+        // and the panic must re-surface deterministically (it is the
+        // only one here) after the pool drains.
+        use std::sync::atomic::AtomicU64;
+        for jobs in [1, 4] {
+            let items: Vec<u64> = (0..32).collect();
+            let ran = AtomicU64::new(0);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_ordered(jobs, &items, |_, &x| {
+                    if x == 5 {
+                        panic!("item 5 is cursed");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }));
+            let payload = caught.expect_err("the panic must re-surface");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert!(msg.contains("cursed"), "{msg}");
+            assert_eq!(ran.load(Ordering::Relaxed), 31, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn first_panic_by_input_index_wins() {
+        // Several items panic; the re-raised payload must be the
+        // lowest-index one regardless of which worker hit which first.
+        let items: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(8, &items, |i, _| {
+                if i % 10 == 3 {
+                    panic!("panic at index {i}");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "panic at index 3");
     }
 
     #[test]

@@ -148,6 +148,23 @@ pub fn digest_f64s(values: &[f64]) -> u64 {
     psse_faults::rng::hash_key(0x6f75_7470_7574_6467, &words)
 }
 
+/// splitmix64 checksum of a line's raw bytes: length word, then the
+/// bytes packed into little-endian 8-byte chunks (the same packing the
+/// run-key digest uses for strings, so `"ab" + "c"` and `"a" + "bc"`
+/// cannot collide). Shared by the self-checksummed cache records and
+/// the sweep journal's torn-tail detection.
+pub fn line_checksum(line: &str) -> u64 {
+    let bytes = line.as_bytes();
+    let mut words = Vec::with_capacity(1 + bytes.len().div_ceil(8));
+    words.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words.push(u64::from_le_bytes(w));
+    }
+    psse_faults::rng::hash_key(0x7265_6331_6373_756d, &words) // "rec1csum"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +200,17 @@ mod tests {
         let mut line = RunResult::model(true, 1.0, 2.0, 3.0).to_line();
         line.push_str(" extra");
         assert!(RunResult::from_line(&line).is_none());
+    }
+
+    #[test]
+    fn line_checksum_is_length_prefixed_and_sensitive() {
+        let a = line_checksum("v1 1 1");
+        assert_eq!(a, line_checksum("v1 1 1"));
+        assert_ne!(a, line_checksum("v1 1 0"));
+        assert_ne!(a, line_checksum("v1 1 1 "));
+        // Length-prefixed packing: moving a byte across a chunk
+        // boundary changes the checksum.
+        assert_ne!(line_checksum("abcdefgh i"), line_checksum("abcdefghi "));
     }
 
     #[test]

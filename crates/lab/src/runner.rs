@@ -68,7 +68,76 @@ pub fn execute_into(
 ) -> Result<RunResult, String> {
     match key.kind {
         RunKind::Model => execute_model(key),
-        RunKind::Simulate => execute_simulate(key, registry),
+        RunKind::Simulate => execute_simulate(key, registry, None),
+    }
+}
+
+/// [`execute_into`] guarded by a wall-clock watchdog. When `timeout` is
+/// set and the key is a simulator run, a [`psse_sim::CancelFlag`] is
+/// threaded into the simulator config and tripped once the budget is
+/// exhausted: the hung run unwinds cooperatively (blocked receivers are
+/// woken through the poison machinery) and this function returns a
+/// deterministic `timeout: ...` error instead of hanging the sweep.
+/// Model runs are closed-form evaluations and never watched.
+pub fn execute_watched(
+    key: &RunKey,
+    registry: Option<&psse_metrics::Registry>,
+    timeout: Option<std::time::Duration>,
+) -> Result<RunResult, String> {
+    let Some(limit) = timeout else {
+        return execute_into(key, registry);
+    };
+    match key.kind {
+        RunKind::Model => execute_model(key),
+        RunKind::Simulate => {
+            use std::sync::{Arc, Condvar, Mutex, PoisonError};
+            let flag = psse_sim::CancelFlag::new();
+            // A zero budget is already exhausted; trip the flag before
+            // launch so the outcome does not race thread scheduling.
+            if limit.is_zero() {
+                flag.cancel();
+            }
+            // Condvar-armed watchdog: fires after `limit` unless the run
+            // finishes first (then it is woken and exits immediately, so
+            // a sweep of fast runs never accumulates sleeping threads).
+            let done = Arc::new((Mutex::new(false), Condvar::new()));
+            let watchdog = std::thread::spawn({
+                let flag = flag.clone();
+                let done = Arc::clone(&done);
+                move || {
+                    let (lock, cv) = &*done;
+                    let mut finished = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    let deadline = std::time::Instant::now() + limit;
+                    while !*finished {
+                        let left = deadline.saturating_duration_since(std::time::Instant::now());
+                        if left.is_zero() {
+                            flag.cancel();
+                            return;
+                        }
+                        let (guard, _) = cv
+                            .wait_timeout(finished, left)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        finished = guard;
+                    }
+                }
+            });
+            let r = execute_simulate(key, registry, Some(flag.clone()));
+            {
+                let (lock, cv) = &*done;
+                *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cv.notify_all();
+            }
+            let _ = watchdog.join();
+            match r {
+                // Any failure after the flag fired is the watchdog's
+                // doing; normalize to one deterministic message.
+                Err(_) if flag.is_cancelled() => Err(format!(
+                    "timeout: run exceeded the {:.3}s wall-clock budget and was cancelled",
+                    limit.as_secs_f64()
+                )),
+                other => other,
+            }
+        }
     }
 }
 
@@ -116,6 +185,7 @@ fn execute_model(key: &RunKey) -> Result<RunResult, String> {
 fn execute_simulate(
     key: &RunKey,
     registry: Option<&psse_metrics::Registry>,
+    cancel: Option<psse_sim::CancelFlag>,
 ) -> Result<RunResult, String> {
     let n = key.n as usize;
     let p = key.p as usize;
@@ -123,6 +193,10 @@ fn execute_simulate(
     let mut cfg = sim_config_from(&key.machine);
     cfg.faults = key.faults.clone();
     cfg.backend = key.backend;
+    // Watchdog hook: the flag never changes virtual costs (it is only
+    // consulted, never priced), so a watched run that completes is
+    // bit-identical to an unwatched one.
+    cfg.cancel = cancel;
 
     let (output_digest, verified, profile) = match key.alg.as_str() {
         "mm25d" | "mm25d-abft" | "summa" | "summa-abft" | "cannon" => {
@@ -263,6 +337,32 @@ mod tests {
         assert!(execute(&key).unwrap_err().contains("unknown model"));
         let key = RunKey::simulate("nope", 64, 4, jaketown());
         assert!(execute(&key).unwrap_err().contains("unknown simulator"));
+    }
+
+    #[test]
+    fn watched_run_with_headroom_is_bit_identical() {
+        let mut key = RunKey::simulate("mm25d", 32, 4, jaketown());
+        key.c = 1;
+        let plain = execute(&key).unwrap();
+        let watched =
+            execute_watched(&key, None, Some(std::time::Duration::from_secs(600))).unwrap();
+        assert_eq!(plain, watched);
+        // Model runs are never watched; same equivalence for free.
+        let mkey = RunKey::model("nbody", 1000, 10, jaketown());
+        assert_eq!(
+            execute(&mkey).unwrap(),
+            execute_watched(&mkey, None, Some(std::time::Duration::from_millis(1))).unwrap()
+        );
+    }
+
+    #[test]
+    fn exhausted_watchdog_budget_fails_with_timeout() {
+        let mut key = RunKey::simulate("mm25d", 32, 4, jaketown());
+        key.c = 1;
+        // A zero budget fires the watchdog before the first send.
+        let err = execute_watched(&key, None, Some(std::time::Duration::ZERO)).unwrap_err();
+        assert!(err.starts_with("timeout:"), "{err}");
+        assert!(err.contains("cancelled"), "{err}");
     }
 
     #[test]

@@ -124,6 +124,8 @@ impl SweepProfile {
                     ("hits", Json::Int(self.cache.hits as i128)),
                     ("misses", Json::Int(self.cache.misses as i128)),
                     ("evictions", Json::Int(self.cache.evictions as i128)),
+                    ("corrupt", Json::Int(self.cache.corrupt as i128)),
+                    ("quarantined", Json::Int(self.cache.quarantined as i128)),
                 ]),
             ),
             (
@@ -223,6 +225,8 @@ impl SweepProfile {
                 hits: int(cache_v, "hits")?,
                 misses: int(cache_v, "misses")?,
                 evictions: int(cache_v, "evictions")?,
+                corrupt: int(cache_v, "corrupt")?,
+                quarantined: int(cache_v, "quarantined")?,
             },
             metrics: v
                 .get("metrics")
@@ -325,6 +329,8 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 evictions: 0,
+                corrupt: 0,
+                quarantined: 0,
             },
             metrics: Json::obj(vec![(
                 "virt.time_ns",

@@ -66,6 +66,11 @@ pub struct SweepSpec {
     pub faults: Option<FaultPlan>,
     /// Simulator backend (`backend = threads|events`, default threads).
     pub backend: Backend,
+    /// Per-run wall-clock watchdog budget in seconds (`timeout = 30`).
+    /// `None` never cancels. Deliberately *not* part of [`RunKey`]
+    /// identity: it routes into [`crate::LabConfig::timeout`], so cache
+    /// digests and CSV bytes are unaffected by the budget chosen.
+    pub timeout: Option<f64>,
 }
 
 const MACHINE_KEYS: [&str; 10] = [
@@ -204,6 +209,7 @@ impl SweepSpec {
         let mut seed = 42u64;
         let mut clamp_mem = false;
         let mut backend = Backend::Threads;
+        let mut timeout: Option<f64> = None;
         let mut fault_vals: Vec<(usize, f64)> = Vec::new(); // (FAULT_KEYS index, value)
 
         for (i, raw) in text.lines().enumerate() {
@@ -252,6 +258,18 @@ impl SweepSpec {
                 "mem" => mem = parse_f64_list(value, lineno)?,
                 "f" => f = scalar(value)?,
                 "seed" => seed = scalar(value)? as u64,
+                "timeout" => {
+                    let v = scalar(value)?;
+                    if !(v > 0.0 && v.is_finite()) {
+                        return Err(LabError::spec(
+                            lineno,
+                            format!(
+                                "`timeout` must be a positive number of seconds, got `{value}`"
+                            ),
+                        ));
+                    }
+                    timeout = Some(v);
+                }
                 "clamp" => {
                     clamp_mem = match value {
                         "true" | "1" | "yes" => true,
@@ -360,6 +378,7 @@ impl SweepSpec {
             clamp_mem,
             faults,
             backend,
+            timeout,
         })
     }
 
@@ -523,6 +542,32 @@ mod tests {
         let err = SweepSpec::parse("kind = model\nalg = nbody\nn = 4\np = 2\nbackend = fibers\n")
             .unwrap_err();
         assert!(err.to_string().contains("fibers"), "{err}");
+    }
+
+    #[test]
+    fn timeout_key_parses_and_rejects_nonpositive() {
+        let spec = SweepSpec::parse("kind = simulate\nalg = mm25d\nn = 16\np = 8\ntimeout = 30\n")
+            .unwrap();
+        assert_eq!(spec.timeout, Some(30.0));
+        // Default: no watchdog.
+        let spec = SweepSpec::parse("kind = model\nalg = nbody\nn = 4\np = 2\n").unwrap();
+        assert_eq!(spec.timeout, None);
+        for bad in ["0", "-1", "nan", "inf"] {
+            let err = SweepSpec::parse(&format!(
+                "kind = model\nalg = nbody\nn = 4\np = 2\ntimeout = {bad}\n"
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("timeout"), "{bad}: {err}");
+        }
+        // The budget never perturbs run identity.
+        let with = SweepSpec::parse("kind = simulate\nalg = mm25d\nn = 16\np = 8\ntimeout = 30\n")
+            .unwrap();
+        let without = SweepSpec::parse("kind = simulate\nalg = mm25d\nn = 16\np = 8\n").unwrap();
+        let (kw, ko) = (with.expand(), without.expand());
+        assert_eq!(
+            kw.iter().map(|k| k.digest()).collect::<Vec<_>>(),
+            ko.iter().map(|k| k.digest()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -86,6 +86,76 @@ fn warm_cache_rerun_hits_95_percent_with_identical_bytes() {
 }
 
 #[test]
+fn sabotaged_cache_records_never_alter_csv_bytes() {
+    let dir = std::env::temp_dir().join(format!("psse-lab-sab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SweepSpec::parse(SPEC).unwrap();
+
+    let cold = lab(4, Some(dir.clone()));
+    let s_cold = cold.run_spec(&spec);
+    let csv_cold = sweep_csv(&s_cold.keys, &s_cold.results);
+    assert_eq!(s_cold.failures(), 0);
+
+    // Sabotage four records four different ways: empty file, truncated
+    // line, random garbage, and a valid record copied under the wrong
+    // digest filename (content/filename mismatch).
+    let mut recs: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rec"))
+        .collect();
+    recs.sort();
+    assert!(recs.len() >= 4, "expected ≥4 records, got {}", recs.len());
+    std::fs::write(&recs[0], "").unwrap();
+    let half = std::fs::read(&recs[1]).unwrap();
+    std::fs::write(&recs[1], &half[..half.len() / 2]).unwrap();
+    let stolen = std::fs::read(&recs[2]).unwrap();
+    std::fs::write(&recs[2], "not a record at all\n").unwrap();
+    std::fs::write(&recs[3], &stolen).unwrap(); // recs[2]'s bytes under recs[3]'s name
+
+    // A fresh engine re-reads the directory: every sabotaged record is
+    // a miss (recomputed), quarantined, and the CSV bytes are unchanged.
+    let warm = lab(4, Some(dir.clone()));
+    let s_warm = warm.run_spec(&spec);
+    assert_eq!(
+        sweep_csv(&s_warm.keys, &s_warm.results),
+        csv_cold,
+        "sabotaged records must never alter CSV bytes"
+    );
+    let stats = warm.cache_stats();
+    assert_eq!(stats.corrupt, 4, "{stats:?}");
+    assert_eq!(stats.quarantined, 4, "{stats:?}");
+    let qdir = dir.join(QUARANTINE_SUBDIR);
+    assert_eq!(std::fs::read_dir(&qdir).unwrap().count(), 4);
+
+    // The rewrite healed the cache: a third engine hits everything.
+    let healed = lab(4, Some(dir.clone()));
+    let s_healed = healed.run_spec(&spec);
+    assert_eq!(sweep_csv(&s_healed.keys, &s_healed.results), csv_cold);
+    assert_eq!(healed.cache_stats().corrupt, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_cache_dir_degrades_without_changing_bytes() {
+    // A cache "directory" that is actually a file: every disk write
+    // fails, the engine warns once and stays memory-only, and the CSV
+    // is byte-identical to the diskless run.
+    let path = std::env::temp_dir().join(format!("psse-lab-notadir-{}", std::process::id()));
+    std::fs::write(&path, "occupied").unwrap();
+    let spec = SweepSpec::parse(SPEC).unwrap();
+    let plain = lab(4, None).run_spec(&spec);
+    let degraded = lab(4, Some(path.clone())).run_spec(&spec);
+    assert_eq!(
+        sweep_csv(&plain.keys, &plain.results),
+        sweep_csv(&degraded.keys, &degraded.results),
+    );
+    assert_eq!(degraded.failures(), 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn simulator_sweep_is_order_stable_across_jobs() {
     use psse_core::machines::jaketown;
     let keys: Vec<RunKey> = (0..6)

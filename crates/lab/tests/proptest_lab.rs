@@ -117,7 +117,7 @@ proptest! {
         wall in any::<u64>(),
         runs_raw in prop::collection::vec((any::<u64>(), any::<bool>(), any::<bool>()), 0..12),
         workers_raw in prop::collection::vec((any::<u64>(), 0u64..1000), 0..8),
-        cache_raw in (any::<u64>(), any::<u64>(), any::<u64>()),
+        cache_raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         metric_vals in prop::collection::vec(any::<u64>(), 0..6),
     ) {
         let reg = Registry::new();
@@ -148,6 +148,8 @@ proptest! {
                 hits: cache_raw.0,
                 misses: cache_raw.1,
                 evictions: cache_raw.2,
+                corrupt: cache_raw.3,
+                quarantined: cache_raw.4,
             },
             metrics: reg.snapshot().to_json(),
         };
@@ -156,5 +158,58 @@ proptest! {
         prop_assert_eq!(&back, &profile);
         // Emission is canonical: re-serializing reproduces the bytes.
         prop_assert_eq!(back.to_json().to_string(), text);
+    }
+
+    /// Kill-resume identity: truncate the journal at *any* byte offset
+    /// — mid-header, mid-line, between lines — then resume, and the
+    /// final results and CSV bytes must match an uninterrupted sweep,
+    /// for any worker count.
+    #[test]
+    fn journal_resume_is_identical_for_any_cut(cut in 0.0f64..1.0, jobs in 1usize..5) {
+        let spec = SweepSpec::parse(
+            "kind = model\nalg = nbody\nn = 10000\np = geom:6:100:8\nmem = 2000\nf = 10\n",
+        )
+        .unwrap();
+        let keys = spec.expand();
+        let sd = spec_digest(&keys);
+        let path = std::env::temp_dir().join(format!(
+            "psse-lab-cutpt-{}-{}-{:016x}",
+            std::process::id(),
+            jobs,
+            cut.to_bits(),
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = || LabConfig { jobs, ..LabConfig::default() };
+        let reference = Lab::new(cfg()).run_spec(&spec);
+        let ref_csv = sweep_csv(&reference.keys, &reference.results);
+
+        // Journal a full sweep, then "kill" it at an arbitrary byte.
+        let mut lab = Lab::new(cfg());
+        lab.set_journal(Journal::create(&path, &sd).unwrap());
+        let first = lab.run_spec(&spec);
+        prop_assert_eq!(&first.results, &reference.results);
+        drop(lab);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut_at = ((bytes.len() as f64) * cut) as usize;
+        std::fs::write(&path, &bytes[..cut_at.min(bytes.len())]).unwrap();
+
+        // Resume: torn tails are truncated, torn headers start fresh.
+        let (journal, replayed) = Journal::open_resume(&path, &sd).unwrap();
+        let mut lab2 = Lab::new(cfg());
+        lab2.seed(&replayed);
+        lab2.set_journal(journal);
+        let resumed = lab2.run_spec(&spec);
+        prop_assert_eq!(&resumed.results, &reference.results);
+        let resumed_csv = sweep_csv(&resumed.keys, &resumed.results);
+        prop_assert_eq!(resumed_csv, ref_csv);
+
+        // The journal is whole again: a second resume replays every
+        // distinct key without re-running anything.
+        let distinct: std::collections::HashSet<String> =
+            keys.iter().map(|k| k.digest()).collect();
+        let (_, replayed2) = Journal::open_resume(&path, &sd).unwrap();
+        prop_assert_eq!(replayed2.len(), distinct.len());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -83,6 +83,10 @@ pub enum SimError {
         /// Attempts made (original send + retries).
         attempts: u32,
     },
+    /// The run was cancelled from outside through a
+    /// [`crate::machine::CancelFlag`] (e.g. a lab watchdog timeout)
+    /// before it could complete.
+    Cancelled,
     /// True deadlock, proven rather than timed out: every live rank is
     /// blocked in a receive and no blocked rank has a matching message
     /// queued, so no progress is possible. Raised by the event-driven
@@ -140,6 +144,9 @@ impl fmt::Display for SimError {
                 f,
                 "rank {rank} gave up sending to {dest} after {attempts} failed attempts"
             ),
+            SimError::Cancelled => {
+                write!(f, "run cancelled by an external watchdog before completion")
+            }
             SimError::Deadlock { rank, blocked } => {
                 write!(
                     f,
@@ -214,6 +221,7 @@ mod tests {
                 },
                 "[0, 1]",
             ),
+            (SimError::Cancelled, "cancelled"),
         ];
         for (e, frag) in cases {
             assert!(e.to_string().contains(frag), "{e}");

@@ -99,7 +99,7 @@ mod registry;
 pub mod seqmem;
 
 pub use error::SimError;
-pub use machine::{Backend, Machine, SimConfig, SimOutcome};
+pub use machine::{Backend, CancelFlag, Machine, SimConfig, SimOutcome};
 pub use message::{SharedPayload, Tag};
 pub use profile::{Profile, RankStats};
 pub use psse_faults::FaultPlan;
@@ -110,7 +110,7 @@ pub mod prelude {
     pub use crate::collectives::Group;
     pub use crate::error::SimError;
     pub use crate::grid::{Grid2, Grid3};
-    pub use crate::machine::{Backend, Machine, SimConfig, SimOutcome};
+    pub use crate::machine::{Backend, CancelFlag, Machine, SimConfig, SimOutcome};
     pub use crate::message::{SharedPayload, Tag};
     pub use crate::profile::{Profile, RankStats};
     pub use crate::rank::Rank;

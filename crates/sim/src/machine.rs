@@ -70,6 +70,36 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// A cooperative cancellation flag shared between a running
+/// [`Machine::run`] and an outside watchdog (e.g. the lab's
+/// `--timeout`).
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// flag. Once [`CancelFlag::cancel`] is called, ranks notice at their
+/// next send/receive, blocked receivers are woken through the existing
+/// poison machinery, and the run returns [`SimError::Cancelled`].
+/// Cancellation is sticky: the flag cannot be reset, so one flag serves
+/// at most one run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent and safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`CancelFlag::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Two-level machine hierarchy (paper Fig. 2): ranks are grouped into
 /// nodes of `cores_per_node` consecutive ids; messages between ranks of
 /// the same node use the (cheaper) intra-node link prices instead of the
@@ -129,6 +159,13 @@ pub struct SimConfig {
     /// `PSSE_POOL_IDLE_MAX` environment variable overrides this at run
     /// time.
     pub pool_idle_max: usize,
+    /// Optional cooperative cancellation hook. When set, a watchdog
+    /// thread inside [`Machine::run`] polls the flag and, once it fires,
+    /// poisons the run exactly as a failing rank would: blocked
+    /// receivers wake immediately and the run returns
+    /// [`SimError::Cancelled`]. `None` (the default) adds no thread and
+    /// no per-operation cost beyond one branch.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for SimConfig {
@@ -146,6 +183,7 @@ impl Default for SimConfig {
             backend: Backend::Threads,
             pool_idle_floor: crate::pool::IDLE_FLOOR,
             pool_idle_max: crate::pool::IDLE_CAP,
+            cancel: None,
         }
     }
 }
@@ -245,6 +283,34 @@ impl Machine {
         let mut slots: Vec<Option<SimResult<RankOutput<R>>>> = Vec::with_capacity(p);
         slots.resize_with(p, || None);
 
+        // A watchdog thread exists only when a cancel hook was supplied.
+        // It polls the flag (wall-clock, never virtual time) and, the
+        // moment it fires, raises the same poison protocol a failing
+        // rank would — so receivers parked on a mailbox condvar wake
+        // immediately instead of draining their recv_timeout.
+        let monitor_done = Arc::new(AtomicBool::new(false));
+        let monitor = cfg.cancel.clone().map(|flag| {
+            let poison = Arc::clone(&poison);
+            let mailboxes = Arc::clone(&mailboxes);
+            let registry = registry.clone();
+            let done = Arc::clone(&monitor_done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    if flag.is_cancelled() {
+                        poison.store(true, Ordering::SeqCst);
+                        for mb in mailboxes.iter() {
+                            mb.wake();
+                        }
+                        if let Some(reg) = registry.as_deref() {
+                            reg.poison();
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        });
+
         {
             let mut crew = Crew::with_limits(floor, cap);
             for (id, slot) in slots.iter_mut().enumerate() {
@@ -308,6 +374,10 @@ impl Machine {
             // Crew's destructor blocks until every rank job has finished
             // (and been dropped), the scoped-spawn guarantee the borrows
             // of `f` and `slots` above rely on.
+        }
+        if let Some(handle) = monitor {
+            monitor_done.store(true, Ordering::SeqCst);
+            let _ = handle.join();
         }
 
         let mut results = Vec::with_capacity(p);
@@ -604,6 +674,110 @@ mod tests {
             Machine::run(1, cfg, |_| Ok(())),
             Err(SimError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn cancelled_flag_aborts_a_parked_recv_promptly() {
+        // Rank 1 parks in a recv that will never be satisfied; the
+        // watchdog flag must wake it long before recv_timeout and the
+        // run must report Cancelled (not PeerFailed/RecvFailed).
+        let flag = CancelFlag::new();
+        let cfg = SimConfig {
+            recv_timeout: Duration::from_secs(30),
+            cancel: Some(flag.clone()),
+            ..SimConfig::default()
+        };
+        let canceller = std::thread::spawn({
+            let flag = flag.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(50));
+                flag.cancel();
+            }
+        });
+        let start = std::time::Instant::now();
+        let r: SimResult<SimOutcome<Vec<f64>>> = Machine::run(2, cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.recv(1, Tag(0))
+            } else {
+                rank.recv(0, Tag(0))
+            }
+        });
+        canceller.join().unwrap();
+        assert!(matches!(r, Err(SimError::Cancelled)), "{r:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancel must not wait out recv_timeout: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancelled_flag_aborts_events_backend_recv() {
+        let flag = CancelFlag::new();
+        let cfg = SimConfig {
+            backend: Backend::Events,
+            recv_timeout: Duration::from_secs(3600),
+            cancel: Some(flag.clone()),
+            ..SimConfig::default()
+        };
+        let canceller = std::thread::spawn({
+            let flag = flag.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(50));
+                flag.cancel();
+            }
+        });
+        // One rank computes forever-ish while the other waits on it, so
+        // the deadlock prover cannot fire before the cancel does.
+        let r: SimResult<SimOutcome<Vec<f64>>> =
+            Machine::run(2, cfg, |rank| rank.recv(1 - rank.rank(), Tag(7)));
+        canceller.join().unwrap();
+        // The deadlock prover races the watchdog here; either diagnosis
+        // is sound, but a pre-cancelled flag must always win (below).
+        assert!(
+            matches!(r, Err(SimError::Cancelled) | Err(SimError::Deadlock { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_flag_fails_fast_with_cancelled() {
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let cfg = SimConfig {
+            cancel: Some(flag),
+            ..SimConfig::default()
+        };
+        let r: SimResult<SimOutcome<()>> = Machine::run(2, cfg, |rank| {
+            rank.send(1 - rank.rank(), Tag(0), vec![1.0])?;
+            rank.recv(1 - rank.rank(), Tag(0))?;
+            Ok(())
+        });
+        assert!(matches!(r, Err(SimError::Cancelled)), "{r:?}");
+    }
+
+    #[test]
+    fn unused_cancel_flag_changes_nothing() {
+        // A configured-but-never-fired flag must leave results and the
+        // profile identical to a run without one.
+        let run = |cancel: Option<CancelFlag>| {
+            let cfg = SimConfig {
+                cancel,
+                ..SimConfig::default()
+            };
+            Machine::run(4, cfg, |rank| {
+                let right = (rank.rank() + 1) % rank.size();
+                let left = (rank.rank() + rank.size() - 1) % rank.size();
+                rank.compute(100);
+                rank.sendrecv(right, Tag(1), vec![rank.rank() as f64; 8], left, Tag(1))
+                    .map(|b| b[0])
+            })
+            .unwrap()
+        };
+        let plain = run(None);
+        let flagged = run(Some(CancelFlag::new()));
+        assert_eq!(plain.results, flagged.results);
+        assert_eq!(plain.profile, flagged.profile);
     }
 
     #[test]

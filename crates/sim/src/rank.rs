@@ -396,6 +396,17 @@ impl Rank {
         Ok(())
     }
 
+    /// Surface an external cancellation request ([`crate::CancelFlag`])
+    /// as an error at the next communication point. One relaxed-ish
+    /// atomic load when a flag is configured; a plain `None` branch
+    /// otherwise.
+    fn check_cancelled(&self) -> SimResult<()> {
+        match &self.cfg.cancel {
+            Some(flag) if flag.is_cancelled() => Err(SimError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
     fn check_peer(&self, peer: usize) -> SimResult<()> {
         if peer >= self.p {
             return Err(SimError::RankOutOfRange {
@@ -445,6 +456,7 @@ impl Rank {
     /// [`Rank::send`].
     pub fn send_shared(&mut self, dest: usize, tag: Tag, payload: SharedPayload) -> SimResult<()> {
         self.check_peer(dest)?;
+        self.check_cancelled()?;
         self.fail_if_crashed()?;
         let t0 = self.time;
         if dest == self.id {
@@ -562,6 +574,7 @@ impl Rank {
     /// onward in a ring or tree.
     pub fn recv_shared(&mut self, src: usize, tag: Tag) -> SimResult<SharedPayload> {
         self.check_peer(src)?;
+        self.check_cancelled()?;
         self.fail_if_crashed()?;
         let t0 = self.time;
         let env = match &self.registry {
@@ -575,6 +588,10 @@ impl Rank {
                     None => match reg.block_until_ready(self.id, src, tag, &self.mailboxes) {
                         BlockOutcome::Ready => continue,
                         BlockOutcome::Poisoned => {
+                            // Distinguish an external cancellation from
+                            // a failing peer: the watchdog poisons the
+                            // run through the same wakeup path.
+                            self.check_cancelled()?;
                             return Err(SimError::PeerFailed(format!(
                                 "rank {} abandoned recv from {src}: a peer rank failed",
                                 self.id
@@ -597,6 +614,9 @@ impl Rank {
                 match self.mailboxes[self.id].recv(src, tag, deadline, &self.poison) {
                     RecvWait::Message(env) => env,
                     RecvWait::Poisoned => {
+                        // An external cancellation wakes receivers via
+                        // the same poison flag; report it as such.
+                        self.check_cancelled()?;
                         return Err(SimError::PeerFailed(format!(
                             "rank {} abandoned recv from {src}: a peer rank failed",
                             self.id
