@@ -114,18 +114,27 @@ impl Args {
         let Some(key) = unknown.first() else {
             return Ok(());
         };
-        let hint = allowed
-            .iter()
-            .map(|cand| (levenshtein(key, cand), *cand))
-            .min()
-            .filter(|&(d, cand)| d <= (cand.len() / 2).max(2))
-            .map(|(_, cand)| format!(" (did you mean --{cand}?)"))
+        let hint = suggest(key, allowed)
+            .map(|cand| format!(" (did you mean --{cand}?)"))
             .unwrap_or_default();
         Err(format!(
             "unknown option --{key} for `{}`{hint}",
             self.command
         ))
     }
+}
+
+/// The candidate closest to `word` in edit distance, if close enough to
+/// be a plausible typo (distance at most `max(len/2, 2)`). Shared by the
+/// `--option` hints above and the subcommand hints in `run`, so
+/// `psse buond` helps exactly like `--machne` does.
+pub fn suggest<'a>(word: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|cand| (levenshtein(word, cand), *cand))
+        .min()
+        .filter(|&(d, cand)| d <= (cand.len() / 2).max(2))
+        .map(|(_, cand)| cand)
 }
 
 /// Classic dynamic-programming edit distance, small inputs only.

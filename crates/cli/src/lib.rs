@@ -22,6 +22,10 @@
 //! psse lab      expand --spec sweep.spec
 //! psse lab      gc --cache .labcache --max-bytes 1e8 --max-age 604800
 //! psse lab      fsck --cache .labcache
+//! psse bound    solve --kernel specs/kernels/matmul.kernel
+//! psse bound    explain --kernel specs/kernels/matmul.kernel
+//! psse bound    price --kernel specs/kernels/nbody.kernel --n 1e5
+//! psse bound    range --kernel specs/kernels/matmul.kernel --n 8192 --mem 1e6
 //! ```
 //!
 //! All logic lives in [`run`] so it can be tested without spawning the
@@ -41,6 +45,15 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
     if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
         let _ = write!(out, "{}", HELP);
         return Ok(());
+    }
+    if !argv[0].starts_with("--") && !COMMANDS.contains(&argv[0].as_str()) {
+        let hint = args::suggest(&argv[0], COMMANDS)
+            .map(|cand| format!(" (did you mean `{cand}`?)"))
+            .unwrap_or_default();
+        return Err(format!(
+            "unknown subcommand `{}`; try `psse help`{hint}",
+            argv[0]
+        ));
     }
     if argv[0] == "trace" {
         if argv.len() < 2 {
@@ -69,6 +82,14 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
         let action = args.command.clone();
         return commands::lab_cmd(&action, &args, out);
     }
+    if argv[0] == "bound" {
+        if argv.len() < 2 {
+            return Err("usage: psse bound <solve|price|range|explain> [--option value]...".into());
+        }
+        let args = Args::parse(&argv[1..])?;
+        let action = args.command.clone();
+        return commands::bound_cmd(&action, &args, out);
+    }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "machines" => commands::machines(&args, out),
@@ -77,9 +98,18 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), String> {
         "optimize" => commands::optimize(&args, out),
         "simulate" => commands::simulate(&args, out),
         "tech" => commands::tech(&args, out),
+        // Unreachable in practice — the COMMANDS gate above already
+        // rejected anything outside this match — but kept so the match
+        // stays total if the two lists ever drift.
         other => Err(format!("unknown subcommand `{other}`; try `psse help`")),
     }
 }
+
+/// Every top-level subcommand, for the `psse buond` → `bound` hint.
+const COMMANDS: &[&str] = &[
+    "machines", "model", "scaling", "optimize", "simulate", "tech", "trace", "faults", "lab",
+    "bound", "help",
+];
 
 const HELP: &str = "\
 psse — Perfect Strong Scaling Using No Additional Energy (IPDPS 2013)
@@ -167,6 +197,20 @@ COMMANDS:
                fsck   --cache DIR  re-verify every record checksum; corrupt
                       records move to quarantine/ (exit 1 if any found)
                       [--dry-run]       report without moving
+  bound      Automatic communication lower bounds from loop-nest kernel
+             files (the HBL linear program, specs/kernels/*.kernel).
+               solve   --kernel FILE  parse the loop nest, enumerate the
+                       subgroup lattice, solve the LP: exact σ_HBL,
+                       per-array exponents and the symbolic W bound
+               explain --kernel FILE  show the whole proof: the rank
+                       inequalities, the dual certificate and the bound
+               price   --kernel FILE --n N [--machine jaketown + overrides]
+                       energy-optimal point M0/E* via the closed forms;
+                       with [--p P], numeric argmin over M at that p
+                       (the only route for generic-family kernels)
+               range   --kernel FILE --n N --mem WORDS  perfect strong
+                       scaling range [p_min, p_max] at fixed memory
+                       [--csv]  one machine-readable row instead
   help       This message.
 ";
 
@@ -217,6 +261,141 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(call("frobnicate").is_err());
+    }
+
+    #[test]
+    fn unknown_command_gets_a_nearest_match_hint() {
+        let err = call("buond solve").unwrap_err();
+        assert!(err.contains("unknown subcommand `buond`"), "{err}");
+        assert!(err.contains("did you mean `bound`?"), "{err}");
+        let err = call("simulte --alg fft --n 16 --p 2").unwrap_err();
+        assert!(err.contains("did you mean `simulate`?"), "{err}");
+        // A wildly different word gets no misleading hint.
+        let err = call("frobnicate").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    /// Path to a shipped kernel file, robust to the test's working dir.
+    fn kernel_path(name: &str) -> String {
+        format!(
+            "{}/../../specs/kernels/{name}.kernel",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn bound_solve_derives_matmul_and_nbody() {
+        let out = call(&format!("bound solve --kernel {}", kernel_path("matmul"))).unwrap();
+        assert!(out.contains("sigma     : 3/2"), "{out}");
+        assert!(out.contains("W = Ω(n^3 / (p · M^(1/2)))"), "{out}");
+        assert!(out.contains("matmul (2.5D closed form)"), "{out}");
+        let out = call(&format!("bound solve --kernel {}", kernel_path("nbody"))).unwrap();
+        assert!(out.contains("sigma     : 2"), "{out}");
+        assert!(out.contains("W = Ω(n^2 / (p · M))"), "{out}");
+        let out = call(&format!("bound solve --kernel {}", kernel_path("fft"))).unwrap();
+        assert!(out.contains("fft-pebbling escape hatch"), "{out}");
+    }
+
+    #[test]
+    fn bound_price_matches_optimize_bit_for_bit() {
+        // The n-body kernel file declares flops-per-iter = 20, the
+        // default of `psse optimize`: both commands must print the very
+        // same M0/E* lines.
+        let opt = call("optimize --n 100000").unwrap();
+        let prc = call(&format!(
+            "bound price --kernel {} --n 100000",
+            kernel_path("nbody")
+        ))
+        .unwrap();
+        let line = |s: &str, pat: &str| {
+            s.lines()
+                .find(|l| l.starts_with(pat))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("missing `{pat}` in: {s}"))
+        };
+        assert_eq!(line(&opt, "M0 = "), line(&prc, "M0 = "));
+        assert_eq!(line(&opt, "E* = "), line(&prc, "E* = "));
+    }
+
+    #[test]
+    fn bound_price_generic_requires_explicit_p() {
+        let err = call(&format!(
+            "bound price --kernel {} --n 64",
+            kernel_path("tensor")
+        ))
+        .unwrap_err();
+        assert!(err.contains("explicit processor count"), "{err}");
+        // Feasibility for the tensor shape needs p ≥ n (σ = 3/2 with a
+        // rank-3 footprint): at (n, p) = (16, 64) the range is open.
+        let out = call(&format!(
+            "bound price --kernel {} --n 16 --p 64",
+            kernel_path("tensor")
+        ))
+        .unwrap();
+        assert!(out.contains("numeric argmin over M at p = 64"), "{out}");
+        assert!(out.contains("E = "), "{out}");
+    }
+
+    #[test]
+    fn bound_range_matches_scaling_and_emits_csv() {
+        let scl = call("scaling --alg matmul --n 8192 --mem 1e6").unwrap();
+        let rng = call(&format!(
+            "bound range --kernel {} --n 8192 --mem 1e6",
+            kernel_path("matmul")
+        ))
+        .unwrap();
+        let line = |s: &str, pat: &str| {
+            s.lines()
+                .find(|l| l.starts_with(pat))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("missing `{pat}` in: {s}"))
+        };
+        assert_eq!(line(&scl, "p_min = "), line(&rng, "p_min = "));
+        assert_eq!(line(&scl, "p_max = "), line(&rng, "p_max = "));
+        let csv = call(&format!(
+            "bound range --kernel {} --n 8192 --mem 1e6 --csv",
+            kernel_path("matmul")
+        ))
+        .unwrap();
+        assert!(csv.starts_with("matmul,3/2,8192,1000000,"), "{csv}");
+        assert_eq!(csv.lines().count(), 1, "{csv}");
+        // No replication knob: the FFT row carries `na` sentinels.
+        let csv = call(&format!(
+            "bound range --kernel {} --n 65536 --mem 1024 --csv",
+            kernel_path("fft")
+        ))
+        .unwrap();
+        assert!(csv.contains(",na,na"), "{csv}");
+    }
+
+    #[test]
+    fn bound_explain_prints_the_certificate() {
+        let out = call(&format!("bound explain --kernel {}", kernel_path("matmul"))).unwrap();
+        assert!(
+            out.contains("linear program: minimize s1 + s2 + s3"),
+            "{out}"
+        );
+        assert!(out.contains("exact strong duality"), "{out}");
+        assert!(out.contains("σ_HBL = 3/2"), "{out}");
+        assert!(out.contains("W = Ω(n^3 / (p · M^(1/2)))"), "{out}");
+    }
+
+    #[test]
+    fn bound_errors_carry_the_line_number() {
+        let dir = std::env::temp_dir().join("psse-cli-bound-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.kernel");
+        std::fs::write(&bad, "kernel = bad\nfor i in 0..n\nC[q] += A[i]\n").unwrap();
+        let err = call(&format!("bound solve --kernel {}", bad.display())).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(
+            err.contains(bad.to_str().unwrap()),
+            "error should name the file: {err}"
+        );
+        assert!(call("bound").is_err());
+        assert!(call("bound frobnicate").is_err());
+        assert!(call("bound solve --kernel /nonexistent/x.kernel").is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -156,3 +156,31 @@ fn trace_and_faults_failures_exit_nonzero() {
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr_line(&out).contains("unknown subcommand"));
 }
+
+#[test]
+fn misspelled_subcommand_exits_nonzero_with_hint() {
+    let out = psse(&["buond", "solve", "--kernel", "x.kernel"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_line(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("unknown subcommand `buond`"), "{err}");
+    assert!(err.contains("did you mean `bound`?"), "{err}");
+    assert_eq!(err.lines().count(), 1, "one-line reason: {err}");
+}
+
+#[test]
+fn malformed_kernel_exits_nonzero_with_line_number() {
+    let dir = std::env::temp_dir().join(format!("psse-exit-badkernel-{}", std::process::id()));
+    let kernel = write_spec(
+        &dir,
+        "bad.kernel",
+        "kernel = bad\nfor i in 0..n\nC[q] += A[i]\n",
+    );
+    let out = psse(&["bound", "solve", "--kernel", &kernel]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_line(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains("line 3"), "{err}");
+    assert!(err.contains("bad.kernel"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,246 @@
+//! Exact rational linear algebra over `Q^d`: reduced row echelon form,
+//! canonical subspace bases, sums and intersections (Zassenhaus).
+//!
+//! Subspaces are the raw material of the HBL rank conditions: for each
+//! subgroup `H ≤ Z^d` (equivalently a rational subspace of `Q^d`) the
+//! bound needs `dim H` and `rank(φ_j(H))` for every array subscript map
+//! `φ_j`. Storing every subspace by its RREF basis makes equality
+//! structural, so the lattice closure in [`crate::analysis`] can dedup
+//! by simple comparison.
+
+use crate::error::HblError;
+use crate::rational::Rational;
+
+/// Reduce `rows` to reduced row echelon form in place; returns the rank.
+/// Zero rows are removed, so `rows.len() == rank` afterwards.
+pub fn rref(rows: &mut Vec<Vec<Rational>>) -> Result<usize, HblError> {
+    let ncols = rows.first().map_or(0, Vec::len);
+    let mut lead = 0usize;
+    let mut r = 0usize;
+    while r < rows.len() && lead < ncols {
+        // Find a pivot in column `lead` at or below row `r`.
+        let Some(pr) = (r..rows.len()).find(|&i| !rows[i][lead].is_zero()) else {
+            lead += 1;
+            continue;
+        };
+        rows.swap(r, pr);
+        let piv = rows[r][lead];
+        for x in rows[r].iter_mut() {
+            *x = x.div(piv)?;
+        }
+        let pivot_row = rows[r].clone();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != r && !row[lead].is_zero() {
+                let factor = row[lead];
+                for (x, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                    let delta = factor.mul(p)?;
+                    *x = x.sub(delta)?;
+                }
+            }
+        }
+        r += 1;
+        lead += 1;
+    }
+    rows.retain(|row| row.iter().any(|x| !x.is_zero()));
+    Ok(rows.len())
+}
+
+/// The rank of an integer matrix (rows need not be independent).
+pub fn rank_i64(rows: &[Vec<i64>]) -> Result<usize, HblError> {
+    let mut m: Vec<Vec<Rational>> = rows
+        .iter()
+        .map(|row| row.iter().map(|&v| Rational::int(v)).collect())
+        .collect();
+    rref(&mut m)
+}
+
+/// A subspace of `Q^d`, stored as its canonical RREF basis. Equality of
+/// the struct is equality of the subspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subspace {
+    /// Ambient dimension `d`.
+    pub ambient: usize,
+    /// RREF basis rows; `basis.len()` is the dimension.
+    pub basis: Vec<Vec<Rational>>,
+}
+
+impl Subspace {
+    /// The zero subspace of `Q^d`.
+    pub fn zero(ambient: usize) -> Subspace {
+        Subspace {
+            ambient,
+            basis: Vec::new(),
+        }
+    }
+
+    /// All of `Q^d`.
+    pub fn full(ambient: usize) -> Subspace {
+        let basis = (0..ambient)
+            .map(|i| {
+                let mut row = vec![Rational::ZERO; ambient];
+                row[i] = Rational::ONE;
+                row
+            })
+            .collect();
+        Subspace { ambient, basis }
+    }
+
+    /// The coordinate axis `span(e_i)`.
+    pub fn axis(ambient: usize, i: usize) -> Subspace {
+        let mut row = vec![Rational::ZERO; ambient];
+        row[i] = Rational::ONE;
+        Subspace {
+            ambient,
+            basis: vec![row],
+        }
+    }
+
+    /// Canonicalize arbitrary spanning rows into a subspace.
+    pub fn from_rows(ambient: usize, mut rows: Vec<Vec<Rational>>) -> Result<Subspace, HblError> {
+        debug_assert!(rows.iter().all(|r| r.len() == ambient));
+        rref(&mut rows)?;
+        Ok(Subspace {
+            ambient,
+            basis: rows,
+        })
+    }
+
+    /// Dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// `self + other` (span of the union).
+    pub fn sum(&self, other: &Subspace) -> Result<Subspace, HblError> {
+        let mut rows = self.basis.clone();
+        rows.extend(other.basis.iter().cloned());
+        Subspace::from_rows(self.ambient, rows)
+    }
+
+    /// `self ∩ other` via the Zassenhaus block construction: row-reduce
+    /// `[U | U; W | 0]`; rows whose left block vanished carry an
+    /// intersection basis in their right block.
+    pub fn intersect(&self, other: &Subspace) -> Result<Subspace, HblError> {
+        let d = self.ambient;
+        let mut block: Vec<Vec<Rational>> = Vec::with_capacity(self.dim() + other.dim());
+        for u in &self.basis {
+            let mut row = Vec::with_capacity(2 * d);
+            row.extend(u.iter().copied());
+            row.extend(u.iter().copied());
+            block.push(row);
+        }
+        for w in &other.basis {
+            let mut row = Vec::with_capacity(2 * d);
+            row.extend(w.iter().copied());
+            row.extend(std::iter::repeat_n(Rational::ZERO, d));
+            block.push(row);
+        }
+        rref(&mut block)?;
+        let rows = block
+            .into_iter()
+            .filter(|row| row[..d].iter().all(Rational::is_zero))
+            .map(|row| row[d..].to_vec())
+            .collect();
+        Subspace::from_rows(d, rows)
+    }
+
+    /// `rank(φ(H))` for an integer map `φ : Q^d → Q^k` given as `k × d`
+    /// coefficient rows: the rank of the images of the basis vectors.
+    pub fn image_rank(&self, map: &[Vec<i64>]) -> Result<usize, HblError> {
+        let mut images: Vec<Vec<Rational>> = Vec::with_capacity(self.dim());
+        for v in &self.basis {
+            let mut img = Vec::with_capacity(map.len());
+            for row in map {
+                let mut acc = Rational::ZERO;
+                for (c, &coef) in row.iter().enumerate() {
+                    acc = acc.add(Rational::int(coef).mul(v[c])?)?;
+                }
+                img.push(acc);
+            }
+            images.push(img);
+        }
+        rref(&mut images)
+    }
+}
+
+/// The null space of an integer map `φ : Q^d → Q^k` (`k × d` rows), as a
+/// subspace of `Q^d`.
+pub fn kernel_of(map: &[Vec<i64>], ambient: usize) -> Result<Subspace, HblError> {
+    let mut m: Vec<Vec<Rational>> = map
+        .iter()
+        .map(|row| row.iter().map(|&v| Rational::int(v)).collect())
+        .collect();
+    rref(&mut m)?;
+    // Pivot columns of the RREF; the rest are free.
+    let mut pivot_col_of_row = Vec::new();
+    for row in &m {
+        let lead = row.iter().position(|x| !x.is_zero()).expect("nonzero row");
+        pivot_col_of_row.push(lead);
+    }
+    let mut basis = Vec::new();
+    for free in 0..ambient {
+        if pivot_col_of_row.contains(&free) {
+            continue;
+        }
+        let mut v = vec![Rational::ZERO; ambient];
+        v[free] = Rational::ONE;
+        for (r, &pc) in pivot_col_of_row.iter().enumerate() {
+            v[pc] = m[r][free].neg()?;
+        }
+        basis.push(v);
+    }
+    Subspace::from_rows(ambient, basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Rational {
+        Rational::int(v)
+    }
+
+    #[test]
+    fn rref_ranks() {
+        assert_eq!(rank_i64(&[vec![1, 0], vec![0, 1]]).unwrap(), 2);
+        assert_eq!(rank_i64(&[vec![1, 2], vec![2, 4]]).unwrap(), 1);
+        assert_eq!(rank_i64(&[vec![0, 0]]).unwrap(), 0);
+        assert_eq!(
+            rank_i64(&[vec![1, 1, 0], vec![0, 1, 1], vec![1, 0, -1]]).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn sum_and_intersection() {
+        let e1 = Subspace::axis(3, 0);
+        let e2 = Subspace::axis(3, 1);
+        let plane = e1.sum(&e2).unwrap();
+        assert_eq!(plane.dim(), 2);
+        assert_eq!(plane.intersect(&e1).unwrap(), e1);
+        assert_eq!(e1.intersect(&e2).unwrap().dim(), 0);
+        let diag = Subspace::from_rows(3, vec![vec![q(1), q(1), q(0)]]).unwrap();
+        // The diagonal lies inside the plane but meets neither axis.
+        assert_eq!(plane.intersect(&diag).unwrap(), diag);
+        assert_eq!(e1.intersect(&diag).unwrap().dim(), 0);
+        assert_eq!(Subspace::full(3).intersect(&plane).unwrap(), plane);
+    }
+
+    #[test]
+    fn kernels_and_image_ranks() {
+        // φ_A(i, j, k) = (i, k): kernel is span(e_j).
+        let phi_a = vec![vec![1, 0, 0], vec![0, 0, 1]];
+        let ker = kernel_of(&phi_a, 3).unwrap();
+        assert_eq!(ker, Subspace::axis(3, 1));
+        assert_eq!(Subspace::full(3).image_rank(&phi_a).unwrap(), 2);
+        assert_eq!(Subspace::axis(3, 1).image_rank(&phi_a).unwrap(), 0);
+        assert_eq!(Subspace::axis(3, 0).image_rank(&phi_a).unwrap(), 1);
+        // Skewed map φ(t, i, j) = (t+i, t+j): kernel is span(1, -1, -1).
+        let phi = vec![vec![1, 1, 0], vec![1, 0, 1]];
+        let ker = kernel_of(&phi, 3).unwrap();
+        assert_eq!(ker.dim(), 1);
+        assert_eq!(ker.image_rank(&phi).unwrap(), 0);
+        let expect = Subspace::from_rows(3, vec![vec![q(1), q(-1), q(-1)]]).unwrap();
+        assert_eq!(ker, expect);
+    }
+}

@@ -1,0 +1,226 @@
+//! Exact rational numbers with `i64` components and `i128` intermediates.
+//!
+//! Every operation is overflow-checked: intermediates are computed in
+//! `i128` (where a product of two `i64`s always fits) and the reduced
+//! result must fit back into `i64` components or the operation returns
+//! [`HblError::Overflow`]. Nothing ever wraps, saturates or rounds — the
+//! HBL exponent `σ` is a statement about a proof, so it is carried as an
+//! exact fraction until the final float bridge.
+
+use crate::error::HblError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational `num/den` with `den > 0` and `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Reduce `num/den` (i128 intermediates) into `i64` components.
+fn norm(num: i128, den: i128, op: &'static str) -> Result<Rational, HblError> {
+    debug_assert!(den != 0);
+    let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+    if num == 0 {
+        return Ok(Rational::ZERO);
+    }
+    let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+    let (num, den) = (num / g, den / g);
+    match (i64::try_from(num), i64::try_from(den)) {
+        (Ok(num), Ok(den)) => Ok(Rational { num, den }),
+        _ => Err(HblError::Overflow { op }),
+    }
+}
+
+// Checked arithmetic returns `Result` — overflow is a typed error, so
+// the infallible `std::ops` traits are deliberately not implemented.
+#[allow(clippy::should_implement_trait)]
+impl Rational {
+    /// Exact zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den`, reduced. `den = 0` is an error.
+    pub fn new(num: i64, den: i64) -> Result<Rational, HblError> {
+        if den == 0 {
+            return Err(HblError::Arithmetic(format!("{num}/0 is undefined")));
+        }
+        norm(num as i128, den as i128, "new")
+    }
+
+    /// The integer `v`.
+    pub const fn int(v: i64) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+
+    /// Reduced numerator (sign carrier).
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    /// Reduced denominator, always positive.
+    pub fn denom(&self) -> i64 {
+        self.den
+    }
+
+    /// Whether the value is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Checked addition.
+    pub fn add(self, o: Rational) -> Result<Rational, HblError> {
+        let num = self.num as i128 * o.den as i128 + o.num as i128 * self.den as i128;
+        norm(num, self.den as i128 * o.den as i128, "add")
+    }
+
+    /// Checked subtraction.
+    pub fn sub(self, o: Rational) -> Result<Rational, HblError> {
+        self.add(o.neg()?)
+    }
+
+    /// Checked multiplication.
+    pub fn mul(self, o: Rational) -> Result<Rational, HblError> {
+        norm(
+            self.num as i128 * o.num as i128,
+            self.den as i128 * o.den as i128,
+            "mul",
+        )
+    }
+
+    /// Checked division. Division by zero is an error.
+    pub fn div(self, o: Rational) -> Result<Rational, HblError> {
+        if o.num == 0 {
+            return Err(HblError::Arithmetic("division by zero".into()));
+        }
+        norm(
+            self.num as i128 * o.den as i128,
+            self.den as i128 * o.num as i128,
+            "div",
+        )
+    }
+
+    /// Checked negation (`-i64::MIN` would overflow).
+    pub fn neg(self) -> Result<Rational, HblError> {
+        match self.num.checked_neg() {
+            Some(num) => Ok(Rational { num, den: self.den }),
+            None => Err(HblError::Overflow { op: "neg" }),
+        }
+    }
+
+    /// Nearest `f64` (used only at the float bridge, never inside the LP).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, o: &Rational) -> Ordering {
+        // i64 × i64 always fits in i128: the comparison is exact.
+        (self.num as i128 * o.den as i128).cmp(&(o.num as i128 * self.den as i128))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, o: &Rational) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl fmt::Display for Rational {
+    /// `3/2` for proper fractions, `2` for integers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Rational {
+    /// Render as `num/den`, or just `num` for integers.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -7), Rational::ZERO);
+        assert_eq!(r(6, 3).render(), "2");
+        assert_eq!(r(3, 2).render(), "3/2");
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        assert_eq!(r(1, 2).add(r(1, 3)).unwrap(), r(5, 6));
+        assert_eq!(r(1, 2).sub(r(1, 3)).unwrap(), r(1, 6));
+        assert_eq!(r(2, 3).mul(r(3, 4)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 2).div(r(3, 2)).unwrap(), r(1, 3));
+        assert!(r(1, 2).div(Rational::ZERO).is_err());
+        assert!(Rational::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Rational::ZERO);
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+        // Near-i64-extremes comparison cannot overflow (i128 products).
+        let big = Rational::int(i64::MAX);
+        let small = Rational::int(i64::MIN);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error_not_a_wrap() {
+        let big = Rational::int(i64::MAX);
+        match big.add(Rational::ONE) {
+            Err(HblError::Overflow { op }) => assert_eq!(op, "add"),
+            other => panic!("expected typed overflow, got {other:?}"),
+        }
+        match big.mul(big) {
+            Err(HblError::Overflow { op }) => assert_eq!(op, "mul"),
+            other => panic!("expected typed overflow, got {other:?}"),
+        }
+        // Denominator blow-up overflows too: 1/p + 1/q with huge p, q.
+        let a = r(1, i64::MAX);
+        let b = r(1, i64::MAX - 2);
+        assert!(matches!(a.add(b), Err(HblError::Overflow { .. })));
+        assert!(Rational::int(i64::MIN).neg().is_err());
+    }
+
+    #[test]
+    fn to_f64_bridges() {
+        assert_eq!(r(3, 2).to_f64(), 1.5);
+        assert_eq!(r(-1, 4).to_f64(), -0.25);
+    }
+}

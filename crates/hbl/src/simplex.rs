@@ -1,0 +1,440 @@
+//! An exact-rational dense simplex solver for the HBL linear program.
+//!
+//! Solves `min c·x` subject to `A·x ≥ b`, `x ≥ 0` with two-phase
+//! simplex under Bland's rule (smallest-index entering and leaving
+//! variable), which is guaranteed to terminate without cycling. All
+//! arithmetic is exact [`Rational`] — the optimum `σ_HBL` is a fraction,
+//! never a float — and any overflow surfaces as a typed error instead
+//! of wrapping.
+//!
+//! The dual certificate is obtained by solving the explicit dual LP
+//! (`max b·y` s.t. `Aᵀy ≤ c`, `y ≥ 0`) with the same routine; strong
+//! duality (`value == dual value`, checked exactly) is an internal
+//! self-test on every call.
+//!
+//! [`brute_force`] enumerates all candidate vertices (every square
+//! subsystem of active constraints) and is the independent oracle the
+//! property tests compare against on small LPs.
+
+use crate::error::HblError;
+use crate::rational::Rational;
+
+/// `min c·x` subject to `a·x ≥ b`, `x ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lp {
+    /// Objective coefficients (length `n`).
+    pub c: Vec<Rational>,
+    /// Constraint matrix (`m × n`), one row per `a_i·x ≥ b_i`.
+    pub a: Vec<Vec<Rational>>,
+    /// Right-hand sides (length `m`).
+    pub b: Vec<Rational>,
+}
+
+/// An optimal primal/dual pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// The optimal objective value, exact.
+    pub value: Rational,
+    /// An optimal primal point (length `n`).
+    pub x: Vec<Rational>,
+    /// An optimal dual certificate (length `m`): `y ≥ 0`, `Aᵀy ≤ c`,
+    /// and `b·y == value` (strong duality, verified exactly).
+    pub y: Vec<Rational>,
+}
+
+fn dot(a: &[Rational], b: &[Rational]) -> Result<Rational, HblError> {
+    let mut acc = Rational::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.add(x.mul(*y)?)?;
+    }
+    Ok(acc)
+}
+
+/// Solve the LP; returns the optimum with a verified dual certificate.
+pub fn solve(lp: &Lp) -> Result<LpSolution, HblError> {
+    let (value, x) = simplex_min(&lp.c, &lp.a, &lp.b)?;
+    // Dual: max b·y s.t. Aᵀy ≤ c, y ≥ 0 — rewritten for the same
+    // primal routine as min (−b)·y s.t. (−Aᵀ)·y ≥ −c, y ≥ 0.
+    let m = lp.a.len();
+    let n = lp.c.len();
+    let dual_c: Vec<Rational> = lp.b.iter().map(|v| v.neg()).collect::<Result<_, _>>()?;
+    let mut dual_a = vec![vec![Rational::ZERO; m]; n];
+    for (i, row) in lp.a.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            dual_a[j][i] = v.neg()?;
+        }
+    }
+    let dual_b: Vec<Rational> = lp.c.iter().map(|v| v.neg()).collect::<Result<_, _>>()?;
+    let (neg_dual_value, y) = simplex_min(&dual_c, &dual_a, &dual_b)?;
+    if neg_dual_value.neg()? != value {
+        return Err(HblError::Arithmetic(
+            "internal simplex error: duality gap on an exact LP".into(),
+        ));
+    }
+    Ok(LpSolution { value, x, y })
+}
+
+/// Two-phase simplex core: `min c·x`, `a·x ≥ b`, `x ≥ 0`.
+fn simplex_min(
+    c: &[Rational],
+    a: &[Vec<Rational>],
+    b: &[Rational],
+) -> Result<(Rational, Vec<Rational>), HblError> {
+    let n = c.len();
+    let m = a.len();
+    let cols = n + 2 * m; // x | surplus | artificial
+                          // Equality form `a·x − s = b` with every RHS made nonnegative by
+                          // flipping rows, then one artificial per row as the initial basis.
+    let mut t: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    let mut rhs: Vec<Rational> = Vec::with_capacity(m);
+    for i in 0..m {
+        let flip = b[i] < Rational::ZERO;
+        let mut row = vec![Rational::ZERO; cols];
+        for j in 0..n {
+            row[j] = if flip { a[i][j].neg()? } else { a[i][j] };
+        }
+        row[n + i] = if flip {
+            Rational::ONE
+        } else {
+            Rational::int(-1)
+        };
+        row[n + m + i] = Rational::ONE;
+        t.push(row);
+        rhs.push(if flip { b[i].neg()? } else { b[i] });
+    }
+    let mut basis: Vec<usize> = (n + m..cols).collect();
+
+    // Phase 1: minimize the artificial sum down to zero (else infeasible).
+    let mut cost1 = vec![Rational::ZERO; cols];
+    for cj in cost1.iter_mut().skip(n + m) {
+        *cj = Rational::ONE;
+    }
+    run_phase(&mut t, &mut rhs, &mut basis, &cost1, cols).map_err(|e| match e {
+        // Phase 1 is bounded below by 0; "unbounded" cannot escape it.
+        HblError::Unbounded(_) => HblError::Arithmetic("internal: phase-1 unbounded".into()),
+        other => other,
+    })?;
+    let mut phase1 = Rational::ZERO;
+    for (r, &bv) in basis.iter().enumerate() {
+        phase1 = phase1.add(cost1[bv].mul(rhs[r])?)?;
+    }
+    if phase1 > Rational::ZERO {
+        return Err(HblError::Infeasible(format!(
+            "no feasible point (phase-1 residual {phase1})"
+        )));
+    }
+    // Pivot leftover zero-valued artificials out of the basis when
+    // possible; a fully zero row is redundant and may keep its
+    // artificial (phase 2 bans artificial columns from entering).
+    for r in 0..m {
+        if basis[r] >= n + m {
+            if let Some(j) = (0..n + m).find(|&j| !t[r][j].is_zero()) {
+                pivot(&mut t, &mut rhs, &mut basis, r, j)?;
+            }
+        }
+    }
+
+    // Phase 2: the real objective over x and surplus columns only.
+    let mut cost2 = vec![Rational::ZERO; cols];
+    cost2[..n].copy_from_slice(c);
+    run_phase(&mut t, &mut rhs, &mut basis, &cost2, n + m)?;
+
+    let mut x = vec![Rational::ZERO; n];
+    for (r, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = rhs[r];
+        }
+    }
+    Ok((dot(c, &x)?, x))
+}
+
+/// Run Bland-rule pivots until no reduced cost is negative. Columns at
+/// index `ban` and beyond may not enter the basis.
+fn run_phase(
+    t: &mut [Vec<Rational>],
+    rhs: &mut [Rational],
+    basis: &mut [usize],
+    cost: &[Rational],
+    ban: usize,
+) -> Result<(), HblError> {
+    let m = t.len();
+    // Far above any reachable pivot count for these LP sizes; a trip
+    // would indicate a solver bug, not a hard problem.
+    for _ in 0..20_000 {
+        // Bland: entering column = smallest index with negative reduced
+        // cost (computed fresh — the LPs here are tiny).
+        let mut entering = None;
+        'cols: for j in 0..ban.min(cost.len()) {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut rc = cost[j];
+            for r in 0..m {
+                rc = rc.sub(cost[basis[r]].mul(t[r][j])?)?;
+            }
+            if rc < Rational::ZERO {
+                entering = Some(j);
+                break 'cols;
+            }
+        }
+        let Some(j) = entering else {
+            return Ok(());
+        };
+        // Ratio test; ties broken by smallest basis variable (Bland).
+        let mut leave: Option<(usize, Rational)> = None;
+        for r in 0..m {
+            if t[r][j] > Rational::ZERO {
+                let ratio = rhs[r].div(t[r][j])?;
+                let better = match &leave {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < *lratio || (ratio == *lratio && basis[r] < basis[*lr])
+                    }
+                };
+                if better {
+                    leave = Some((r, ratio));
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return Err(HblError::Unbounded(format!(
+                "objective decreases without bound along column {j}"
+            )));
+        };
+        pivot(t, rhs, basis, r, j)?;
+    }
+    Err(HblError::Arithmetic(
+        "internal simplex error: pivot budget exhausted".into(),
+    ))
+}
+
+fn pivot(
+    t: &mut [Vec<Rational>],
+    rhs: &mut [Rational],
+    basis: &mut [usize],
+    r: usize,
+    j: usize,
+) -> Result<(), HblError> {
+    let piv = t[r][j];
+    for x in t[r].iter_mut() {
+        *x = x.div(piv)?;
+    }
+    rhs[r] = rhs[r].div(piv)?;
+    for i in 0..t.len() {
+        if i != r && !t[i][j].is_zero() {
+            let factor = t[i][j];
+            for cidx in 0..t[i].len() {
+                let delta = factor.mul(t[r][cidx])?;
+                t[i][cidx] = t[i][cidx].sub(delta)?;
+            }
+            let delta = factor.mul(rhs[r])?;
+            rhs[i] = rhs[i].sub(delta)?;
+        }
+    }
+    basis[r] = j;
+    Ok(())
+}
+
+/// Independent oracle: enumerate every candidate vertex (each square
+/// subsystem drawn from the constraint rows `a_i·x = b_i` and the axis
+/// planes `x_j = 0`), keep the feasible ones, and return the minimum
+/// objective. `None` means infeasible (no vertex satisfies everything).
+///
+/// Only meaningful for LPs whose feasible region is a polytope (e.g.
+/// with `x ≤ 1` box rows included in `a`): a bounded feasible LP always
+/// attains its optimum at a vertex. Exponential in the problem size —
+/// this is a test oracle, not a solver.
+pub fn brute_force(lp: &Lp) -> Result<Option<(Rational, Vec<Rational>)>, HblError> {
+    let n = lp.c.len();
+    let mut rows: Vec<(Vec<Rational>, Rational)> =
+        lp.a.iter()
+            .zip(&lp.b)
+            .map(|(r, v)| (r.clone(), *v))
+            .collect();
+    for j in 0..n {
+        let mut e = vec![Rational::ZERO; n];
+        e[j] = Rational::ONE;
+        rows.push((e, Rational::ZERO));
+    }
+    let mut best: Option<(Rational, Vec<Rational>)> = None;
+    let mut combo = Vec::with_capacity(n);
+    enumerate_vertices(&rows, n, 0, &mut combo, &mut |x| {
+        // Feasibility: every constraint row and every axis bound.
+        for (a, b) in &rows {
+            if dot(a, x)? < *b {
+                return Ok(());
+            }
+        }
+        let value = dot(&lp.c, x)?;
+        if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+            best = Some((value, x.to_vec()));
+        }
+        Ok(())
+    })?;
+    Ok(best)
+}
+
+/// Recurse over all `n`-subsets of rows; solve each square system and
+/// feed nonsingular solutions to `visit`.
+fn enumerate_vertices(
+    rows: &[(Vec<Rational>, Rational)],
+    n: usize,
+    start: usize,
+    combo: &mut Vec<usize>,
+    visit: &mut dyn FnMut(&[Rational]) -> Result<(), HblError>,
+) -> Result<(), HblError> {
+    if combo.len() == n {
+        if let Some(x) = solve_square(rows, combo)? {
+            visit(&x)?;
+        }
+        return Ok(());
+    }
+    for i in start..rows.len() {
+        combo.push(i);
+        enumerate_vertices(rows, n, i + 1, combo, visit)?;
+        combo.pop();
+    }
+    Ok(())
+}
+
+/// Solve the square system given by the selected rows; `None` if singular.
+fn solve_square(
+    rows: &[(Vec<Rational>, Rational)],
+    combo: &[usize],
+) -> Result<Option<Vec<Rational>>, HblError> {
+    let n = combo.len();
+    let mut aug: Vec<Vec<Rational>> = combo
+        .iter()
+        .map(|&i| {
+            let mut row = rows[i].0.clone();
+            row.push(rows[i].1);
+            row
+        })
+        .collect();
+    // Gaussian elimination with exact pivots.
+    for col in 0..n {
+        let Some(pr) = (col..n).find(|&r| !aug[r][col].is_zero()) else {
+            return Ok(None);
+        };
+        aug.swap(col, pr);
+        let piv = aug[col][col];
+        for x in aug[col].iter_mut() {
+            *x = x.div(piv)?;
+        }
+        let pivot_row = aug[col].clone();
+        for (r, row) in aug.iter_mut().enumerate() {
+            if r != col && !row[col].is_zero() {
+                let factor = row[col];
+                for (x, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                    let delta = factor.mul(p)?;
+                    *x = x.sub(delta)?;
+                }
+            }
+        }
+    }
+    Ok(Some((0..n).map(|r| aug[r][n]).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    fn q(v: i64) -> Rational {
+        Rational::int(v)
+    }
+
+    /// The matmul HBL LP: min s1+s2+s3 s.t. the axis constraints
+    /// 1 ≤ s_i + s_j (each pair) and 3 ≤ 2(s1+s2+s3), s ≤ 1.
+    fn matmul_lp() -> Lp {
+        let one = Rational::ONE;
+        let z = Rational::ZERO;
+        let neg1 = q(-1);
+        Lp {
+            c: vec![one, one, one],
+            a: vec![
+                vec![one, one, z],
+                vec![one, z, one],
+                vec![z, one, one],
+                vec![q(2), q(2), q(2)],
+                vec![neg1, z, z],
+                vec![z, neg1, z],
+                vec![z, z, neg1],
+            ],
+            b: vec![one, one, one, q(3), neg1, neg1, neg1],
+        }
+    }
+
+    #[test]
+    fn matmul_lp_value_is_three_halves() {
+        let sol = solve(&matmul_lp()).unwrap();
+        assert_eq!(sol.value, r(3, 2));
+        assert_eq!(sol.x, vec![r(1, 2), r(1, 2), r(1, 2)]);
+        // Certificate invariants: y ≥ 0, Aᵀy ≤ c, b·y = value.
+        let lp = matmul_lp();
+        assert!(sol.y.iter().all(|v| *v >= Rational::ZERO));
+        for j in 0..3 {
+            let mut aty = Rational::ZERO;
+            for (i, yi) in sol.y.iter().enumerate() {
+                aty = aty.add(yi.mul(lp.a[i][j]).unwrap()).unwrap();
+            }
+            assert!(aty <= lp.c[j]);
+        }
+        let by = dot(&lp.b, &sol.y).unwrap();
+        assert_eq!(by, sol.value);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_matmul() {
+        let lp = matmul_lp();
+        let (value, _) = brute_force(&lp).unwrap().unwrap();
+        assert_eq!(value, r(3, 2));
+    }
+
+    #[test]
+    fn infeasible_is_detected_by_both() {
+        // x1 ≥ 2 and −x1 ≥ −1 (x1 ≤ 1) cannot both hold.
+        let lp = Lp {
+            c: vec![Rational::ONE],
+            a: vec![vec![Rational::ONE], vec![q(-1)]],
+            b: vec![q(2), q(-1)],
+        };
+        assert!(matches!(solve(&lp), Err(HblError::Infeasible(_))));
+        assert_eq!(brute_force(&lp).unwrap(), None);
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        // min −x1, x1 ≥ 0 only: decreases forever.
+        let lp = Lp {
+            c: vec![q(-1)],
+            a: vec![vec![Rational::ONE]],
+            b: vec![Rational::ZERO],
+        };
+        assert!(matches!(solve(&lp), Err(HblError::Unbounded(_))));
+    }
+
+    #[test]
+    fn degenerate_ties_terminate_under_bland() {
+        // Multiple redundant constraints through the same vertex.
+        let one = Rational::ONE;
+        let lp = Lp {
+            c: vec![one, one],
+            a: vec![
+                vec![one, one],
+                vec![q(2), q(2)],
+                vec![one, Rational::ZERO],
+                vec![q(-1), Rational::ZERO],
+                vec![Rational::ZERO, q(-1)],
+            ],
+            b: vec![one, q(2), Rational::ZERO, q(-1), q(-1)],
+        };
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.value, one);
+        let (bf, _) = brute_force(&lp).unwrap().unwrap();
+        assert_eq!(bf, one);
+    }
+}

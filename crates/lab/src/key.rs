@@ -95,6 +95,12 @@ pub struct RunKey {
     /// contract, but the backend is still part of the identity so a
     /// cross-backend comparison sweep gets distinct cache slots.
     pub backend: Backend,
+    /// Full text of an HBL kernel file (model runs only). When set, the
+    /// runner derives the cost model from the loop nest instead of
+    /// looking `alg` up in the hand-written table; the *content* is the
+    /// identity, so editing a kernel file invalidates its cache slots
+    /// even when the path is unchanged.
+    pub kernel: Option<String>,
 }
 
 impl RunKey {
@@ -114,6 +120,7 @@ impl RunKey {
             machine,
             faults: None,
             backend: Backend::Threads,
+            kernel: None,
         }
     }
 
@@ -202,6 +209,18 @@ impl RunKey {
                 Backend::Threads => unreachable!(),
                 Backend::Events => 1,
             });
+        }
+        // Same append-only discipline for the kernel text: absent (the
+        // pre-kernel layout) adds nothing, present appends a marker plus
+        // the length-prefixed packed bytes.
+        if let Some(text) = &self.kernel {
+            w.push(u64::from_le_bytes(*b"kernel\0\0"));
+            w.push(text.len() as u64);
+            for chunk in text.as_bytes().chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                w.push(u64::from_le_bytes(word));
+            }
         }
         w
     }
@@ -300,8 +319,22 @@ mod tests {
             machine,
             faults: None,
             backend: Backend::Threads,
+            kernel: None,
         };
         assert_eq!(k.digest(), "9a71881ab929cb833887064fb2109475");
+    }
+
+    #[test]
+    fn kernel_extends_the_identity_without_disturbing_old_digests() {
+        // `None` (every pre-kernel key) must hash exactly as before,
+        // while each distinct kernel *text* gets its own cache slot.
+        let base = RunKey::model("kernel:matmul", 1024, 8, jaketown());
+        let mut k = base.clone();
+        k.kernel = Some("for i in 0..n\nC[i] += A[i] * B[i]\n".into());
+        assert_ne!(base.digest(), k.digest());
+        let mut k2 = k.clone();
+        k2.kernel = Some("for i in 0..n\nC[i] += A[i] * D[i]\n".into());
+        assert_ne!(k.digest(), k2.digest());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use psse_core::costs::{
 };
 use psse_core::optimize::matmul::MatMulOptimizer;
 use psse_core::optimize::nbody::NBodyOptimizer;
+use psse_hbl::prelude::{derive, Kernel};
 use psse_kernels::matrix::Matrix;
 use psse_kernels::nbody::random_particles;
 
@@ -142,6 +143,9 @@ pub fn execute_watched(
 }
 
 fn execute_model(key: &RunKey) -> Result<RunResult, String> {
+    if let Some(text) = &key.kernel {
+        return execute_kernel_model(key, text);
+    }
     let alg = model_algorithm(&key.alg, key.f)?;
     let (lo, hi) = alg.memory_range(key.n, key.p).map_err(|e| e.to_string())?;
     // mem = 0 means "minimal memory at (n, p)"; clamp_mem folds
@@ -179,6 +183,30 @@ fn execute_model(key: &RunKey) -> Result<RunResult, String> {
     };
     let mut r = RunResult::model(feasible, time, energy, mem_eff);
     r.flops = alg.total_flops(key.n);
+    Ok(r)
+}
+
+/// Model a run whose cost model is derived from an HBL kernel file
+/// instead of the hand-written table. The family dispatch inside
+/// [`psse_hbl::bridge::KernelCost::evaluate_point`] mirrors the `alg`
+/// match above, so a kernel whose derived exponents match a table
+/// algorithm prices bit-for-bit identically to it.
+fn execute_kernel_model(key: &RunKey, text: &str) -> Result<RunResult, String> {
+    let kernel = Kernel::parse(text).map_err(|e| e.to_string())?;
+    let (cost, _) = derive(&kernel).map_err(|e| e.to_string())?;
+    let (lo, hi) = cost.memory_range(key.n, key.p).map_err(|e| e.to_string())?;
+    let mem = if key.mem == 0.0 { lo } else { key.mem };
+    let mem_eff = if key.clamp_mem {
+        mem.clamp(lo, hi)
+    } else {
+        mem
+    };
+    let feasible = (lo..=hi).contains(&mem_eff);
+    let cfg = cost
+        .evaluate_point(&key.machine, key.n, key.p, mem_eff)
+        .map_err(|e| e.to_string())?;
+    let mut r = RunResult::model(feasible, cfg.time, cfg.energy, mem_eff);
+    r.flops = cost.total_flops(key.n);
     Ok(r)
 }
 

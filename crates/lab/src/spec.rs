@@ -71,6 +71,11 @@ pub struct SweepSpec {
     /// identity: it routes into [`crate::LabConfig::timeout`], so cache
     /// digests and CSV bytes are unaffected by the budget chosen.
     pub timeout: Option<f64>,
+    /// Full text of an HBL kernel file (`kernel = path/to/foo.kernel`,
+    /// model sweeps only, mutually exclusive with `alg`). The file is
+    /// read and validated at parse time; the *content* enters every
+    /// [`RunKey`], so cache slots track edits to the file.
+    pub kernel: Option<String>,
 }
 
 const MACHINE_KEYS: [&str; 10] = [
@@ -211,6 +216,7 @@ impl SweepSpec {
         let mut backend = Backend::Threads;
         let mut timeout: Option<f64> = None;
         let mut fault_vals: Vec<(usize, f64)> = Vec::new(); // (FAULT_KEYS index, value)
+        let mut kernel: Option<(usize, String, String)> = None; // (line, name, text)
 
         for (i, raw) in text.lines().enumerate() {
             let lineno = i + 1;
@@ -235,6 +241,20 @@ impl SweepSpec {
                     kind = Some(RunKind::from_str(value).map_err(|e| LabError::spec(lineno, e))?)
                 }
                 "alg" => alg = Some(value.to_string()),
+                "kernel" => {
+                    // Read and fully validate the kernel file now, so a
+                    // bad path or a malformed loop nest surfaces with
+                    // this spec line (plus the kernel's own line number)
+                    // instead of failing every expanded run later.
+                    let text = std::fs::read_to_string(value).map_err(|e| {
+                        LabError::spec(lineno, format!("cannot read kernel file `{value}`: {e}"))
+                    })?;
+                    let parsed = psse_hbl::prelude::Kernel::parse(&text)
+                        .map_err(|e| LabError::spec(lineno, format!("{value}: {e}")))?;
+                    psse_hbl::prelude::derive(&parsed)
+                        .map_err(|e| LabError::spec(lineno, format!("{value}: {e}")))?;
+                    kernel = Some((lineno, parsed.name.clone(), text));
+                }
                 "machine" => {
                     if machine_preset(value).is_none() {
                         return Err(LabError::spec(
@@ -295,7 +315,27 @@ impl SweepSpec {
         }
 
         let kind = kind.ok_or_else(|| LabError::spec(0, "missing `kind = model|simulate`"))?;
-        let alg = alg.ok_or_else(|| LabError::spec(0, "missing `alg = <algorithm>`"))?;
+        let (alg, kernel) = match kernel {
+            Some((lineno, name, text)) => {
+                if alg.is_some() {
+                    return Err(LabError::spec(
+                        lineno,
+                        "`kernel` and `alg` are mutually exclusive",
+                    ));
+                }
+                if kind != RunKind::Model {
+                    return Err(LabError::spec(
+                        lineno,
+                        "`kernel` sweeps are model-only (kind = model)",
+                    ));
+                }
+                (format!("kernel:{name}"), Some(text))
+            }
+            None => (
+                alg.ok_or_else(|| LabError::spec(0, "missing `alg = <algorithm>`"))?,
+                None,
+            ),
+        };
         if n.is_empty() {
             return Err(LabError::spec(0, "missing `n = <sizes>`"));
         }
@@ -379,6 +419,7 @@ impl SweepSpec {
             faults,
             backend,
             timeout,
+            kernel,
         })
     }
 
@@ -418,6 +459,7 @@ impl SweepSpec {
                             machine: self.machine.clone(),
                             faults: self.faults.clone(),
                             backend: self.backend,
+                            kernel: self.kernel.clone(),
                         });
                     }
                 }
@@ -568,6 +610,64 @@ mod tests {
             kw.iter().map(|k| k.digest()).collect::<Vec<_>>(),
             ko.iter().map(|k| k.digest()).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn kernel_key_reads_the_file_and_names_the_alg() {
+        let dir = std::env::temp_dir().join(format!("psse-spec-kernel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mm.kernel");
+        std::fs::write(
+            &path,
+            "kernel = mm\nfor i in 0..n\nfor j in 0..n\nfor k in 0..n\nC[i,j] += A[i,k] * B[k,j]\n",
+        )
+        .unwrap();
+        let spec = SweepSpec::parse(&format!(
+            "kind = model\nkernel = {}\nn = 256\np = 4\n",
+            path.display()
+        ))
+        .unwrap();
+        assert_eq!(spec.alg, "kernel:mm");
+        let keys = spec.expand();
+        assert!(keys[0].kernel.as_deref().unwrap().contains("C[i,j]"));
+
+        // `kernel` and `alg` are mutually exclusive, and model-only.
+        let err = SweepSpec::parse(&format!(
+            "kind = model\nalg = matmul\nkernel = {}\nn = 4\np = 2\n",
+            path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        let err = SweepSpec::parse(&format!(
+            "kind = simulate\nkernel = {}\nn = 4\np = 2\n",
+            path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("model-only"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kernel_key_failures_carry_the_spec_line() {
+        // Missing file: the spec line is named.
+        let err = SweepSpec::parse("kind = model\nkernel = /nonexistent/x.kernel\nn = 4\np = 2\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("/nonexistent/x.kernel"), "{err}");
+        // Malformed kernel: both the spec line and the kernel's own
+        // line number survive into the message.
+        let dir = std::env::temp_dir().join(format!("psse-spec-badkernel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.kernel");
+        std::fs::write(&path, "kernel = bad\nfor i in 0..n\nC[q] += A[i]\n").unwrap();
+        let err = SweepSpec::parse(&format!(
+            "kind = model\nkernel = {}\nn = 4\np = 2\n",
+            path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("line 3"), "kernel line: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Acceptance test for the `kernel =` spec axis: a sweep whose cost
+//! model is derived from `specs/kernels/matmul.kernel` must price every
+//! point bit-for-bit identically to the hand-written `alg = matmul`
+//! sweep — same feasibility flags, same time/energy/power bytes in the
+//! CSV — while occupying distinct cache slots (the kernel text is part
+//! of the run identity).
+
+use psse_lab::prelude::*;
+
+fn kernel_path() -> String {
+    format!(
+        "{}/../../specs/kernels/matmul.kernel",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+const GRID: &str = "n = 1024\np = pow2:4:32\nmem = geomf:2e4:3e5:4\n";
+
+#[test]
+fn kernel_matmul_sweep_is_bit_identical_to_alg_matmul() {
+    let by_kernel =
+        SweepSpec::parse(&format!("kind = model\nkernel = {}\n{GRID}", kernel_path())).unwrap();
+    let by_alg = SweepSpec::parse(&format!("kind = model\nalg = matmul\n{GRID}")).unwrap();
+    assert_eq!(by_kernel.alg, "kernel:matmul");
+    assert_eq!(by_kernel.len(), by_alg.len());
+
+    // Distinct identities: every kernel-run digest differs from its
+    // alg-run counterpart (and the kernel text is what separates them).
+    let (ka, kb) = (by_kernel.expand(), by_alg.expand());
+    for (a, b) in ka.iter().zip(&kb) {
+        assert_ne!(a.digest(), b.digest());
+        assert!(a.kernel.is_some() && b.kernel.is_none());
+    }
+
+    // Identical prices: the CSVs agree on every byte once the alg
+    // label is normalized away.
+    let lab = Lab::new(LabConfig::default());
+    let ra = lab.run_spec(&by_kernel);
+    let rb = lab.run_spec(&by_alg);
+    let csv_a = sweep_csv(&ra.keys, &ra.results).replace("kernel:matmul", "matmul");
+    let csv_b = sweep_csv(&rb.keys, &rb.results);
+    assert_eq!(csv_a, csv_b);
+    assert!(csv_a.lines().count() > by_kernel.len(), "no failed rows");
+}
+
+#[test]
+fn kernel_sweep_minimal_memory_sentinel_matches_too() {
+    // `mem` omitted: the 0.0 sentinel resolves to the algorithm's
+    // minimal memory, which the derived model must reproduce exactly.
+    let by_kernel = SweepSpec::parse(&format!(
+        "kind = model\nkernel = {}\nn = 512\np = 4,9,16\n",
+        kernel_path()
+    ))
+    .unwrap();
+    let by_alg = SweepSpec::parse("kind = model\nalg = matmul\nn = 512\np = 4,9,16\n").unwrap();
+    let lab = Lab::new(LabConfig::default());
+    let ra = lab.run_spec(&by_kernel);
+    let rb = lab.run_spec(&by_alg);
+    for (a, b) in ra.results.iter().zip(&rb.results) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.mem_used.to_bits(), b.mem_used.to_bits());
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        assert_eq!(a.feasible, b.feasible);
+    }
+}

@@ -25,6 +25,11 @@
 //! * [`faults`] (`psse-faults`) — deterministic fault schedules
 //!   (crash/drop/corrupt/duplicate/delay) and recovery policies
 //!   (retry, checkpoint/restart) injected through `SimConfig::faults`.
+//! * [`hbl`] (`psse-hbl`) — automatic communication lower bounds for
+//!   arbitrary affine loop nests: a kernel DSL, the
+//!   Hölder–Brascamp–Lieb rank-condition linear program solved by an
+//!   exact-rational simplex, and a bridge pricing the derived bound
+//!   through the Eq. 1/2 models and §V optimizers.
 //! * [`lab`] (`psse-lab`) — the parallel batch experiment engine:
 //!   declarative sweep specs, an order-preserving worker pool,
 //!   content-addressed result caching, and Pareto-frontier /
@@ -41,6 +46,7 @@ pub use psse_algos as algos;
 pub use psse_core as core;
 pub use psse_event as event;
 pub use psse_faults as faults;
+pub use psse_hbl as hbl;
 pub use psse_kernels as kernels;
 pub use psse_lab as lab;
 pub use psse_metrics as metrics;
@@ -54,6 +60,7 @@ pub mod prelude {
     // there so simulator users see one coherent surface).
     pub use psse_algos::prelude::*;
     pub use psse_core::prelude::*;
+    pub use psse_hbl::prelude::*;
     pub use psse_lab::prelude::*;
     pub use psse_sim::prelude::*;
     pub use psse_trace::prelude::*;
