@@ -15,6 +15,8 @@
 //! | direct n-body (1D baseline) | [`nbody`] | ring algorithm |
 //! | data-replicating n-body | [`nbody::nbody_replicated`] | `pr × c` layout (Driscoll et al.) |
 //! | parallel FFT | [`fft`] | transpose algorithm; naive and hypercube all-to-all |
+//! | distributed sample sort | [`samplesort`] | regular sampling + pairwise all-to-all (Scquizzato–Silvestri bound family) |
+//! | iterated halo stencil | [`stencil`] | periodic box stencil, 1-D/2-D blocks, configurable halo width |
 //!
 //! Every entry point takes global inputs, distributes them logically
 //! (initial layout is free, matching the paper's cost models, which
@@ -42,7 +44,9 @@ pub mod lu2d;
 pub mod matvec;
 pub mod mm25d;
 pub mod nbody;
+pub mod samplesort;
 pub mod seq_matmul;
+pub mod stencil;
 pub mod strassen_dist;
 pub mod summa;
 pub mod tsqr;
@@ -61,7 +65,11 @@ pub mod prelude {
     pub use crate::matvec::matvec_1d;
     pub use crate::mm25d::{matmul_25d, matmul_25d_opts, matmul_3d, FiberCollectives};
     pub use crate::nbody::{nbody_replicated, nbody_ring, nbody_simulate};
+    pub use crate::samplesort::{random_keys, sample_sort};
     pub use crate::seq_matmul::{choose_tile, instrumented_matmul, SeqVariant};
+    pub use crate::stencil::{
+        halo_stencil, random_grid, serial_stencil, stencil_flops_per_cell, Decomp,
+    };
     pub use crate::strassen_dist::strassen_distributed;
     pub use crate::summa::summa_matmul;
     pub use crate::tsqr::{tsqr, tsqr_least_squares};

@@ -172,6 +172,54 @@ proptest! {
         prop_assert_eq!(c1.as_slice(), c2.as_slice());
         prop_assert_eq!(p1, p2);
     }
+
+    /// Faulted sample sort recovers to the *clean* run's bytes: the
+    /// retry machinery must not perturb which keys land where.
+    #[test]
+    fn faulted_samplesort_recovers_bit_identical(
+        data_seed in 0u64..256,
+        fault_seed in 0u64..256,
+    ) {
+        let keys = random_keys(64, data_seed);
+        let plan = drop_corrupt_plan(fault_seed, 0.08, 0.04);
+        let faulted_cfg = SimConfig { faults: Some(plan), ..traced_cfg() };
+        let (s1, p1) = sample_sort(&keys, 4, faulted_cfg.clone())
+            .expect("retries absorb the injected faults");
+        let (s2, p2) = sample_sort(&keys, 4, faulted_cfg).unwrap();
+        let (clean, _) = sample_sort(&keys, 4, traced_cfg()).unwrap();
+        prop_assert_eq!(&p1, &p2);
+        for (a, b) in s1.iter().zip(&s2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s1.iter().zip(&clean) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "faults changed the sorted output");
+        }
+    }
+
+    /// Same contract for the halo stencil: faults cost retries, never
+    /// numerics.
+    #[test]
+    fn faulted_stencil_recovers_bit_identical(
+        data_seed in 0u64..256,
+        fault_seed in 0u64..256,
+        iters in 1usize..4,
+    ) {
+        let n = 8;
+        let grid = random_grid(n, data_seed);
+        let plan = drop_corrupt_plan(fault_seed, 0.08, 0.04);
+        let faulted_cfg = SimConfig { faults: Some(plan), ..traced_cfg() };
+        let (g1, p1) = halo_stencil(&grid, n, 1, iters, Decomp::OneD, 4, faulted_cfg.clone())
+            .expect("retries absorb the injected faults");
+        let (g2, p2) = halo_stencil(&grid, n, 1, iters, Decomp::OneD, 4, faulted_cfg).unwrap();
+        let serial = serial_stencil(&grid, n, 1, iters);
+        prop_assert_eq!(&p1, &p2);
+        for (a, b) in g1.iter().zip(&g2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in g1.iter().zip(&serial) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "faults changed the stencil output");
+        }
+    }
 }
 
 /// Run every distributed algorithm in the crate twice with tracing on
@@ -223,6 +271,22 @@ fn all_algorithms_rerun_bit_identical() {
             }),
         ),
         ("tsqr", Box::new(|| tsqr(&tall, 4, traced_cfg()).unwrap().1)),
+        (
+            "samplesort",
+            Box::new(|| {
+                sample_sort(&random_keys(64, 104), 4, traced_cfg())
+                    .unwrap()
+                    .1
+            }),
+        ),
+        (
+            "stencil",
+            Box::new(|| {
+                halo_stencil(&random_grid(8, 105), 8, 1, 2, Decomp::TwoD, 4, traced_cfg())
+                    .unwrap()
+                    .1
+            }),
+        ),
     ];
     for (name, run) in &runs {
         let p1 = run();

@@ -3,7 +3,8 @@
 use crate::args::Args;
 use psse_algos::prelude::*;
 use psse_core::costs::{
-    Algorithm, ClassicalMatMul, DirectNBody, FftTree, Lu25d, MatVec, StrassenMatMul,
+    Algorithm, ClassicalMatMul, DirectNBody, FftTree, HaloStencilModel, Lu25d, MatVec,
+    SampleSortModel, StrassenMatMul,
 };
 use psse_core::machines::{jaketown, table2};
 use psse_core::optimize::nbody::NBodyOptimizer;
@@ -43,7 +44,9 @@ const MACHINE_KEYS: [&str; 11] = [
 
 /// Keys consumed by [`run_algorithm`] (shared by `simulate` and
 /// `trace record`).
-const RUN_KEYS: [&str; 8] = ["alg", "n", "p", "c", "seed", "panel", "cols", "backend"];
+const RUN_KEYS: [&str; 10] = [
+    "alg", "n", "p", "c", "seed", "panel", "cols", "backend", "halo", "iters",
+];
 
 /// Build the allowed-key list for [`crate::args::Args::expect_keys`]
 /// from slices of shared and command-specific keys.
@@ -117,9 +120,15 @@ fn algorithm_from(args: &Args) -> Result<Box<dyn Algorithm>, String> {
         "fft" => Box::new(FftTree),
         "lu" => Box::new(Lu25d),
         "matvec" => Box::new(MatVec),
+        "samplesort" => Box::new(SampleSortModel),
+        "stencil" => Box::new(HaloStencilModel {
+            halo: args.u64_or("halo", 1)?,
+            iters: args.u64_or("iters", 4)?,
+        }),
         other => {
             return Err(format!(
-                "unknown algorithm `{other}` (matmul|strassen|nbody|fft|lu|matvec)"
+                "unknown algorithm `{other}` \
+                 (matmul|strassen|nbody|fft|lu|matvec|samplesort|stencil)"
             ))
         }
     })
@@ -159,7 +168,10 @@ pub fn machines(args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn model(args: &Args, out: &mut String) -> CmdResult {
-    args.expect_keys(&allowed(&[&MACHINE_KEYS, &["alg", "n", "p", "mem", "f"]]))?;
+    args.expect_keys(&allowed(&[
+        &MACHINE_KEYS,
+        &["alg", "n", "p", "mem", "f", "halo", "iters"],
+    ]))?;
     let (mp, mname) = machine_from(args)?;
     let alg = algorithm_from(args)?;
     let n = args.req_u64("n")?;
@@ -193,7 +205,7 @@ pub fn model(args: &Args, out: &mut String) -> CmdResult {
 }
 
 pub fn scaling(args: &Args, out: &mut String) -> CmdResult {
-    args.expect_keys(&["alg", "n", "mem", "f"])?;
+    args.expect_keys(&["alg", "n", "mem", "f", "halo", "iters"])?;
     let alg = algorithm_from(args)?;
     let n = args.req_u64("n")?;
     let mem = args.req_f64("mem")?;
@@ -431,10 +443,37 @@ fn run_algorithm(
             });
             (profile, ok)
         }
+        "samplesort" => {
+            let keys = random_keys(n, seed);
+            let (sorted, profile) = sample_sort(&keys, p, cfg).map_err(|e| e.to_string())?;
+            let mut reference = keys;
+            reference.sort_by(|a, b| a.total_cmp(b));
+            // Bit-identical, not approximately equal: sorting permutes,
+            // it never rounds.
+            (profile, sorted == reference)
+        }
+        "stencil" => {
+            let halo = args.u64_or("halo", 1)? as usize;
+            let iters = args.u64_or("iters", 4)? as usize;
+            // 2-D blocks when p is a perfect square dividing n, 1-D row
+            // slabs otherwise (same rule as the lab runner).
+            let q = (p as f64).sqrt().round() as usize;
+            let decomp = if q * q == p && q > 0 && n.is_multiple_of(q) {
+                Decomp::TwoD
+            } else {
+                Decomp::OneD
+            };
+            let grid = random_grid(n, seed);
+            let (out, profile) =
+                halo_stencil(&grid, n, halo, iters, decomp, p, cfg).map_err(|e| e.to_string())?;
+            let reference = serial_stencil(&grid, n, halo, iters);
+            (profile, out == reference)
+        }
         other => {
             return Err(format!(
                 "unknown simulation `{other}` \
-                 (cannon|summa|mm25d|mm3d|strassen|lu|solve|cholesky|tsqr|nbody|fft|matvec)"
+                 (cannon|summa|mm25d|mm3d|strassen|lu|solve|cholesky|tsqr|nbody|fft|matvec|\
+                 samplesort|stencil)"
             ))
         }
     };

@@ -38,6 +38,38 @@ fn success_paths_exit_zero() {
     assert!(out.status.success(), "{}", stderr_line(&out));
     assert!(stderr_line(&out).is_empty(), "{}", stderr_line(&out));
     std::fs::remove_dir_all(&dir).ok();
+    // The sorting and stencil workloads simulate and self-verify on
+    // both backends.
+    for (alg, extra) in [
+        ("samplesort", &[][..]),
+        ("stencil", &["--halo", "2", "--iters", "2"][..]),
+    ] {
+        for backend in ["threads", "events"] {
+            let mut args = vec![
+                "simulate",
+                "--alg",
+                alg,
+                "--n",
+                "64",
+                "--p",
+                "4",
+                "--backend",
+                backend,
+            ];
+            args.extend_from_slice(extra);
+            let out = psse(&args);
+            assert!(
+                out.status.success(),
+                "{alg}/{backend}: {}",
+                stderr_line(&out)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+            assert!(
+                stdout.contains("verified against the sequential reference"),
+                "{alg}/{backend}: {stdout}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -97,7 +97,7 @@ pub mod prelude {
     };
     pub use crate::costs::{
         Algorithm, AlgorithmCosts, Cholesky25d, ClassicalMatMul, DirectNBody, FftAllToAll, FftTree,
-        Lu25d, MatVec, StrassenMatMul,
+        HaloStencilModel, Lu25d, MatVec, SampleSortModel, StrassenMatMul,
     };
     pub use crate::error::CoreError;
     pub use crate::machines::{jaketown, table2, MachineSpec};

@@ -68,7 +68,8 @@ pub use bridge::run_programs;
 pub use exec::{EventMachine, EventOutcome};
 pub use program::RankProgram;
 pub use programs::{
-    BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce,
+    BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce, SampleSort,
+    Stencil1D,
 };
 pub use step::{Delivered, Payload, Step};
 
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::program::RankProgram;
     pub use crate::programs::{
         BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce,
+        SampleSort, Stencil1D,
     };
     pub use crate::step::{Delivered, Payload, Step};
     pub use psse_sim::{Backend, SimConfig, Tag};

@@ -10,12 +10,17 @@
 //! the classic alternatives with different S/W trade-offs, and
 //! [`Matmul25D`] is the communication skeleton of the paper's 2.5D
 //! matrix multiply (replication, Cannon-style shifts, layer reduction)
-//! in counted form for `p = 10^5`–`10^6` runs.
+//! in counted form for `p = 10^5`–`10^6` runs. Beyond linear algebra,
+//! [`SampleSort`] is the regular-sampling distributed sort (the
+//! Scquizzato–Silvestri bound family: `W = Θ(n/p)` attained, but
+//! `S = Θ(p)` — the scaling-breaker) and [`Stencil1D`] the iterated
+//! periodic halo-exchange stencil (surface `W = Θ(h·n)` per slab,
+//! `S = 2` per sweep).
 //!
 //! Every program supports *counted* payloads (words priced, no buffers
-//! allocated — mandatory at mega-scale) and the allreduces also run in
-//! *data* mode carrying real values (used by the cross-backend
-//! identity tests, where results must match too).
+//! allocated — mandatory at mega-scale) and the allreduces, the sort
+//! and the stencil also run in *data* mode carrying real values (used
+//! by the cross-backend identity tests, where results must match too).
 
 use crate::program::RankProgram;
 use crate::step::{Delivered, Payload, Step};
@@ -781,6 +786,549 @@ impl RankProgram for Matmul25D {
                     return Step::CollEnd { op: "matmul_25d" };
                 }
                 MmState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed sample sort (regular sampling, direct exchanges)
+// ---------------------------------------------------------------------
+
+/// Tag for the splitter-sample exchange.
+const SS_SAMPLE: u64 = 1 << 20;
+/// Tag for the bucket all-to-all.
+const SS_EXCHANGE: u64 = 1 << 21;
+
+/// `⌈log₂ x⌉` for comparison accounting (0 for `x ≤ 1`).
+fn ceil_log2(x: usize) -> u64 {
+    if x < 2 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as u64
+    }
+}
+
+/// Comparisons charged for sorting `x` keys: `x·⌈log₂ x⌉`.
+fn sort_flops(x: usize) -> u64 {
+    x as u64 * ceil_log2(x)
+}
+
+enum SsState {
+    Begin,
+    LocalSort,
+    SampleSend,
+    SampleRecv,
+    SplitterCompute,
+    Partition,
+    ExchangeSend,
+    ExchangeRecv,
+    Merge,
+    End,
+    Done,
+}
+
+/// Distributed sample sort as a resumable program: local sort, direct
+/// exchange of `p − 1` regular samples per rank, deterministic splitter
+/// agreement, bucket all-to-all, local merge. The same shape as
+/// `psse-algos`' `sample_sort` (identical per-rank `W = (p−1)·(p−1) +
+/// (exchange)` and `S = 2(p−1)`, so the `S = Θ(p)` scaling-breaker
+/// shows up at mega-scale too); in data mode the per-rank results equal
+/// the closure algorithm's buckets exactly.
+///
+/// Counted mode assumes perfectly uniform buckets (`bs/p` words each,
+/// requiring `p | bs`), which makes [`SampleSort::expected_totals`] an
+/// exact closed form; data mode carries the real keys with
+/// data-dependent bucket sizes.
+pub struct SampleSort {
+    me: usize,
+    p: usize,
+    /// Keys per rank.
+    bs: usize,
+    st: SsState,
+    /// `None` in counted mode; the sorted local block in data mode.
+    block: Option<Vec<f64>>,
+    /// Sample sets by source rank (data mode).
+    candidates: Vec<Vec<f64>>,
+    /// Outgoing buckets (data mode), indexed by destination.
+    buckets: Vec<Vec<f64>>,
+    /// Received buckets by source rank (data mode).
+    received: Vec<Vec<f64>>,
+    /// Words received (all modes; drives the merge charge).
+    recv_words: usize,
+    /// Final sorted bucket (data mode).
+    out: Option<Vec<f64>>,
+    /// Destination / source cursor within a phase.
+    cursor: usize,
+    /// Source whose delivery the next resumption carries.
+    pending: Option<usize>,
+    /// Shared sample payload (data mode, sent to every peer).
+    sample_buf: Option<SharedPayload>,
+}
+
+impl SampleSort {
+    /// Counted-mode constructor: `bs` keys per rank, uniform buckets.
+    /// Panics (per rank) unless `p | bs` and `bs ≥ p`.
+    pub fn counted(bs: usize) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| {
+            assert!(bs >= p, "samplesort: need bs >= p (bs={bs}, p={p})");
+            assert_eq!(bs % p, 0, "counted samplesort needs p | bs");
+            Self::new(me, p, bs, None)
+        }
+    }
+
+    /// Data-mode constructor: sorts `keys` (length a multiple of `p`,
+    /// block size at least `p`).
+    pub fn with_data(keys: Vec<f64>) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| {
+            let n = keys.len();
+            assert_eq!(n % p, 0, "samplesort: p must divide the key count");
+            let bs = n / p;
+            assert!(bs >= p, "samplesort: need n >= p²");
+            let block = keys[me * bs..(me + 1) * bs].to_vec();
+            Self::new(me, p, bs, Some(block))
+        }
+    }
+
+    fn new(me: usize, p: usize, bs: usize, block: Option<Vec<f64>>) -> Self {
+        SampleSort {
+            me,
+            p,
+            bs,
+            st: SsState::Begin,
+            block,
+            candidates: vec![Vec::new(); p],
+            buckets: Vec::new(),
+            received: vec![Vec::new(); p],
+            recv_words: 0,
+            out: None,
+            cursor: 0,
+            pending: None,
+            sample_buf: None,
+        }
+    }
+
+    /// The rank's sorted bucket (data mode, after completion); the
+    /// concatenation across ranks is the globally sorted sequence.
+    pub fn result(&self) -> Option<&[f64]> {
+        self.out.as_deref()
+    }
+
+    /// Exact Eq. 1 totals for the counted skeleton (`s = p − 1` samples
+    /// per rank, uniform `bs/p`-word buckets):
+    ///
+    /// * samples: `p(p−1)` transfers of `s` words;
+    /// * exchange: `p(p−1)` transfers of `bs/p` words;
+    /// * flops: local sorts + splitter sorts + `p−1` binary-search cuts
+    ///   + `⌈log₂p⌉`-level merges.
+    pub fn expected_totals(p: u64, bs: u64, m: u64) -> OpTotals {
+        let s = p - 1;
+        let per = bs / p;
+        let msgs = p * s * (chunks(s, m) + chunks(per, m));
+        let words = p * s * (s + per);
+        let flops = p
+            * (sort_flops(bs as usize)
+                + sort_flops((p * s) as usize)
+                + s * ceil_log2(bs as usize)
+                + bs * ceil_log2(p as usize));
+        OpTotals { msgs, words, flops }
+    }
+
+    /// Advance the peer cursor past `me`; returns the next peer or
+    /// `None` when the phase is exhausted.
+    fn next_peer(&mut self) -> Option<usize> {
+        if self.cursor == self.me {
+            self.cursor += 1;
+        }
+        if self.cursor < self.p {
+            let d = self.cursor;
+            self.cursor += 1;
+            Some(d)
+        } else {
+            None
+        }
+    }
+}
+
+impl RankProgram for SampleSort {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        let mut delivered = delivered;
+        let (p, bs, s) = (self.p, self.bs, self.p - 1);
+        loop {
+            match self.st {
+                SsState::Begin => {
+                    self.st = SsState::LocalSort;
+                    return Step::CollBegin { op: "samplesort" };
+                }
+                SsState::LocalSort => {
+                    if let Some(block) = &mut self.block {
+                        block.sort_by(|a, b| a.total_cmp(b));
+                        // Regular samples at positions (i+1)·bs/p.
+                        let samples: Vec<f64> = (1..p).map(|i| block[i * bs / p]).collect();
+                        self.candidates[self.me] = samples.clone();
+                        self.sample_buf = Some(Arc::new(samples));
+                    }
+                    self.cursor = 0;
+                    self.st = SsState::SampleSend;
+                    return Step::Compute {
+                        flops: sort_flops(bs),
+                    };
+                }
+                SsState::SampleSend => match self.next_peer() {
+                    Some(dest) => {
+                        let payload = match &self.sample_buf {
+                            Some(buf) => Payload::Data(Arc::clone(buf)),
+                            None => Payload::Counted(s),
+                        };
+                        return Step::Send {
+                            dest,
+                            tag: Tag(SS_SAMPLE),
+                            payload,
+                        };
+                    }
+                    None => {
+                        self.cursor = 0;
+                        self.st = SsState::SampleRecv;
+                    }
+                },
+                SsState::SampleRecv => {
+                    if let (Some(src), Some(d)) = (self.pending.take(), delivered.take()) {
+                        if self.block.is_some() {
+                            self.candidates[src] = d.values().to_vec();
+                        }
+                    }
+                    match self.next_peer() {
+                        Some(src) => {
+                            self.pending = Some(src);
+                            return Step::Recv {
+                                src,
+                                tag: Tag(SS_SAMPLE),
+                            };
+                        }
+                        None => self.st = SsState::SplitterCompute,
+                    }
+                }
+                SsState::SplitterCompute => {
+                    self.st = SsState::Partition;
+                    return Step::Compute {
+                        flops: sort_flops(p * s),
+                    };
+                }
+                SsState::Partition => {
+                    if let Some(block) = &self.block {
+                        // All ranks sort the identical candidate
+                        // multiset (rank order), so all agree on the
+                        // p − 1 splitters — same rule as the closure
+                        // algorithm.
+                        let mut cand: Vec<f64> =
+                            self.candidates.iter().flatten().copied().collect();
+                        cand.sort_by(|a, b| a.total_cmp(b));
+                        let splitters: Vec<f64> = (0..s).map(|j| cand[(j + 1) * s]).collect();
+                        let mut cuts = vec![0usize];
+                        for sp in &splitters {
+                            cuts.push(block.partition_point(|x| x.total_cmp(sp).is_le()));
+                        }
+                        cuts.push(bs);
+                        self.buckets = (0..p)
+                            .map(|d| block[cuts[d]..cuts[d + 1]].to_vec())
+                            .collect();
+                        self.received[self.me] = self.buckets[self.me].clone();
+                        self.recv_words += self.buckets[self.me].len();
+                    } else {
+                        self.recv_words += bs / p; // own uniform bucket
+                    }
+                    self.cursor = 0;
+                    self.st = SsState::ExchangeSend;
+                    return Step::Compute {
+                        flops: s as u64 * ceil_log2(bs),
+                    };
+                }
+                SsState::ExchangeSend => match self.next_peer() {
+                    Some(dest) => {
+                        let payload = if self.block.is_some() {
+                            Payload::Data(Arc::new(std::mem::take(&mut self.buckets[dest])))
+                        } else {
+                            Payload::Counted(bs / p)
+                        };
+                        return Step::Send {
+                            dest,
+                            tag: Tag(SS_EXCHANGE),
+                            payload,
+                        };
+                    }
+                    None => {
+                        self.cursor = 0;
+                        self.st = SsState::ExchangeRecv;
+                    }
+                },
+                SsState::ExchangeRecv => {
+                    if let (Some(src), Some(d)) = (self.pending.take(), delivered.take()) {
+                        self.recv_words += d.words;
+                        if self.block.is_some() {
+                            self.received[src] = d.values().to_vec();
+                        }
+                    }
+                    match self.next_peer() {
+                        Some(src) => {
+                            self.pending = Some(src);
+                            return Step::Recv {
+                                src,
+                                tag: Tag(SS_EXCHANGE),
+                            };
+                        }
+                        None => self.st = SsState::Merge,
+                    }
+                }
+                SsState::Merge => {
+                    if self.block.is_some() {
+                        let mut bucket: Vec<f64> =
+                            self.received.iter().flatten().copied().collect();
+                        bucket.sort_by(|a, b| a.total_cmp(b));
+                        self.out = Some(bucket);
+                    }
+                    self.st = SsState::End;
+                    return Step::Compute {
+                        flops: self.recv_words as u64 * ceil_log2(p),
+                    };
+                }
+                SsState::End => {
+                    self.st = SsState::Done;
+                    return Step::CollEnd { op: "samplesort" };
+                }
+                SsState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Iterated halo-exchange stencil (1-D slab decomposition)
+// ---------------------------------------------------------------------
+
+/// Tag base for halo exchanges (4 tags per sweep).
+const ST_HALO: u64 = 1 << 22;
+
+enum StState {
+    Begin,
+    IterStart,
+    SendTop,
+    SendBottom,
+    RecvBottom,
+    RecvTop,
+    Update,
+    End,
+    Done,
+}
+
+/// The iterated periodic box stencil on `p` row slabs as a resumable
+/// program: each sweep sends the `h` top rows north and the `h` bottom
+/// rows south (`2` messages of `h·n` words per rank — the halo
+/// *surface*), then updates the `(n/p)·n` interior (the *volume*). In
+/// data mode the update sums the neighbourhood in the same `(di, dj)`
+/// order as `psse-algos`' `serial_stencil`, so per-rank results are
+/// bit-identical to the serial reference at any `p`.
+///
+/// [`Stencil1D::expected_totals`] is exact for both modes (the halo
+/// sizes are data-independent, unlike [`SampleSort`]'s buckets).
+pub struct Stencil1D {
+    me: usize,
+    p: usize,
+    /// Grid side.
+    n: usize,
+    /// Halo width.
+    h: usize,
+    iters: usize,
+    /// Rows per rank: `n/p`.
+    rows: usize,
+    st: StState,
+    /// Sweep counter.
+    t: usize,
+    /// `None` in counted mode; the local row slab in data mode.
+    block: Option<Vec<f64>>,
+    halo_top: Vec<f64>,
+    halo_bottom: Vec<f64>,
+}
+
+impl Stencil1D {
+    /// Counted-mode constructor. Panics (per rank) unless `p | n`,
+    /// `1 ≤ h ≤ n/p`.
+    pub fn counted(n: usize, h: usize, iters: usize) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| Self::new(me, p, n, h, iters, None)
+    }
+
+    /// Data-mode constructor over a row-major `n × n` grid.
+    pub fn with_data(
+        grid: Vec<f64>,
+        n: usize,
+        h: usize,
+        iters: usize,
+    ) -> impl Fn(usize, usize) -> Self + Sync {
+        move |me, p| {
+            assert_eq!(grid.len(), n * n, "stencil: grid must be n×n");
+            let rows = n / p;
+            let block = grid[me * rows * n..(me + 1) * rows * n].to_vec();
+            Self::new(me, p, n, h, iters, Some(block))
+        }
+    }
+
+    fn new(me: usize, p: usize, n: usize, h: usize, iters: usize, block: Option<Vec<f64>>) -> Self {
+        assert!(p >= 1 && n.is_multiple_of(p), "stencil: p must divide n");
+        assert!(h >= 1 && h <= n / p, "stencil: need 1 <= h <= n/p");
+        Stencil1D {
+            me,
+            p,
+            n,
+            h,
+            iters,
+            rows: n / p,
+            st: StState::Begin,
+            t: 0,
+            block,
+            halo_top: Vec::new(),
+            halo_bottom: Vec::new(),
+        }
+    }
+
+    /// The rank's final row slab (data mode, after completion).
+    pub fn result(&self) -> Option<&[f64]> {
+        self.block.as_deref()
+    }
+
+    /// Exact Eq. 1 totals: `2` halo transfers of `h·n` words per rank
+    /// and sweep (none at `p = 1` — self-halos wrap locally), and
+    /// `(n/p)·n·(2h+1)²` flops per rank and sweep.
+    pub fn expected_totals(p: u64, n: u64, h: u64, iters: u64, m: u64) -> OpTotals {
+        let k = 2 * h + 1;
+        let (msgs, words) = if p == 1 {
+            (0, 0)
+        } else {
+            (p * iters * 2 * chunks(h * n, m), p * iters * 2 * h * n)
+        };
+        OpTotals {
+            msgs,
+            words,
+            flops: p * iters * (n / p) * n * k * k,
+        }
+    }
+
+    fn tag(&self, off: u64) -> Tag {
+        Tag(ST_HALO + 4 * self.t as u64 + off)
+    }
+
+    /// One periodic sweep of the local slab using the received halos —
+    /// ascending `(di, dj)` order, bit-identical to the serial kernel.
+    fn update(&mut self) {
+        let (n, h, rows) = (self.n, self.h, self.rows);
+        let Some(block) = &mut self.block else { return };
+        let vr = rows + 2 * h;
+        let mut vert = Vec::with_capacity(vr * n);
+        vert.extend_from_slice(&self.halo_top);
+        vert.extend_from_slice(block);
+        vert.extend_from_slice(&self.halo_bottom);
+        let inv = 1.0 / ((2 * h + 1) * (2 * h + 1)) as f64;
+        for i in 0..rows {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for di in 0..=2 * h {
+                    let base = (i + di) * n;
+                    for dj in 0..=2 * h {
+                        acc += vert[base + (j + n + dj - h) % n];
+                    }
+                }
+                block[i * n + j] = acc * inv;
+            }
+        }
+    }
+}
+
+impl RankProgram for Stencil1D {
+    fn next(&mut self, delivered: Option<Delivered>) -> Step {
+        let mut delivered = delivered;
+        let (p, n, h, rows) = (self.p, self.n, self.h, self.rows);
+        let north = (self.me + p - 1) % p;
+        let south = (self.me + 1) % p;
+        loop {
+            match self.st {
+                StState::Begin => {
+                    self.st = StState::IterStart;
+                    return Step::CollBegin { op: "stencil" };
+                }
+                StState::IterStart => {
+                    if self.t >= self.iters {
+                        self.st = StState::End;
+                        continue;
+                    }
+                    if p == 1 {
+                        // Periodic self-halos, no traffic.
+                        if let Some(block) = &self.block {
+                            self.halo_top = block[(rows - h) * n..].to_vec();
+                            self.halo_bottom = block[..h * n].to_vec();
+                        }
+                        self.st = StState::Update;
+                    } else {
+                        self.st = StState::SendTop;
+                    }
+                }
+                StState::SendTop => {
+                    let payload = match &self.block {
+                        Some(block) => Payload::Data(Arc::new(block[..h * n].to_vec())),
+                        None => Payload::Counted(h * n),
+                    };
+                    self.st = StState::SendBottom;
+                    return Step::Send {
+                        dest: north,
+                        tag: self.tag(0),
+                        payload,
+                    };
+                }
+                StState::SendBottom => {
+                    let payload = match &self.block {
+                        Some(block) => Payload::Data(Arc::new(block[(rows - h) * n..].to_vec())),
+                        None => Payload::Counted(h * n),
+                    };
+                    self.st = StState::RecvBottom;
+                    return Step::Send {
+                        dest: south,
+                        tag: self.tag(1),
+                        payload,
+                    };
+                }
+                StState::RecvBottom => {
+                    // South's top rows are my bottom halo.
+                    self.st = StState::RecvTop;
+                    return Step::Recv {
+                        src: south,
+                        tag: self.tag(0),
+                    };
+                }
+                StState::RecvTop => {
+                    if let Some(d) = delivered.take() {
+                        self.halo_bottom = d.values().to_vec();
+                    }
+                    // North's bottom rows are my top halo.
+                    self.st = StState::Update;
+                    return Step::Recv {
+                        src: north,
+                        tag: self.tag(1),
+                    };
+                }
+                StState::Update => {
+                    if let Some(d) = delivered.take() {
+                        self.halo_top = d.values().to_vec();
+                    }
+                    self.update();
+                    self.t += 1;
+                    self.st = StState::IterStart;
+                    let k = 2 * h as u64 + 1;
+                    return Step::Compute {
+                        flops: (rows * n) as u64 * k * k,
+                    };
+                }
+                StState::End => {
+                    self.st = StState::Done;
+                    return Step::CollEnd { op: "stencil" };
+                }
+                StState::Done => return Step::Done,
             }
         }
     }

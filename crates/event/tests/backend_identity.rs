@@ -366,3 +366,117 @@ fn lowest_ranked_error_wins() {
         "{err:?}"
     );
 }
+
+/// Sample sort — data mode with real keys, data-dependent bucket sizes
+/// — is byte-identical across backends, and the counted skeleton
+/// matches its closed form.
+#[test]
+fn backends_bit_identical_samplesort() {
+    let keys: Vec<f64> = (0..240).map(|i| ((i * 37) % 240) as f64 - 120.0).collect();
+    for p in [1usize, 4, 8] {
+        let a = run_programs(
+            p,
+            &cfg(Backend::Threads),
+            SampleSort::with_data(keys.clone()),
+        )
+        .unwrap();
+        let b = run_programs(
+            p,
+            &cfg(Backend::Events),
+            SampleSort::with_data(keys.clone()),
+        )
+        .unwrap();
+        assert_eq!(a.profile, b.profile, "samplesort p={p}");
+        let mut sorted = Vec::new();
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.result().unwrap(), y.result().unwrap(), "p={p}");
+            sorted.extend_from_slice(x.result().unwrap());
+        }
+        let mut expect = keys.clone();
+        expect.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(sorted, expect, "p={p}: concatenated buckets are sorted");
+    }
+    let skel = run_programs(8, &cfg(Backend::Events), SampleSort::counted(64)).unwrap();
+    let t = SampleSort::expected_totals(8, 64, 37);
+    assert_eq!(skel.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(skel.profile.total_words_sent(), t.words);
+    assert_eq!(skel.profile.total_flops(), t.flops);
+}
+
+/// The halo stencil — data mode — is byte-identical across backends
+/// and under faults, and matches the closed form exactly.
+#[test]
+fn backends_bit_identical_stencil() {
+    let n = 16usize;
+    let grid: Vec<f64> = (0..n * n).map(|i| (i as f64).sin()).collect();
+    for p in [1usize, 2, 4, 8] {
+        let mk = || Stencil1D::with_data(grid.clone(), n, 1, 3);
+        let a = run_programs(p, &cfg(Backend::Threads), mk()).unwrap();
+        let b = run_programs(p, &cfg(Backend::Events), mk()).unwrap();
+        assert_eq!(a.profile, b.profile, "stencil p={p}");
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.result().unwrap(), y.result().unwrap(), "p={p}");
+        }
+        let t = Stencil1D::expected_totals(p as u64, n as u64, 1, 3, 37);
+        assert_eq!(a.profile.total_words_sent(), t.words, "p={p}");
+        assert_eq!(a.profile.total_flops(), t.flops, "p={p}");
+    }
+}
+
+/// Both new workloads under the full fault plan (drops, corruption,
+/// duplicates, delays, crash + checkpoint/restart): thread and event
+/// backends price identically, and the recovered numerics equal the
+/// fault-free run bit-for-bit.
+#[test]
+fn new_workloads_bit_identical_under_faults() {
+    let keys: Vec<f64> = (0..120).map(|i| ((i * 53) % 120) as f64).collect();
+    let n = 12usize;
+    let grid: Vec<f64> = (0..n * n).map(|i| (i as f64).cos()).collect();
+    let faulted = |backend| SimConfig {
+        faults: Some(busy_plan()),
+        ..cfg(backend)
+    };
+    for p in [4usize, 6] {
+        let a = run_programs(
+            p,
+            &faulted(Backend::Threads),
+            SampleSort::with_data(keys.clone()),
+        )
+        .unwrap();
+        let b = run_programs(
+            p,
+            &faulted(Backend::Events),
+            SampleSort::with_data(keys.clone()),
+        )
+        .unwrap();
+        let clean = run_programs(
+            p,
+            &cfg(Backend::Threads),
+            SampleSort::with_data(keys.clone()),
+        )
+        .unwrap();
+        assert_eq!(a.profile, b.profile, "samplesort faulted p={p}");
+        for ((x, y), z) in a.programs.iter().zip(&b.programs).zip(&clean.programs) {
+            assert_eq!(x.result().unwrap(), y.result().unwrap());
+            assert_eq!(
+                x.result().unwrap(),
+                z.result().unwrap(),
+                "faults change bits"
+            );
+        }
+
+        let mk = || Stencil1D::with_data(grid.clone(), n, 1, 2);
+        let a = run_programs(p, &faulted(Backend::Threads), mk()).unwrap();
+        let b = run_programs(p, &faulted(Backend::Events), mk()).unwrap();
+        let clean = run_programs(p, &cfg(Backend::Threads), mk()).unwrap();
+        assert_eq!(a.profile, b.profile, "stencil faulted p={p}");
+        for ((x, y), z) in a.programs.iter().zip(&b.programs).zip(&clean.programs) {
+            assert_eq!(x.result().unwrap(), y.result().unwrap());
+            assert_eq!(
+                x.result().unwrap(),
+                z.result().unwrap(),
+                "faults change bits"
+            );
+        }
+    }
+}

@@ -139,3 +139,50 @@ fn matmul_25d_1m_ranks_counts_exact() {
     assert_eq!(out.profile.total_words_sent(), t.words);
     assert_eq!(out.profile.total_flops(), t.flops);
 }
+
+/// The stencil at `p = 10^5` slabs (`n = 10^5`, 2 sweeps — ~400 k halo
+/// transfers): exact surface words and volume flops.
+#[test]
+fn stencil_100k_ranks_counts_exact() {
+    let (p, n, h, iters) = (100_000usize, 100_000usize, 1usize, 2usize);
+    let out = run_programs(p, &counted_cfg(), Stencil1D::counted(n, h, iters)).unwrap();
+    let t = Stencil1D::expected_totals(p as u64, n as u64, h as u64, iters as u64, 1 << 16);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(out.profile.total_words_sent(), t.words);
+    assert_eq!(out.profile.total_flops(), t.flops);
+    let (sent, recvd) = out.profile.words_balance();
+    assert_eq!(sent, recvd);
+}
+
+/// Sample sort at `p = 2^10` (the all-to-all is quadratic in p — ~2 M
+/// priced transfers): exact against the uniform-bucket closed form, and
+/// the S = Θ(p) scaling-breaker is visible in the per-rank counters.
+#[test]
+#[ignore = "mega-scale: run in release (CI mega-scale job)"]
+fn samplesort_1k_ranks_counts_exact() {
+    let (p, bs) = (1usize << 10, 1usize << 12);
+    let out = run_programs(p, &counted_cfg(), SampleSort::counted(bs)).unwrap();
+    let t = SampleSort::expected_totals(p as u64, bs as u64, 1 << 16);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(out.profile.total_words_sent(), t.words);
+    assert_eq!(out.profile.total_flops(), t.flops);
+    // Every rank pays 2(p−1) messages: latency grows linearly with p.
+    assert!(out
+        .profile
+        .per_rank
+        .iter()
+        .all(|r| r.msgs_sent == 2 * (p as u64 - 1)));
+}
+
+/// The stencil at `p = 10^6` slabs — perfect-scaling workload at the
+/// paper's headline rank count (~8 M halo transfers).
+#[test]
+#[ignore = "mega-scale: run in release (CI mega-scale job)"]
+fn stencil_1m_ranks_counts_exact() {
+    let (p, n, h, iters) = (1_000_000usize, 1_000_000usize, 1usize, 2usize);
+    let out = run_programs(p, &counted_cfg(), Stencil1D::counted(n, h, iters)).unwrap();
+    let t = Stencil1D::expected_totals(p as u64, n as u64, h as u64, iters as u64, 1 << 16);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(out.profile.total_words_sent(), t.words);
+    assert_eq!(out.profile.total_flops(), t.flops);
+}

@@ -101,7 +101,18 @@ pub struct RunKey {
     /// identity, so editing a kernel file invalidates its cache slots
     /// even when the path is unchanged.
     pub kernel: Option<String>,
+    /// Stencil halo width (`alg = stencil` only; ignored elsewhere).
+    /// Default 1 — the default pair `(halo, iters) = (1, 4)` adds
+    /// nothing to the digest word stream, preserving every pre-stencil
+    /// digest.
+    pub halo: u64,
+    /// Stencil sweep count (`alg = stencil` only). Default 4.
+    pub iters: u64,
 }
+
+/// The `(halo, iters)` pair that leaves the digest word stream
+/// untouched (pre-stencil layout compatibility).
+pub const STENCIL_DEFAULTS: (u64, u64) = (1, 4);
 
 impl RunKey {
     /// A model-run key with the common defaults (`c = 1`, minimal
@@ -121,6 +132,8 @@ impl RunKey {
             faults: None,
             backend: Backend::Threads,
             kernel: None,
+            halo: STENCIL_DEFAULTS.0,
+            iters: STENCIL_DEFAULTS.1,
         }
     }
 
@@ -222,6 +235,13 @@ impl RunKey {
                 w.push(u64::from_le_bytes(word));
             }
         }
+        // Stencil knobs, same append-only discipline: the default pair
+        // adds nothing, so every pre-stencil digest is preserved.
+        if (self.halo, self.iters) != STENCIL_DEFAULTS {
+            w.push(u64::from_le_bytes(*b"stencil\0"));
+            w.push(self.halo);
+            w.push(self.iters);
+        }
         w
     }
 
@@ -241,7 +261,7 @@ impl RunKey {
     /// A short human-readable label for summaries and error messages.
     pub fn label(&self) -> String {
         format!(
-            "{}:{} n={} p={} c={}{}{}{}",
+            "{}:{} n={} p={} c={}{}{}{}{}",
             self.kind.as_str(),
             self.alg,
             self.n,
@@ -259,6 +279,11 @@ impl RunKey {
             },
             if self.backend != Backend::Threads {
                 format!(" backend={}", self.backend)
+            } else {
+                String::new()
+            },
+            if (self.halo, self.iters) != STENCIL_DEFAULTS {
+                format!(" halo={} iters={}", self.halo, self.iters)
             } else {
                 String::new()
             },
@@ -320,8 +345,28 @@ mod tests {
             faults: None,
             backend: Backend::Threads,
             kernel: None,
+            halo: 1,
+            iters: 4,
         };
         assert_eq!(k.digest(), "9a71881ab929cb833887064fb2109475");
+    }
+
+    #[test]
+    fn stencil_knobs_extend_the_identity_without_disturbing_old_digests() {
+        // The default pair (halo = 1, iters = 4) must hash exactly as
+        // the pre-stencil layout — the word stream is untouched — while
+        // any other pair gets its own cache slot and a label suffix.
+        let base = RunKey::simulate("stencil", 64, 4, jaketown());
+        assert_eq!((base.halo, base.iters), STENCIL_DEFAULTS);
+        assert!(!base.label().contains("halo="), "{}", base.label());
+        let mut k = base.clone();
+        k.halo = 2;
+        assert_ne!(base.digest(), k.digest());
+        let mut k2 = base.clone();
+        k2.iters = 8;
+        assert_ne!(base.digest(), k2.digest());
+        assert_ne!(k.digest(), k2.digest());
+        assert!(k2.label().ends_with(" halo=1 iters=8"), "{}", k2.label());
     }
 
     #[test]

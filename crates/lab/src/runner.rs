@@ -10,12 +10,13 @@
 //! [`Profile`](psse_sim::prelude::Profile).
 
 use psse_algos::prelude::{
-    cannon_matmul, matmul_25d, matmul_25d_abft, measure, measure_into, nbody_replicated,
-    sim_config_from, summa_matmul, summa_matmul_abft,
+    cannon_matmul, halo_stencil, matmul_25d, matmul_25d_abft, measure, measure_into,
+    nbody_replicated, random_grid, random_keys, sample_sort, serial_stencil, sim_config_from,
+    summa_matmul, summa_matmul_abft, Decomp,
 };
 use psse_core::costs::{
-    Algorithm, Cholesky25d, ClassicalMatMul, DirectNBody, FftAllToAll, FftTree, Lu25d, MatVec,
-    StrassenMatMul,
+    Algorithm, Cholesky25d, ClassicalMatMul, DirectNBody, FftAllToAll, FftTree, HaloStencilModel,
+    Lu25d, MatVec, SampleSortModel, StrassenMatMul,
 };
 use psse_core::optimize::matmul::MatMulOptimizer;
 use psse_core::optimize::nbody::NBodyOptimizer;
@@ -27,8 +28,14 @@ use crate::key::{RunKey, RunKind};
 use crate::result::{digest_f64s, RunResult};
 
 /// Resolve a model-run algorithm id to its cost model. `f` is the
-/// n-body flops-per-interaction knob (ignored by the rest).
-pub fn model_algorithm(alg: &str, f: f64) -> Result<Box<dyn Algorithm>, String> {
+/// n-body flops-per-interaction knob, `halo`/`iters` the stencil shape
+/// (each ignored by the other algorithms).
+pub fn model_algorithm(
+    alg: &str,
+    f: f64,
+    halo: u64,
+    iters: u64,
+) -> Result<Box<dyn Algorithm>, String> {
     Ok(match alg {
         "matmul" | "mm25d" => Box::new(ClassicalMatMul),
         "strassen" => Box::new(StrassenMatMul::default()),
@@ -40,10 +47,12 @@ pub fn model_algorithm(alg: &str, f: f64) -> Result<Box<dyn Algorithm>, String> 
         "matvec" => Box::new(MatVec),
         "fft" | "fft-tree" => Box::new(FftTree),
         "fft-a2a" => Box::new(FftAllToAll),
+        "samplesort" => Box::new(SampleSortModel),
+        "stencil" => Box::new(HaloStencilModel { halo, iters }),
         other => {
             return Err(format!(
                 "unknown model algorithm `{other}` \
-                 (matmul|strassen|lu|cholesky|nbody|matvec|fft|fft-a2a)"
+                 (matmul|strassen|lu|cholesky|nbody|matvec|fft|fft-a2a|samplesort|stencil)"
             ));
         }
     })
@@ -146,7 +155,7 @@ fn execute_model(key: &RunKey) -> Result<RunResult, String> {
     if let Some(text) = &key.kernel {
         return execute_kernel_model(key, text);
     }
-    let alg = model_algorithm(&key.alg, key.f)?;
+    let alg = model_algorithm(&key.alg, key.f, key.halo, key.iters)?;
     let (lo, hi) = alg.memory_range(key.n, key.p).map_err(|e| e.to_string())?;
     // mem = 0 means "minimal memory at (n, p)"; clamp_mem folds
     // out-of-band requests back into [lo, hi] instead of flagging them.
@@ -265,10 +274,53 @@ fn execute_simulate(
             let flat: Vec<f64> = forces.iter().flatten().copied().collect();
             (digest_f64s(&flat), false, profile)
         }
+        "samplesort" => {
+            let keys = random_keys(n, key.seed);
+            let (sorted, profile) = sample_sort(&keys, p, cfg).map_err(|e| e.to_string())?;
+            // Verified in-run: the concatenated buckets must be the
+            // permutation `sort` would produce.
+            let mut reference = keys;
+            reference.sort_by(|a, b| a.total_cmp(b));
+            if sorted != reference {
+                return Err("samplesort: output does not match the serial sort".into());
+            }
+            (digest_f64s(&sorted), true, profile)
+        }
+        "stencil" => {
+            // Deterministic decomposition rule: 2-D blocks when p is a
+            // perfect square dividing the grid, 1-D row slabs otherwise
+            // — a pure function of (n, p), so the cache key needs no
+            // extra word.
+            let q = (p as f64).sqrt().round() as usize;
+            let decomp = if q * q == p && q > 0 && n.is_multiple_of(q) {
+                Decomp::TwoD
+            } else {
+                Decomp::OneD
+            };
+            let grid = random_grid(n, key.seed);
+            let (out, profile) = halo_stencil(
+                &grid,
+                n,
+                key.halo as usize,
+                key.iters as usize,
+                decomp,
+                p,
+                cfg,
+            )
+            .map_err(|e| e.to_string())?;
+            // Verified in-run, bit-for-bit: identical (di, dj) update
+            // order makes the distributed sweep reproduce the serial
+            // one exactly, not approximately.
+            let reference = serial_stencil(&grid, n, key.halo as usize, key.iters as usize);
+            if out != reference {
+                return Err("stencil: output does not match the serial sweep".into());
+            }
+            (digest_f64s(&out), true, profile)
+        }
         other => {
             return Err(format!(
                 "unknown simulator algorithm `{other}` \
-                 (mm25d|mm25d-abft|summa|summa-abft|cannon|nbody)"
+                 (mm25d|mm25d-abft|summa|summa-abft|cannon|nbody|samplesort|stencil)"
             ));
         }
     };
@@ -391,6 +443,38 @@ mod tests {
         let err = execute_watched(&key, None, Some(std::time::Duration::ZERO)).unwrap_err();
         assert!(err.starts_with("timeout:"), "{err}");
         assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn simulate_samplesort_verifies_against_serial_sort() {
+        let mut key = RunKey::simulate("samplesort", 256, 4, jaketown());
+        key.seed = 11;
+        let r = execute(&key).unwrap();
+        assert!(r.verified, "samplesort runs are checked in-run");
+        assert!(r.words > 0.0 && r.msgs > 0.0);
+        // Deterministic: equal keys, equal digests.
+        assert_eq!(r, execute(&key).unwrap());
+        key.seed = 12;
+        assert_ne!(r.output_digest, execute(&key).unwrap().output_digest);
+    }
+
+    #[test]
+    fn simulate_stencil_picks_the_decomposition_from_p() {
+        // p = 4 is a perfect square dividing n = 32: 2-D blocks, W per
+        // sweep = 4·(2hb + 2h(b+2h)) summed over ranks.
+        let mut key = RunKey::simulate("stencil", 32, 4, jaketown());
+        key.halo = 1;
+        key.iters = 2;
+        let r4 = execute(&key).unwrap();
+        let b = 32 / 2;
+        assert_eq!(r4.words as u64, 4 * 2 * (2 * b + 2 * (b + 2)));
+        // p = 2 is not a square: 1-D slabs, W per sweep = p·2hn.
+        key.p = 2;
+        let r2 = execute(&key).unwrap();
+        assert_eq!(r2.words as u64, 2 * 2 * (2 * 32));
+        // Same grid, same sweeps: identical output digests across
+        // decompositions (the stencil math is decomposition-blind).
+        assert_eq!(r4.output_digest, r2.output_digest);
     }
 
     #[test]

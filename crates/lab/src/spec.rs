@@ -58,6 +58,10 @@ pub struct SweepSpec {
     pub mem: Vec<f64>,
     /// n-body flops per interaction.
     pub f: f64,
+    /// Stencil halo width (`alg = stencil`; ignored elsewhere).
+    pub halo: u64,
+    /// Stencil sweep count (`alg = stencil`).
+    pub iters: u64,
     /// Input seed for simulator runs.
     pub seed: u64,
     /// Clamp out-of-band memories instead of flagging them infeasible.
@@ -211,6 +215,7 @@ impl SweepSpec {
         let mut c = vec![1u64];
         let mut mem: Vec<f64> = vec![];
         let mut f = 20.0;
+        let (mut halo, mut iters) = crate::key::STENCIL_DEFAULTS;
         let mut seed = 42u64;
         let mut clamp_mem = false;
         let mut backend = Backend::Threads;
@@ -277,6 +282,20 @@ impl SweepSpec {
                 "c" => c = parse_u64_list(value, lineno)?,
                 "mem" => mem = parse_f64_list(value, lineno)?,
                 "f" => f = scalar(value)?,
+                "halo" | "iters" => {
+                    let v = scalar(value)?;
+                    if v < 1.0 || v.fract() != 0.0 {
+                        return Err(LabError::spec(
+                            lineno,
+                            format!("`{key}` must be a positive integer, got `{value}`"),
+                        ));
+                    }
+                    if key == "halo" {
+                        halo = v as u64;
+                    } else {
+                        iters = v as u64;
+                    }
+                }
                 "seed" => seed = scalar(value)? as u64,
                 "timeout" => {
                     let v = scalar(value)?;
@@ -414,6 +433,8 @@ impl SweepSpec {
             c,
             mem,
             f,
+            halo,
+            iters,
             seed,
             clamp_mem,
             faults,
@@ -460,6 +481,8 @@ impl SweepSpec {
                             faults: self.faults.clone(),
                             backend: self.backend,
                             kernel: self.kernel.clone(),
+                            halo: self.halo,
+                            iters: self.iters,
                         });
                     }
                 }
@@ -668,6 +691,28 @@ mod tests {
         assert!(err.to_string().contains("line 2"), "{err}");
         assert!(err.to_string().contains("line 3"), "kernel line: {err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stencil_keys_parse_and_reach_the_run_keys() {
+        let spec = SweepSpec::parse(
+            "kind = simulate\nalg = stencil\nn = 64\np = 4\nhalo = 2\niters = 8\n",
+        )
+        .unwrap();
+        assert_eq!((spec.halo, spec.iters), (2, 8));
+        let keys = spec.expand();
+        assert!(keys.iter().all(|k| k.halo == 2 && k.iters == 8));
+        // Defaults leave old digests alone.
+        let plain = SweepSpec::parse("kind = simulate\nalg = mm25d\nn = 16\np = 8\n").unwrap();
+        assert_eq!((plain.halo, plain.iters), crate::key::STENCIL_DEFAULTS);
+        // Zero or fractional values are line-reported errors.
+        for bad in ["halo = 0", "iters = 2.5"] {
+            let err = SweepSpec::parse(&format!(
+                "kind = simulate\nalg = stencil\nn = 64\np = 4\n{bad}\n"
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("line 5"), "{bad}: {err}");
+        }
     }
 
     #[test]

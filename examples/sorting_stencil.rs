@@ -1,0 +1,136 @@
+//! Priced workloads beyond linear algebra: a distributed sample sort
+//! and an iterated halo-exchange stencil, simulated with real data,
+//! verified bit-for-bit against their sequential references, and priced
+//! with the paper's Eq. 1/2 models — including where each stands with
+//! respect to its communication lower bound.
+//!
+//! Run with: `cargo run --release --example sorting_stencil`
+
+use psse::core::costs::{Algorithm, HaloStencilModel, SampleSortModel};
+use psse::prelude::*;
+use psse::sim::machine::SimConfig;
+
+fn main() {
+    let mp = MachineParams::builder()
+        .gamma_t(1e-9)
+        .beta_t(1e-8)
+        .alpha_t(1e-7)
+        .gamma_e(1e-9)
+        .beta_e(1e-8)
+        .alpha_e(1e-7)
+        .max_message_words(1e4)
+        .build()
+        .unwrap();
+
+    // ── Sample sort: the bandwidth bound is attained, the band is not ──
+    let n = 1usize << 14;
+    let keys = random_keys(n, 1);
+    let mut reference = keys.clone();
+    reference.sort_by(|a, b| a.total_cmp(b));
+
+    println!("== distributed sample sort, n = {n} keys ==");
+    println!("       p   W/rank   Omega(n/p)   msgs/rank   T*p (model)");
+    for p in [4usize, 8, 16] {
+        let (sorted, profile) = sample_sort(&keys, p, SimConfig::counters_only()).unwrap();
+        assert!(
+            sorted
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sample sort must reproduce the serial sort bit-for-bit"
+        );
+        let w = profile.total_words_sent() as f64 / p as f64;
+        let bound = n as f64 / p as f64;
+        let model = SampleSortModel;
+        let c = model
+            .costs(
+                n as u64,
+                p as u64,
+                model.min_memory(n as u64, p as u64),
+                &mp,
+            )
+            .unwrap();
+        println!(
+            "  {p:>6}   {w:>6.0}   {bound:>10.0}   {:>9}   {:.4e}",
+            profile.max_msgs_sent(),
+            mp.time(&c) * p as f64
+        );
+    }
+    assert!(SampleSortModel
+        .strong_scaling_range(n as u64, 1e9)
+        .is_none());
+    println!(
+        "W attains the Scquizzato–Silvestri Omega(n/p) bound, but S = 2(p-1)\n\
+         grows with p: like the paper's FFT counterexample, sorting has NO\n\
+         perfect strong scaling range — T*p climbs with the latency term.\n"
+    );
+
+    // ── Halo stencil: an ε-perfect band from surface-to-volume ──
+    let ns = 64usize;
+    let (halo, iters) = (1usize, 4usize);
+    let grid = random_grid(ns, 2);
+    let serial = serial_stencil(&grid, ns, halo, iters);
+
+    println!("== {iters}-sweep radius-{halo} box stencil, {ns}x{ns} grid ==");
+    println!("       p   decomp   W/rank   surface model   T*p (model)");
+    for (p, decomp) in [
+        (4usize, Decomp::TwoD),
+        (8, Decomp::OneD),
+        (16, Decomp::TwoD),
+    ] {
+        let (out, profile) = halo_stencil(
+            &grid,
+            ns,
+            halo,
+            iters,
+            decomp,
+            p,
+            SimConfig::counters_only(),
+        )
+        .unwrap();
+        assert!(
+            out.iter()
+                .zip(&serial)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "the distributed stencil must match the serial sweep bit-for-bit"
+        );
+        let w = profile.total_words_sent() as f64 / p as f64;
+        let model = HaloStencilModel {
+            halo: halo as u64,
+            iters: iters as u64,
+        };
+        let (label, surface) = match decomp {
+            Decomp::TwoD => {
+                let b = ns / (p as f64).sqrt() as usize;
+                (
+                    "2-D",
+                    (iters * (2 * halo * b + 2 * halo * (b + 2 * halo))) as f64,
+                )
+            }
+            Decomp::OneD => ("1-D", (iters * 2 * halo * ns) as f64),
+        };
+        let c = model
+            .costs(
+                ns as u64,
+                p as u64,
+                model.min_memory(ns as u64, p as u64),
+                &mp,
+            )
+            .unwrap();
+        println!(
+            "  {p:>6}   {label:>6}   {w:>6.0}   {surface:>13.0}   {:.4e}",
+            mp.time(&c) * p as f64
+        );
+        assert_eq!(w, surface, "measured words must equal the closed form");
+    }
+    let model = HaloStencilModel { halo: 1, iters: 4 };
+    let range = model
+        .strong_scaling_range(ns as u64, (ns * ns) as f64 / 4.0)
+        .unwrap();
+    println!(
+        "surface/volume gives a scaling band [{:.0}, {:.0}]: S is constant per\n\
+         sweep and W ~ 1/sqrt(p), so T*p stays flat to within the quantified\n\
+         surface term — epsilon-perfect until the tile side shrinks to 2h.",
+        range.p_min, range.p_max
+    );
+}

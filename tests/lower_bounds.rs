@@ -120,6 +120,89 @@ fn fft_naive_alltoall_attains_its_word_cost() {
 }
 
 #[test]
+fn samplesort_attains_the_scquizzato_silvestri_bound() {
+    // Two independent certificates. (1) The shipped samplesort kernel
+    // (the bucket-counting nest, every key against every splitter)
+    // derives σ = 2 through the HBL LP — the n-body exponent family —
+    // confirming sorting's all-pairs comparison structure. (2) The
+    // *exchange* the simulator actually runs is governed by the
+    // Scquizzato–Silvestri Ω(n/p) words-per-rank bound (arXiv:1307.1805),
+    // which regular sampling attains: every key crosses the network at
+    // most once.
+    let text = std::fs::read_to_string("specs/kernels/samplesort.kernel").unwrap();
+    let kernel = Kernel::parse(&text).unwrap();
+    let (cost, _) = derive(&kernel).unwrap();
+    assert_eq!(cost.sigma, Rational::int(2));
+    assert_eq!((cost.depth, cost.rmax), (2, 1));
+
+    let n = 1usize << 14;
+    let keys = random_keys(n, 21);
+    for p in [4usize, 8, 16] {
+        let (_, profile) = sample_sort(&keys, p, SimConfig::counters_only()).unwrap();
+        let bound = n as f64 / p as f64;
+        let measured = avg_words(&profile);
+        // Attainment within constants: a rank keeps the ≈1/p of its
+        // keys that land in its own bucket (free self-sends), so the
+        // exchange moves (p−1)/p of each block, plus the (p−1)²
+        // splitter samples on top.
+        let lo = (1.0 - 1.0 / p as f64) * bound * 0.9;
+        let hi = 1.1 * (bound + ((p - 1) * (p - 1)) as f64);
+        assert!(
+            (lo..=hi).contains(&measured),
+            "p={p}: measured {measured} outside [{lo}, {hi}] around bound {bound}"
+        );
+        // But the latency attains Θ(p), not Θ(1): 2(p−1) messages per
+        // rank (sample allgather + pairwise all-to-all) — the term that
+        // denies sorting a perfect strong scaling range (paper §IV's
+        // FFT counterexample, same mechanism).
+        assert_eq!(profile.max_msgs_sent() as usize, 2 * (p - 1));
+    }
+}
+
+#[test]
+fn stencil_respects_the_skewed_kernel_bound() {
+    // The skewed space-time stencil kernel also derives σ = 2, giving
+    // W = Ω(G/(p·M)) for G total grid updates. A plain halo-exchange
+    // sweep (no temporal blocking) holds M = n²/p, where the bound
+    // degenerates to Ω(iters) — respected by orders of magnitude, but
+    // *not* attained: attaining it requires time-tiling. What the
+    // measured traffic does match exactly is the surface closed form
+    // iters·(2hb + 2h(b+2h)) per rank, b = n/√p.
+    let text = std::fs::read_to_string("specs/kernels/stencil3.kernel").unwrap();
+    let kernel = Kernel::parse(&text).unwrap();
+    let (cost, _) = derive(&kernel).unwrap();
+    assert_eq!(cost.sigma, Rational::int(2));
+    assert_eq!(cost.depth, 3);
+
+    let n = 64usize;
+    let (halo, iters) = (1usize, 4usize);
+    let grid = random_grid(n, 22);
+    for p in [4usize, 16] {
+        let (_, profile) = halo_stencil(
+            &grid,
+            n,
+            halo,
+            iters,
+            Decomp::TwoD,
+            p,
+            SimConfig::counters_only(),
+        )
+        .unwrap();
+        let mem = (n * n) as f64 / p as f64;
+        let updates = (iters * n * n) as f64;
+        let bound = updates / (p as f64 * mem.powf(cost.sigma.to_f64() - 1.0));
+        let measured = avg_words(&profile);
+        assert!(
+            measured >= bound,
+            "p={p}: measured {measured} below HBL bound {bound}"
+        );
+        let b = n / (p as f64).sqrt() as usize;
+        let surface = (iters * (2 * halo * b + 2 * halo * (b + 2 * halo))) as f64;
+        assert_eq!(measured, surface, "p={p}");
+    }
+}
+
+#[test]
 fn strassen_leaf_traffic_matches_the_fum_bound() {
     // Non-leader leaf ranks send exactly (n/2^k)² = n²/p^(2/ω0) words —
     // the memory-independent Strassen bound of Ballard et al.

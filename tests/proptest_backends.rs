@@ -73,7 +73,7 @@ proptest! {
     /// agree byte-for-byte across the two backends.
     #[test]
     fn backends_are_bit_identical(
-        alg in 0usize..3,
+        alg in 0usize..5,
         p in 1usize..65,
         words in 1usize..80,
         seed in 0u64..1_000_000,
@@ -119,9 +119,32 @@ proptest! {
                     &ctx,
                 );
             }
-            _ => {
+            2 => {
                 let ctx = format!("ring p={p} m={m} faults={with_faults}");
                 assert_backends_agree(p, &cfg, RingAllreduce::with_data(Tag(7), data.clone()), &ctx);
+            }
+            3 => {
+                // Sample sort needs p | n and a block of at least p keys
+                // per rank; stretch the random data to p·max(p, words).
+                let p = p.min(16);
+                let bs = words.max(p);
+                let keys: Vec<f64> = (0..p * bs)
+                    .map(|i| (((i as u64).wrapping_mul(seed | 1)) % 4096) as f64 * 0.5 - 1024.0)
+                    .collect();
+                let ctx = format!("samplesort p={p} bs={bs} m={m} faults={with_faults}");
+                assert_backends_agree(p, &cfg, SampleSort::with_data(keys), &ctx);
+            }
+            _ => {
+                // Stencil needs p | n rows: give each rank `words` rows
+                // (≥ halo = 1 each) of an n×n grid.
+                let p = p.min(8);
+                let n = p * words.clamp(1, 8);
+                let grid: Vec<f64> = (0..n * n)
+                    .map(|i| (((i as u64).wrapping_mul(seed | 3)) % 997) as f64 * 0.125)
+                    .collect();
+                let iters = 1 + (seed % 3) as usize;
+                let ctx = format!("stencil p={p} n={n} iters={iters} m={m} faults={with_faults}");
+                assert_backends_agree(p, &cfg, Stencil1D::with_data(grid, n, 1, iters), &ctx);
             }
         }
     }
