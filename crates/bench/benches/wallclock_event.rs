@@ -1,0 +1,141 @@
+//! Wall-clock benchmark of the discrete-event mega-scale engine: how
+//! many host seconds does `psse-event` burn to push 10^5–10^6 ranks
+//! through a priced collective?
+//!
+//! `wallclock_transport` times the thread-per-rank transport (which
+//! tops out near `p = 10^3`); this suite is the event scheduler's own
+//! receipt. Entries:
+//!
+//! * `event/p10k_faulted` — a counted binomial allreduce at `p = 10^4`
+//!   under a drop+delay fault plan with acked retries: the *general*
+//!   event path (faults disable every fast path), so it prices the
+//!   scheduler + mailbox + wire plumbing directly;
+//! * `event/stencil_p100k` — the 1-D halo stencil at `p = 10^5` slabs:
+//!   a non-collective workload that always takes the general path;
+//! * `event/p100k` — the headline: a counted binomial allreduce over
+//!   one hundred thousand ranks (the `≥5×` target of the hot-path
+//!   overhaul);
+//! * `event/p1m` — one million ranks, the paper's headline rank count.
+//!
+//! Results merge into `BENCH_event.json` at the repo root via the same
+//! phase machinery as `BENCH_sim.json` (`PSSE_WALLCLOCK_PHASE`,
+//! `PSSE_WALLCLOCK_QUICK`; see `psse_bench::wallclock`). Quick mode
+//! keeps the faulted `p = 10^4` and headline `p = 10^5` entries and
+//! runs one repetition — the CI mega-scale smoke setting. When
+//! `PSSE_WALLCLOCK_CEILING_MS` is set, the suite asserts `event/p100k`
+//! finished under that many milliseconds (the CI wall-clock budget).
+
+use psse_bench::wallclock::{self, time_best, Entry};
+use psse_event::prelude::*;
+use psse_sim::prelude::{FaultPlan, FaultSpec, RecoveryPolicy};
+
+/// Default prices, event backend, `m = 2^12` so the `2^14`-word
+/// payloads split into four chunks per transfer (the chunk loop is part
+/// of what we're timing).
+fn event_cfg() -> SimConfig {
+    SimConfig {
+        backend: Backend::Events,
+        max_message_words: 1 << 12,
+        ..SimConfig::default()
+    }
+}
+
+/// Counted binomial allreduce at `p` ranks; asserts the closed form so
+/// a fast path can never silently drop work.
+fn allreduce(p: usize, words: usize) {
+    let out = run_programs(p, &event_cfg(), BinomialAllreduce::counted(Tag(0), words)).unwrap();
+    let t = BinomialAllreduce::expected_totals(p as u64, words as u64, 1 << 12);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(out.profile.total_words_sent(), t.words);
+    assert_eq!(out.profile.total_flops(), t.flops);
+}
+
+/// The same allreduce under a seeded drop+delay plan with acked
+/// retries: faults force the exact general event path.
+fn allreduce_faulted(p: usize, words: usize) {
+    let cfg = SimConfig {
+        faults: Some(FaultPlan {
+            spec: FaultSpec {
+                seed: 42,
+                drop_rate: 0.05,
+                delay_rate: 0.05,
+                delay_seconds: 2e-6,
+                ..FaultSpec::default()
+            },
+            recovery: RecoveryPolicy {
+                max_retries: 24,
+                retry_backoff: 1e-8,
+                checkpoint: None,
+            },
+        }),
+        ..event_cfg()
+    };
+    let out = run_programs(p, &cfg, BinomialAllreduce::counted(Tag(0), words)).unwrap();
+    assert!(out.profile.total_retries() > 0, "plan must inject faults");
+}
+
+/// The 1-D halo stencil at `p` slabs (counted): no collective
+/// structure, so every message is an individually scheduled event.
+fn stencil(p: usize, sweeps: usize) {
+    let cfg = SimConfig {
+        backend: Backend::Events,
+        ..SimConfig::default()
+    };
+    let out = run_programs(p, &cfg, Stencil1D::counted(p, 1, sweeps)).unwrap();
+    let t = Stencil1D::expected_totals(p as u64, p as u64, 1, sweeps as u64, 1 << 16);
+    assert_eq!(out.profile.total_msgs_sent(), t.msgs);
+    assert_eq!(out.profile.total_flops(), t.flops);
+}
+
+fn main() {
+    let quick = wallclock::quick();
+    let phase = wallclock::phase();
+    psse_bench::report::banner("wall-clock event-engine suite (host seconds, not virtual time)");
+    println!("phase `{phase}`, quick = {quick}\n");
+
+    let reps = if quick { 1 } else { 3 };
+    let words = 1 << 14;
+    let mut entries: Vec<Entry> = Vec::new();
+    let push = |entries: &mut Vec<Entry>, name: &str, p: usize, ms: f64| {
+        println!("{name:<20} {ms:>10.2} ms");
+        entries.push(Entry {
+            name: name.into(),
+            p,
+            millis: ms,
+        });
+    };
+
+    let ms = time_best(reps, || allreduce_faulted(10_000, words));
+    push(&mut entries, "event/p10k_faulted", 10_000, ms);
+
+    if !quick {
+        let ms = time_best(reps, || stencil(100_000, 2));
+        push(&mut entries, "event/stencil_p100k", 100_000, ms);
+    }
+
+    let p100k_ms = time_best(reps, || allreduce(100_000, words));
+    push(&mut entries, "event/p100k", 100_000, p100k_ms);
+
+    if !quick {
+        let ms = time_best(1, || allreduce(1_000_000, words));
+        push(&mut entries, "event/p1m", 1_000_000, ms);
+    }
+
+    // CI wall-clock budget: the headline entry must clear the ceiling.
+    if let Ok(ceiling) = std::env::var("PSSE_WALLCLOCK_CEILING_MS") {
+        let ceiling: f64 = ceiling.parse().expect("PSSE_WALLCLOCK_CEILING_MS");
+        assert!(
+            p100k_ms <= ceiling,
+            "event/p100k took {p100k_ms:.1} ms, over the {ceiling:.0} ms ceiling"
+        );
+        println!("\nevent/p100k {p100k_ms:.1} ms <= ceiling {ceiling:.0} ms");
+    }
+
+    wallclock::write_phase_json(
+        "BENCH_event.json",
+        "wallclock_event",
+        &phase,
+        &entries,
+        quick,
+    );
+}

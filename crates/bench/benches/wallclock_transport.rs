@@ -29,29 +29,10 @@
 
 use psse_algos::prelude::*;
 use psse_bench::report::banner;
+use psse_bench::wallclock::{self, time_best, Entry};
 use psse_core::machines::jaketown;
 use psse_kernels::matrix::Matrix;
-use psse_metrics::Json;
 use psse_sim::prelude::*;
-use std::time::Instant;
-
-/// One timed suite entry: label plus best-of-`reps` milliseconds.
-struct Entry {
-    name: &'static str,
-    p: usize,
-    millis: f64,
-}
-
-/// Time `f` `reps` times and keep the minimum (least-noise estimate).
-fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
 
 /// A flat machine with zero virtual prices: the wall-clock cost is pure
 /// transport (threads, queues, payload movement), no model arithmetic.
@@ -161,76 +142,9 @@ fn faults_sweep(n: usize, q: usize, c_list: &[usize]) {
     }
 }
 
-/// Merge `phase → entries` into the existing `BENCH_sim.json` (if any)
-/// and recompute speedups for every entry present in both phases.
-fn write_json(phase: &str, entries: &[Entry], quick: bool) {
-    // Anchor at the workspace root (cargo bench sets cwd to the package
-    // dir), same convention as `report::results_dir`.
-    let path = match std::env::var_os("CARGO_MANIFEST_DIR") {
-        Some(dir) => {
-            let base = std::path::PathBuf::from(dir);
-            base.parent()
-                .and_then(|p| p.parent())
-                .map(|ws| ws.join("BENCH_sim.json"))
-                .unwrap_or_else(|| base.join("BENCH_sim.json"))
-        }
-        None => std::path::PathBuf::from("BENCH_sim.json"),
-    };
-    let prior = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|t| Json::parse(&t).ok());
-    let mut phases: Vec<(String, Json)> = Vec::new();
-    if let Some(Json::Obj(pairs)) = prior.as_ref().and_then(|p| p.get("phases")).cloned() {
-        phases = pairs.into_iter().filter(|(k, _)| k != phase).collect();
-    }
-    let mine = Json::Obj(
-        entries
-            .iter()
-            .map(|e| (e.name.to_string(), Json::Float(e.millis)))
-            .collect(),
-    );
-    phases.push((phase.to_string(), mine));
-    phases.sort_by(|a, b| a.0.cmp(&b.0)); // "after" < "before": stable order
-    let speedup = match (
-        phases.iter().find(|(k, _)| k == "before"),
-        phases.iter().find(|(k, _)| k == "after"),
-    ) {
-        (Some((_, Json::Obj(before))), Some((_, Json::Obj(after)))) => {
-            let mut s: Vec<(String, Json)> = Vec::new();
-            for (k, b) in before {
-                if let (Some(bv), Some(av)) = (
-                    b.as_f64(),
-                    after
-                        .iter()
-                        .find(|(ak, _)| ak == k)
-                        .and_then(|(_, v)| v.as_f64()),
-                ) {
-                    if av > 0.0 {
-                        s.push((k.clone(), Json::Float((bv / av * 100.0).round() / 100.0)));
-                    }
-                }
-            }
-            Json::Obj(s)
-        }
-        _ => Json::Obj(Vec::new()),
-    };
-    let doc = Json::obj(vec![
-        ("suite", Json::Str("wallclock_transport".into())),
-        (
-            "units",
-            Json::Str("milliseconds wall-clock, best of N repetitions".into()),
-        ),
-        ("quick", Json::Bool(quick)),
-        ("phases", Json::Obj(phases)),
-        ("speedup_before_over_after", speedup),
-    ]);
-    std::fs::write(&path, format!("{doc}\n")).expect("write BENCH_sim.json");
-    println!("\nwrote {}", path.display());
-}
-
 fn main() {
-    let quick = std::env::var("PSSE_WALLCLOCK_QUICK").is_ok_and(|v| v == "1");
-    let phase = std::env::var("PSSE_WALLCLOCK_PHASE").unwrap_or_else(|_| "after".into());
+    let quick = wallclock::quick();
+    let phase = wallclock::phase();
     banner("wall-clock transport suite (host seconds, not virtual time)");
     println!("phase `{phase}`, quick = {quick}\n");
 
@@ -244,7 +158,7 @@ fn main() {
     let push = |entries: &mut Vec<Entry>, name: &'static str, p: usize, ms: f64| {
         println!("{name:<18} {ms:>10.2} ms");
         entries.push(Entry {
-            name,
+            name: name.into(),
             p,
             millis: ms,
         });
@@ -309,5 +223,11 @@ fn main() {
             .any(|e| e.name == "ring/p1024" && e.p == 1024),
         "p = 1024 ring must run"
     );
-    write_json(&phase, &entries, quick);
+    wallclock::write_phase_json(
+        "BENCH_sim.json",
+        "wallclock_transport",
+        &phase,
+        &entries,
+        quick,
+    );
 }

@@ -24,3 +24,4 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod wallclock;

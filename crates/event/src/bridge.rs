@@ -1,7 +1,7 @@
 //! Backend dispatch: run the same rank programs on the thread-per-rank
 //! machine (the bit-identity oracle) or the discrete-event executor.
 
-use crate::exec::{EventMachine, EventOutcome};
+use crate::exec::{EventMachine, EventOutcome, ExecStats};
 use crate::program::RankProgram;
 use crate::step::{Delivered, Step};
 use psse_sim::error::SimResult;
@@ -67,6 +67,8 @@ where
             Ok(EventOutcome {
                 programs: outcome.results,
                 profile: outcome.profile,
+                // Thread backend: nothing is scheduled or parked.
+                stats: ExecStats::default(),
             })
         }
         Backend::Events => {

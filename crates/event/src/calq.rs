@@ -1,0 +1,272 @@
+//! A bucketed calendar queue for the serial virtual-time scheduler.
+//!
+//! The classic PDES result (Brown's calendar queue, and the ladder-queue
+//! family after it) is that at large event counts the scheduler — not
+//! the model — dominates: a binary heap pays `O(log n)` `f64`
+//! comparisons per operation, a calendar pays amortized `O(1)` by
+//! hashing each event's timestamp into a bucket of the current "year"
+//! and walking the buckets in order.
+//!
+//! ## Why this is safe here
+//!
+//! The event executor has a *monotone push* property: a key is only
+//! pushed when a rank is woken by a delivery, at `max(receiver clock,
+//! depart time)`, and both are `≥` the time of the key being processed
+//! — so no push ever lands before the last pop. That makes a
+//! non-wrapping calendar valid: buckets strictly before the cursor are
+//! dead, and when the year drains the queue re-bases on the overflow
+//! heap's minimum.
+//!
+//! ## Determinism
+//!
+//! Every bucket is itself a tiny binary heap ordered by the full
+//! `(time, rank, seq)` key (`f64::total_cmp`), and events with equal
+//! times always hash to the same bucket, so pops come out in exactly
+//! the same total order as one big heap. Bucket width and count are
+//! pure *speed* heuristics: they decide how events spread across
+//! buckets, never the pop order. In the degenerate case (all prices
+//! zero, so every event sits at `t = 0.0` — the `counters_only()`
+//! benches) the width is `0`, every event lands in one bucket, and the
+//! structure *is* the old binary heap, with no regression.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Scheduler key: ranks are dispatched in ascending `(time, rank, seq)`
+/// order; `total_cmp` makes the f64 ordering total and deterministic.
+#[derive(PartialEq, Debug, Clone, Copy)]
+pub(crate) struct SchedKey {
+    pub time: f64,
+    pub rank: usize,
+    pub seq: u64,
+}
+
+impl Eq for SchedKey {}
+
+impl PartialOrd for SchedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SchedKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.rank.cmp(&other.rank))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Buckets per year. Power of two, sized so a year of typical
+/// collective traffic (hundreds of `α`-spaced wavefronts) fits without
+/// touching the overflow heap, while the empty calendar stays a few KB.
+const NBUCKETS: usize = 1024;
+
+/// The calendar queue: `NBUCKETS` buckets of width `width` starting at
+/// `base`, each a min-heap on the full key; events beyond the year go
+/// to the `overflow` heap and re-enter when the year drains.
+pub(crate) struct CalendarQueue {
+    /// Start of the current year (virtual seconds).
+    base: f64,
+    /// Bucket width in virtual seconds; `0.0` = degenerate single-heap
+    /// mode (all events in bucket `0`).
+    width: f64,
+    /// Current bucket index (buckets before it are drained).
+    cursor: usize,
+    buckets: Vec<BinaryHeap<Reverse<SchedKey>>>,
+    /// Events currently stored in `buckets`.
+    n_bucketed: usize,
+    /// Far-future events (beyond the current year).
+    overflow: BinaryHeap<Reverse<SchedKey>>,
+    /// Largest timestamp ever pushed to `overflow` since the last
+    /// rebase (sizes the next year's width).
+    overflow_max: f64,
+    /// Health counter: events that took the overflow path.
+    overflow_pushes: u64,
+}
+
+impl CalendarQueue {
+    /// An empty calendar starting at `t = 0` with `width` seconds per
+    /// bucket (use the machine's per-chunk latency `α + β·m`; `0` for
+    /// an unpriced machine, which degenerates to one heap).
+    pub(crate) fn new(width: f64) -> Self {
+        let width = if width.is_finite() && width > 0.0 {
+            width
+        } else {
+            0.0
+        };
+        CalendarQueue {
+            base: 0.0,
+            width,
+            cursor: 0,
+            buckets: (0..NBUCKETS).map(|_| BinaryHeap::new()).collect(),
+            n_bucketed: 0,
+            overflow: BinaryHeap::new(),
+            overflow_max: f64::NEG_INFINITY,
+            overflow_pushes: 0,
+        }
+    }
+
+    /// Events that were routed through the overflow heap (health
+    /// metric: `event.calq.overflow`).
+    pub(crate) fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
+    }
+
+    fn bucket_index(&self, time: f64) -> Option<usize> {
+        if self.width == 0.0 {
+            // Degenerate mode: one live bucket, exact heap semantics.
+            return Some(self.cursor);
+        }
+        // `as usize` saturates, so a far-future (or non-finite) offset
+        // cleanly routes to the overflow heap.
+        let idx = ((time - self.base) / self.width) as usize;
+        if idx < NBUCKETS {
+            // Monotone pushes guarantee `idx >= cursor` (see module
+            // docs); a rounding surprise would still pop in full-key
+            // order within whatever bucket it landed in.
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn push(&mut self, key: SchedKey) {
+        match self.bucket_index(key.time) {
+            Some(idx) => {
+                self.buckets[idx].push(Reverse(key));
+                self.n_bucketed += 1;
+            }
+            None => {
+                self.overflow_max = self.overflow_max.max(key.time);
+                self.overflow.push(Reverse(key));
+                self.overflow_pushes += 1;
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<SchedKey> {
+        loop {
+            if self.n_bucketed > 0 {
+                while self.buckets[self.cursor].is_empty() {
+                    self.cursor += 1;
+                }
+                let Reverse(key) = self.buckets[self.cursor].pop().expect("non-empty bucket");
+                self.n_bucketed -= 1;
+                return Some(key);
+            }
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.rebase();
+        }
+    }
+
+    /// The year drained: restart it at the overflow minimum, size the
+    /// width from the overflow span, and re-file the overflow events.
+    fn rebase(&mut self) {
+        let min_t = self.overflow.peek().expect("non-empty overflow").0.time;
+        self.base = min_t;
+        self.cursor = 0;
+        let span = self.overflow_max - min_t;
+        self.width = if span.is_finite() && span > 0.0 {
+            // Spread the known events across the whole year; the last
+            // bucket absorbs boundary rounding.
+            span / (NBUCKETS - 1) as f64
+        } else {
+            0.0
+        };
+        self.overflow_max = f64::NEG_INFINITY;
+        let drained = std::mem::take(&mut self.overflow);
+        for Reverse(key) in drained {
+            let idx = match self.bucket_index(key.time) {
+                Some(idx) => idx,
+                // Rounding pushed it past the year edge: clamp into the
+                // last bucket (full-key heap order inside the bucket
+                // keeps the pop sequence deterministic).
+                None => NBUCKETS - 1,
+            };
+            self.buckets[idx].push(Reverse(key));
+            self.n_bucketed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(time: f64, rank: usize, seq: u64) -> SchedKey {
+        SchedKey { time, rank, seq }
+    }
+
+    /// The calendar pops in exactly the order one big heap would, for
+    /// any interleave of pushes and pops with monotone push times.
+    #[test]
+    fn matches_heap_order_under_monotone_pushes() {
+        for width in [0.0, 1e-6, 1.0, f64::INFINITY] {
+            let mut cal = CalendarQueue::new(width);
+            let mut heap: BinaryHeap<Reverse<SchedKey>> = BinaryHeap::new();
+            // Deterministic pseudo-random times, strictly monotone floor.
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut floor = 0.0f64;
+            let mut pending = 0usize;
+            for round in 0..2000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(round);
+                let jitter = (state >> 40) as f64 * 1e-9;
+                let t = floor + jitter;
+                // One push per round, so the round counter doubles as
+                // the scheduler sequence number.
+                let k = key(t, (state >> 20) as usize % 64, round);
+                cal.push(k);
+                heap.push(Reverse(k));
+                pending += 1;
+                if state.is_multiple_of(3) && pending > 0 {
+                    let a = cal.pop().unwrap();
+                    let Reverse(b) = heap.pop().unwrap();
+                    assert_eq!(a, b, "width={width} round={round}");
+                    floor = a.time; // future pushes never go below this
+                    pending -= 1;
+                }
+            }
+            while let Some(a) = cal.pop() {
+                let Reverse(b) = heap.pop().unwrap();
+                assert_eq!(a, b);
+            }
+            assert!(heap.pop().is_none());
+        }
+    }
+
+    /// Equal times break ties by `(rank, seq)` exactly like the heap.
+    #[test]
+    fn equal_times_pop_in_rank_seq_order() {
+        let mut cal = CalendarQueue::new(1e-6);
+        cal.push(key(0.0, 5, 2));
+        cal.push(key(0.0, 1, 3));
+        cal.push(key(0.0, 1, 1));
+        cal.push(key(0.0, 0, 9));
+        assert_eq!(cal.pop(), Some(key(0.0, 0, 9)));
+        assert_eq!(cal.pop(), Some(key(0.0, 1, 1)));
+        assert_eq!(cal.pop(), Some(key(0.0, 1, 3)));
+        assert_eq!(cal.pop(), Some(key(0.0, 5, 2)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    /// Far-future events detour through the overflow heap and come back
+    /// in order after a rebase; the health counter sees them.
+    #[test]
+    fn overflow_rebase_preserves_order() {
+        let mut cal = CalendarQueue::new(1e-6);
+        cal.push(key(0.0, 0, 0));
+        cal.push(key(5.0, 1, 1)); // way past the first year
+        cal.push(key(7.0, 2, 2));
+        cal.push(key(5.0, 0, 3));
+        assert_eq!(cal.overflow_pushes(), 3);
+        assert_eq!(cal.pop(), Some(key(0.0, 0, 0)));
+        assert_eq!(cal.pop(), Some(key(5.0, 0, 3)));
+        assert_eq!(cal.pop(), Some(key(5.0, 1, 1)));
+        assert_eq!(cal.pop(), Some(key(7.0, 2, 2)));
+        assert_eq!(cal.pop(), None);
+    }
+}

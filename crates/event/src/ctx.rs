@@ -10,25 +10,28 @@
 //! the cross-backend tests and the repo-level backend proptest).
 //!
 //! The one deliberate divergence is representation, not arithmetic:
-//! per-link fault sequence numbers live in a `HashMap` instead of a
-//! `vec![0; p]`, because at `p = 10^6` a dense vector per rank would be
-//! 8 MB × p of dead weight while real algorithms talk to `O(log p)`
-//! peers.
+//! per-link fault sequence numbers live in a tiny sorted arena instead
+//! of a `vec![0; p]`, because at `p = 10^6` a dense vector per rank
+//! would be 8 MB × p of dead weight while real algorithms talk to
+//! `O(log p)` peers. The arena is a peer-sorted `Vec<(peer, seq)>`
+//! probed by binary search: ~12 bytes per *distinct* peer actually
+//! talked to (so whole-machine fault state is `O(edges)`, not `O(p²)`),
+//! no hashing on the send path, and cache-resident at `O(log p)` peers.
 
 use crate::step::{Delivered, Payload};
 use psse_faults::{FaultPlan, LinkFaultKind};
 use psse_sim::error::SimResult;
 use psse_sim::record::{EventKind, TimedEvent};
 use psse_sim::{RankStats, SharedPayload, SimConfig, SimError, Tag};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-rank fault-injection state; mirrors `rank.rs`'s `FaultState`
-/// with a sparse per-link sequence map (see module docs).
+/// with a sparse per-link sequence arena (see module docs).
 struct FaultCtx {
     plan: FaultPlan,
-    /// Transfers initiated on each outgoing link (indexes the plan).
-    link_seq: HashMap<usize, u64>,
+    /// Transfers initiated per outgoing link (indexes the plan), sorted
+    /// by peer rank; one entry per distinct peer ever sent to.
+    link_seq: Vec<(u32, u64)>,
     /// Virtual time of the next coordinated checkpoint boundary.
     next_cp: f64,
     /// Last checkpoint boundary crossed.
@@ -38,6 +41,25 @@ struct FaultCtx {
     /// A crash with no checkpoint to restart from; surfaced by the next
     /// fallible operation (or at program end).
     pending_crash: Option<SimError>,
+}
+
+impl FaultCtx {
+    /// Post-increment the sequence number of the link to `dest`,
+    /// creating its arena entry on first contact.
+    fn next_link_seq(&mut self, dest: usize) -> u64 {
+        let peer = dest as u32;
+        match self.link_seq.binary_search_by_key(&peer, |&(d, _)| d) {
+            Ok(i) => {
+                let seq = self.link_seq[i].1;
+                self.link_seq[i].1 += 1;
+                seq
+            }
+            Err(i) => {
+                self.link_seq.insert(i, (peer, 1));
+                0
+            }
+        }
+    }
 }
 
 /// Deterministic corruption perturbation — identical to `rank.rs`.
@@ -77,7 +99,7 @@ impl RankCtx {
         let fault = cfg.faults.as_ref().map(|plan| {
             Box::new(FaultCtx {
                 plan: plan.clone(),
-                link_seq: HashMap::new(),
+                link_seq: Vec::new(),
                 next_cp: plan
                     .recovery
                     .checkpoint
@@ -250,9 +272,7 @@ impl RankCtx {
         let Some(mut fs) = self.fault.take() else {
             return Ok(false);
         };
-        let seq_slot = fs.link_seq.entry(dest).or_insert(0);
-        let seq = *seq_slot;
-        *seq_slot += 1;
+        let seq = fs.next_link_seq(dest);
         let primary = fs.plan.link_fault(self.id, dest, seq);
         let res = match primary {
             None => Ok(false),
@@ -476,5 +496,53 @@ fn payload_data(payload: Payload) -> Option<SharedPayload> {
     match payload {
         Payload::Counted(_) => None,
         Payload::Data(d) => Some(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psse_faults::{FaultSpec, RecoveryPolicy};
+
+    /// Regression for the fault-state memory bound: the per-link
+    /// sequence arena must be sized by *distinct peers talked to*, not
+    /// by world size and not by transfer count — that is what keeps a
+    /// faulted run's memory `O(p + live wires + edges)` at `p = 10^6`.
+    #[test]
+    fn fault_link_seq_grows_with_distinct_peers_only() {
+        let p = 1 << 20;
+        let cfg = SimConfig {
+            faults: Some(FaultPlan {
+                spec: FaultSpec {
+                    seed: 7,
+                    ..FaultSpec::default()
+                },
+                recovery: RecoveryPolicy {
+                    max_retries: 3,
+                    retry_backoff: 1e-9,
+                    checkpoint: None,
+                },
+            }),
+            ..SimConfig::default()
+        };
+        let mut ctx = RankCtx::new(0, p, &cfg);
+        let peers = [1usize, 1 << 10, 1 << 19];
+        for round in 0..100 {
+            let dest = peers[round % peers.len()];
+            ctx.price_send(&cfg, dest, Tag(round as u64), Payload::Counted(8))
+                .expect("send");
+        }
+        let fs = ctx.fault.as_deref().expect("fault state");
+        assert_eq!(
+            fs.link_seq.len(),
+            peers.len(),
+            "arena must hold one entry per distinct peer, not per transfer"
+        );
+        // ...and the entries really are per-link transfer counts.
+        for &(peer, seq) in &fs.link_seq {
+            assert!(peers.contains(&(peer as usize)));
+            assert!(seq == 34 || seq == 33, "100 sends over 3 links");
+        }
+        assert!(fs.link_seq.is_sorted_by_key(|&(d, _)| d));
     }
 }

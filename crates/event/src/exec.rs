@@ -1,8 +1,9 @@
-//! The discrete-event executors: serial (virtual-time priority queue)
+//! The discrete-event executors: serial (virtual-time calendar queue)
 //! and parallel (round-based work stealing), byte-identical by
-//! construction.
+//! construction, plus the analytic fast path for native counted
+//! collectives.
 //!
-//! ## Why the two executors cannot disagree
+//! ## Why the executors cannot disagree
 //!
 //! A rank's profile is a pure function of its own operation sequence
 //! plus, for each receive, the `(depart_time, n_chunks, words)` of the
@@ -11,11 +12,28 @@
 //! by its own program — so *which* wire matches *which* receive is
 //! fixed by the programs alone, independent of executor scheduling.
 //! The serial executor orders runnable ranks by `(virtual time, rank,
-//! seq)` from a deterministic priority queue; the parallel executor
+//! seq)` from a deterministic calendar queue; the parallel executor
 //! runs every runnable rank in a round concurrently and merges
-//! deliveries between rounds, preserving per-sender order. Both walk
-//! the same message DAG, so every priced number is bit-identical
-//! (tested in this module and against the thread backend).
+//! deliveries between rounds, preserving per-sender order; the fast
+//! path (`crate::fastpath`) prices a known DAG in closed form. All
+//! three walk the same message DAG, so every priced number is
+//! bit-identical (tested in this module, in `tests/`, and against the
+//! thread backend).
+//!
+//! ## The hot path
+//!
+//! Three structures keep the per-event constant small at `p = 10^6`:
+//! the scheduler is a bucketed calendar queue (`crate::calq`, amortized
+//! `O(1)` versus the heap's `O(log p)`), each mailbox is a slab of
+//! recycled wire cells indexed by `(src, tag)` chains (`crate::slab`,
+//! no steady-state allocation), and a delivery to a rank parked on
+//! exactly that `(src, tag)` is priced on the spot — the wire never
+//! touches a mailbox at all. Direct delivery is sound because a parked
+//! rank's queue for its awaited key is empty by construction (it parked
+//! on `pop() == None` and every later matching wire would have been
+//! delivered directly), and pricing early is invisible because the
+//! receiver is parked and its context depends only on its own state
+//! and the wire.
 //!
 //! ## Deadlock
 //!
@@ -25,15 +43,32 @@
 //! deadlock, reported as [`SimError::Deadlock`] with the full blocked
 //! set, in zero wall-clock time.
 
-use crate::ctx::{RankCtx, Wire};
+use crate::calq::{CalendarQueue, SchedKey};
+use crate::ctx::RankCtx;
+use crate::fastpath;
 use crate::program::RankProgram;
+use crate::slab::Mailbox;
 use crate::step::Step;
 use psse_sim::error::SimResult;
 use psse_sim::{Profile, SimConfig, SimError, Tag};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Executor health counters for one run: how hard the hot-path
+/// structures worked. Zero on the analytic fast path and on the thread
+/// backend (nothing is scheduled or parked there). Exported process-wide
+/// as `event.*` metrics via [`crate::export_health`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sum over ranks of the peak number of wires parked in the rank's
+    /// mailbox slab (an upper bound on the global in-flight peak).
+    pub slab_live_peak: u64,
+    /// Deliveries that reused a freed slab cell instead of growing.
+    pub slab_recycled: u64,
+    /// Scheduler keys that detoured through the calendar queue's
+    /// overflow heap (far-future events; should be rare).
+    pub calq_overflow: u64,
+}
 
 /// The result of running programs on the event backend: the finished
 /// programs (which carry any algorithm results) plus the run's profile.
@@ -43,6 +78,9 @@ pub struct EventOutcome<P> {
     /// Per-rank counters, traces, and the virtual makespan — the same
     /// `Profile` the thread backend produces, byte-identical.
     pub profile: Profile,
+    /// Executor health counters (not part of the byte-identity
+    /// contract; they describe the engine, not the simulated machine).
+    pub stats: ExecStats,
 }
 
 // Manual impl so `P` needs no `Debug` bound (programs are elided).
@@ -51,6 +89,7 @@ impl<P> std::fmt::Debug for EventOutcome<P> {
         f.debug_struct("EventOutcome")
             .field("p", &self.profile.p())
             .field("profile", &self.profile)
+            .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
@@ -71,42 +110,16 @@ struct Slot<P> {
     program: P,
     ctx: RankCtx,
     status: Status,
-    /// Per-`(src, tag)` FIFO queues of undelivered transfers. Empty
-    /// queues are removed so the map stays `O(active keys)` at `p = 10^6`.
-    inbox: HashMap<(usize, u64), VecDeque<Wire>>,
+    /// Undelivered transfers, held in per-`(src, tag)` FIFO chains
+    /// threaded through a recycling slab (see `crate::slab`).
+    inbox: Mailbox,
     waiting: Option<Waiting>,
     pending: Option<crate::step::Delivered>,
 }
 
 /// An outgoing transfer buffered during a rank's turn:
 /// `(dest, src, tag, wire)`.
-type Outgoing = (usize, usize, Tag, Wire);
-
-/// Scheduler key: ranks are dispatched in ascending `(time, rank, seq)`
-/// order; `total_cmp` makes the f64 ordering total and deterministic.
-#[derive(PartialEq)]
-struct SchedKey {
-    time: f64,
-    rank: usize,
-    seq: u64,
-}
-
-impl Eq for SchedKey {}
-
-impl PartialOrd for SchedKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for SchedKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.rank.cmp(&other.rank))
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
+type Outgoing = (usize, usize, Tag, crate::ctx::Wire);
 
 /// Run one rank until it blocks, completes, or fails. Outgoing
 /// transfers to other ranks are buffered in `out` (delivery is the
@@ -118,9 +131,11 @@ fn advance<P: RankProgram>(
     cfg: &SimConfig,
     out: &mut Vec<Outgoing>,
 ) -> SimResult<()> {
-    // Complete the receive we were parked on, if any.
+    // Complete the receive we were parked on, if any. (Deliveries to a
+    // parked rank are normally priced at delivery time — see the
+    // executors — so this mailbox probe is a belt-and-braces fallback.)
     if let Some((src, tag, t0)) = slot.waiting.take() {
-        match pop_inbox(&mut slot.inbox, src, tag) {
+        match slot.inbox.pop(src, tag.0) {
             Some(wire) => {
                 let d = slot.ctx.price_recv(cfg, t0, src, tag, wire);
                 slot.pending = Some(d);
@@ -142,14 +157,14 @@ fn advance<P: RankProgram>(
             Step::Send { dest, tag, payload } => {
                 let wire = slot.ctx.price_send(cfg, dest, tag, payload)?;
                 if dest == r {
-                    slot.inbox.entry((r, tag.0)).or_default().push_back(wire);
+                    slot.inbox.push(r, tag.0, wire);
                 } else {
                     out.push((dest, r, tag, wire));
                 }
             }
             Step::Recv { src, tag } => {
                 let t0 = slot.ctx.begin_recv(src)?;
-                match pop_inbox(&mut slot.inbox, src, tag) {
+                match slot.inbox.pop(src, tag.0) {
                     Some(wire) => {
                         let d = slot.ctx.price_recv(cfg, t0, src, tag, wire);
                         slot.pending = Some(d);
@@ -172,30 +187,16 @@ fn advance<P: RankProgram>(
     }
 }
 
-fn pop_inbox(
-    inbox: &mut HashMap<(usize, u64), VecDeque<Wire>>,
-    src: usize,
-    tag: Tag,
-) -> Option<Wire> {
-    let key = (src, tag.0);
-    let q = inbox.get_mut(&key)?;
-    let wire = q.pop_front();
-    if q.is_empty() {
-        inbox.remove(&key);
-    }
-    wire
-}
-
-fn make_slots<P, F>(p: usize, cfg: &SimConfig, mut make: F) -> Vec<Slot<P>>
-where
-    F: FnMut(usize, usize) -> P,
-{
-    (0..p)
-        .map(|r| Slot {
-            program: make(r, p),
+fn make_slots<P>(programs: Vec<P>, cfg: &SimConfig) -> Vec<Slot<P>> {
+    let p = programs.len();
+    programs
+        .into_iter()
+        .enumerate()
+        .map(|(r, program)| Slot {
+            program,
             ctx: RankCtx::new(r, p, cfg),
             status: Status::Runnable,
-            inbox: HashMap::new(),
+            inbox: Mailbox::new(),
             waiting: None,
             pending: None,
         })
@@ -205,7 +206,11 @@ where
 /// Collapse a finished run into its outcome, or the error the thread
 /// backend's triage would surface: the lowest-ranked real failure wins;
 /// otherwise all-blocked is a proven deadlock.
-fn finish<P>(slots: Vec<Slot<P>>, errors: Vec<(usize, SimError)>) -> SimResult<EventOutcome<P>> {
+fn finish<P>(
+    slots: Vec<Slot<P>>,
+    errors: Vec<(usize, SimError)>,
+    calq_overflow: u64,
+) -> SimResult<EventOutcome<P>> {
     if let Some((_, err)) = errors.into_iter().min_by_key(|(r, _)| *r) {
         return Err(err);
     }
@@ -221,13 +226,19 @@ fn finish<P>(slots: Vec<Slot<P>>, errors: Vec<(usize, SimError)>) -> SimResult<E
             blocked,
         });
     }
+    let mut stats = ExecStats {
+        calq_overflow,
+        ..ExecStats::default()
+    };
     let mut programs = Vec::with_capacity(slots.len());
     let mut per_rank = Vec::with_capacity(slots.len());
     let mut all_events = Vec::with_capacity(slots.len());
     for slot in slots {
+        stats.slab_live_peak += slot.inbox.peak_live() as u64;
+        stats.slab_recycled += slot.inbox.recycled();
         programs.push(slot.program);
-        let (stats, events) = slot.ctx.into_parts();
-        per_rank.push(stats);
+        let (rank_stats, events) = slot.ctx.into_parts();
+        per_rank.push(rank_stats);
         all_events.push(events);
     }
     // With tracing off each rank's event vec is simply empty — the
@@ -236,7 +247,19 @@ fn finish<P>(slots: Vec<Slot<P>>, errors: Vec<(usize, SimError)>) -> SimResult<E
     let profile = Profile::with_events(per_rank, all_events);
     #[cfg(debug_assertions)]
     profile.assert_balanced()?;
-    Ok(EventOutcome { programs, profile })
+    crate::health::accumulate(&stats);
+    Ok(EventOutcome {
+        programs,
+        profile,
+        stats,
+    })
+}
+
+fn check_world(p: usize, cfg: &SimConfig) -> SimResult<()> {
+    if p == 0 {
+        return Err(SimError::InvalidConfig("world size p must be >= 1".into()));
+    }
+    cfg.validate()
 }
 
 /// The discrete-event machine.
@@ -245,34 +268,67 @@ pub struct EventMachine;
 impl EventMachine {
     /// Run `p` rank programs under the serial virtual-time scheduler.
     ///
-    /// Runnable ranks are dispatched in ascending `(time, rank, seq)`
-    /// order from a binary heap; each rank runs greedily until it
-    /// blocks in `Recv` or finishes. Deterministic by construction;
-    /// byte-identical to the thread backend and to
+    /// When every program claims the same analytic collective and
+    /// nothing observes individual events, the run is priced in closed
+    /// form (`crate::fastpath`) — byte-identical output, no scheduling.
+    /// Otherwise runnable ranks are dispatched in ascending
+    /// `(time, rank, seq)` order from a calendar queue; each rank runs
+    /// greedily until it blocks in `Recv` or finishes. Deterministic by
+    /// construction; byte-identical to the thread backend and to
     /// [`EventMachine::run_parallel`].
-    pub fn run<P, F>(p: usize, cfg: &SimConfig, make: F) -> SimResult<EventOutcome<P>>
+    pub fn run<P, F>(p: usize, cfg: &SimConfig, mut make: F) -> SimResult<EventOutcome<P>>
     where
         P: RankProgram,
         F: FnMut(usize, usize) -> P,
     {
-        if p == 0 {
-            return Err(SimError::InvalidConfig("world size p must be >= 1".into()));
+        check_world(p, cfg)?;
+        let programs: Vec<P> = (0..p).map(|r| make(r, p)).collect();
+        if let Some(profile) = fastpath::try_run(p, cfg, &programs) {
+            return Ok(EventOutcome {
+                programs,
+                profile,
+                stats: ExecStats::default(),
+            });
         }
-        cfg.validate()?;
-        let mut slots = make_slots(p, cfg, make);
-        let mut heap: BinaryHeap<Reverse<SchedKey>> = BinaryHeap::with_capacity(p);
+        Self::run_serial(cfg, make_slots(programs, cfg))
+    }
+
+    /// [`EventMachine::run`] with the analytic fast path disabled: the
+    /// general scheduled executor, unconditionally. This is the oracle
+    /// half of the fast-path differential tests (`fastpath_identity`),
+    /// and what `PSSE_EVENT_NO_FASTPATH=1` forces process-wide.
+    pub fn run_general<P, F>(p: usize, cfg: &SimConfig, mut make: F) -> SimResult<EventOutcome<P>>
+    where
+        P: RankProgram,
+        F: FnMut(usize, usize) -> P,
+    {
+        check_world(p, cfg)?;
+        let programs: Vec<P> = (0..p).map(|r| make(r, p)).collect();
+        Self::run_serial(cfg, make_slots(programs, cfg))
+    }
+
+    fn run_serial<P: RankProgram>(
+        cfg: &SimConfig,
+        mut slots: Vec<Slot<P>>,
+    ) -> SimResult<EventOutcome<P>> {
+        let p = slots.len();
+        // Width heuristic: one max-size chunk latency per bucket. With
+        // zero prices (counters-only runs) this is 0 and the calendar
+        // degenerates to exactly the old single binary heap.
+        let width = cfg.alpha_t + cfg.beta_t * cfg.max_message_words as f64;
+        let mut queue = CalendarQueue::new(width);
         let mut seq: u64 = 0;
         for rank in 0..p {
-            heap.push(Reverse(SchedKey {
+            queue.push(SchedKey {
                 time: 0.0,
                 rank,
                 seq,
-            }));
+            });
             seq += 1;
         }
         let mut errors: Vec<(usize, SimError)> = Vec::new();
         let mut out: Vec<Outgoing> = Vec::new();
-        while let Some(Reverse(key)) = heap.pop() {
+        while let Some(key) = queue.pop() {
             // Cooperative cancellation: a watchdog can abandon a hung
             // sweep between scheduler turns (the loop never sleeps, so
             // one check per pop is cheap and prompt).
@@ -289,33 +345,42 @@ impl EventMachine {
                 slots[r].status = Status::Dead;
                 errors.push((r, e));
             }
-            // Deliver this turn's sends; wake matching blocked receivers.
+            // Deliver this turn's sends. A receiver parked on exactly
+            // this (src, tag) gets the wire priced on the spot (its
+            // queue for the key is provably empty; `price_recv` lands
+            // its clock on max(now, depart), which is also the wake
+            // time the old mailbox route would have scheduled).
             for (dest, src, tag, wire) in out.drain(..) {
-                let depart = wire.depart_time;
                 let slot = &mut slots[dest];
-                slot.inbox.entry((src, tag.0)).or_default().push_back(wire);
                 if slot.status == Status::Blocked {
-                    if let Some((wsrc, wtag, _)) = slot.waiting {
+                    if let Some((wsrc, wtag, t0)) = slot.waiting {
                         if wsrc == src && wtag == tag {
+                            slot.waiting = None;
+                            let d = slot.ctx.price_recv(cfg, t0, src, tag, wire);
+                            slot.pending = Some(d);
                             slot.status = Status::Runnable;
-                            heap.push(Reverse(SchedKey {
-                                time: slot.ctx.now().max(depart),
+                            queue.push(SchedKey {
+                                time: slot.ctx.now(),
                                 rank: dest,
                                 seq,
-                            }));
+                            });
                             seq += 1;
+                            continue;
                         }
                     }
                 }
+                slot.inbox.push(src, tag.0, wire);
             }
         }
-        finish(slots, errors)
+        let overflow = queue.overflow_pushes();
+        finish(slots, errors, overflow)
     }
 
     /// Run `p` rank programs on `workers` threads with round-based work
     /// stealing. Observable output (profiles, traces, results, errors)
     /// is byte-identical to [`EventMachine::run`] — see the module docs
-    /// for the argument, and the tests for the enforcement.
+    /// for the argument, and the tests for the enforcement. The
+    /// analytic fast path applies exactly as in [`EventMachine::run`].
     ///
     /// Each round, every runnable rank is advanced to its next block
     /// (workers steal ranks from a shared cursor); deliveries are
@@ -324,19 +389,24 @@ impl EventMachine {
     pub fn run_parallel<P, F>(
         p: usize,
         cfg: &SimConfig,
-        make: F,
+        mut make: F,
         workers: usize,
     ) -> SimResult<EventOutcome<P>>
     where
         P: RankProgram + Send,
         F: FnMut(usize, usize) -> P,
     {
-        if p == 0 {
-            return Err(SimError::InvalidConfig("world size p must be >= 1".into()));
+        check_world(p, cfg)?;
+        let programs: Vec<P> = (0..p).map(|r| make(r, p)).collect();
+        if let Some(profile) = fastpath::try_run(p, cfg, &programs) {
+            return Ok(EventOutcome {
+                programs,
+                profile,
+                stats: ExecStats::default(),
+            });
         }
-        cfg.validate()?;
         let workers = workers.max(1);
-        let slots: Vec<Mutex<Slot<P>>> = make_slots(p, cfg, make)
+        let slots: Vec<Mutex<Slot<P>>> = make_slots(programs, cfg)
             .into_iter()
             .map(Mutex::new)
             .collect();
@@ -383,23 +453,28 @@ impl EventMachine {
                     .map(|h| h.join().expect("event worker panicked"))
                     .collect()
             });
-            // Merge: deliveries in worker order, then compute the next
-            // round's runnable set (ranks whose parked receive now has
-            // a matching wire), in ascending rank order for determinism.
+            // Merge: deliveries in worker order (direct-priced when the
+            // receiver is parked on exactly this key, as in the serial
+            // loop), then the next round's runnable set in ascending
+            // rank order for determinism.
             let mut woken: Vec<usize> = Vec::new();
             for (out, errs) in &mut buffers {
                 errors.append(errs);
                 for (dest, src, tag, wire) in out.drain(..) {
                     let mut slot = slots[dest].lock().expect("slot lock");
-                    slot.inbox.entry((src, tag.0)).or_default().push_back(wire);
                     if slot.status == Status::Blocked {
-                        if let Some((wsrc, wtag, _)) = slot.waiting {
+                        if let Some((wsrc, wtag, t0)) = slot.waiting {
                             if wsrc == src && wtag == tag {
+                                slot.waiting = None;
+                                let d = slot.ctx.price_recv(cfg, t0, src, tag, wire);
+                                slot.pending = Some(d);
                                 slot.status = Status::Runnable;
                                 woken.push(dest);
+                                continue;
                             }
                         }
                     }
+                    slot.inbox.push(src, tag.0, wire);
                 }
             }
             woken.sort_unstable();
@@ -410,6 +485,6 @@ impl EventMachine {
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock"))
             .collect();
-        finish(slots, errors)
+        finish(slots, errors, 0)
     }
 }

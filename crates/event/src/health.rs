@@ -1,0 +1,89 @@
+//! Process-global event-engine health counters and their export into a
+//! `psse-metrics` registry.
+//!
+//! Every completed event-backend run folds its [`ExecStats`] into these
+//! atomics (see `exec::finish`); a harness that assembles a metrics
+//! registry — notably `psse-lab`'s sweep runner — calls
+//! [`export_health`] once at snapshot time to surface them as:
+//!
+//! * `event.slab.live` (gauge) — the largest per-run sum of per-rank
+//!   peak parked wires seen so far (a memory high-water mark);
+//! * `event.slab.recycled` (counter) — mailbox deliveries served from
+//!   the slab free list across all runs;
+//! * `event.calq.overflow` (counter) — scheduler keys that detoured
+//!   through the calendar queue's overflow heap across all runs.
+//!
+//! The counters describe the *engine*, not the simulated machine: they
+//! are deliberately outside the byte-identity contract, and runs that
+//! end in a simulation error contribute nothing (their slots never
+//! reach `finish`).
+
+use crate::exec::ExecStats;
+use psse_metrics::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SLAB_LIVE_PEAK: AtomicU64 = AtomicU64::new(0);
+static SLAB_RECYCLED: AtomicU64 = AtomicU64::new(0);
+static CALQ_OVERFLOW: AtomicU64 = AtomicU64::new(0);
+
+/// Fold one completed run's counters into the process totals.
+pub(crate) fn accumulate(stats: &ExecStats) {
+    SLAB_LIVE_PEAK.fetch_max(stats.slab_live_peak, Ordering::Relaxed);
+    SLAB_RECYCLED.fetch_add(stats.slab_recycled, Ordering::Relaxed);
+    CALQ_OVERFLOW.fetch_add(stats.calq_overflow, Ordering::Relaxed);
+}
+
+/// Current process totals as an [`ExecStats`] (peak is the max across
+/// runs, the counters are sums).
+pub fn health_totals() -> ExecStats {
+    ExecStats {
+        slab_live_peak: SLAB_LIVE_PEAK.load(Ordering::Relaxed),
+        slab_recycled: SLAB_RECYCLED.load(Ordering::Relaxed),
+        calq_overflow: CALQ_OVERFLOW.load(Ordering::Relaxed),
+    }
+}
+
+/// Publish the process totals into `reg` under the `event.*` names
+/// listed in the module docs.
+pub fn export_health(reg: &Registry) -> Result<(), String> {
+    let totals = health_totals();
+    reg.gauge("event.slab.live")?
+        .set(totals.slab_live_peak as i64);
+    reg.counter("event.slab.recycled")?
+        .add(totals.slab_recycled);
+    reg.counter("event.calq.overflow")?
+        .add(totals.calq_overflow);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `accumulate` maxes the gauge and sums the counters; `export`
+    /// lands them in a registry snapshot under the `event.*` names.
+    #[test]
+    fn accumulate_and_export() {
+        accumulate(&ExecStats {
+            slab_live_peak: 7,
+            slab_recycled: 3,
+            calq_overflow: 1,
+        });
+        accumulate(&ExecStats {
+            slab_live_peak: 5, // below the peak: must not lower it
+            slab_recycled: 2,
+            calq_overflow: 0,
+        });
+        let totals = health_totals();
+        assert!(totals.slab_live_peak >= 7);
+        assert!(totals.slab_recycled >= 5);
+        assert!(totals.calq_overflow >= 1);
+
+        let reg = Registry::new();
+        export_health(&reg).unwrap();
+        let snap = reg.snapshot();
+        assert!(snap.get("event.slab.live").is_some());
+        assert!(snap.get("event.slab.recycled").is_some());
+        assert!(snap.get("event.calq.overflow").is_some());
+    }
+}

@@ -36,6 +36,22 @@
 //! matching depends only on per-sender order, which round-merging
 //! preserves.
 //!
+//! ## The mega-scale hot path
+//!
+//! Three structures keep wall-clock cost `O(1)` per event at
+//! `p = 10^6`: a bucketed **calendar queue** scheduler (amortized
+//! constant-time versus a heap's `O(log p)`), per-rank **slab
+//! mailboxes** with free-list recycling and `(src, tag)`-chained
+//! indexing (steady state allocates nothing), and an **analytic fast
+//! path** that prices native counted collectives in closed form when
+//! nothing can observe individual events (no trace, no faults, no
+//! hierarchy, no data payloads) — same f64 operations, same order,
+//! byte-identical profiles, enforced by differential tests against
+//! [`EventMachine::run_general`]. Set `PSSE_EVENT_NO_FASTPATH=1` to
+//! force the general path process-wide. Engine health counters
+//! ([`ExecStats`]) ride on every outcome and aggregate process-wide
+//! for metrics export via [`export_health`].
+//!
 //! ## Example
 //!
 //! ```
@@ -58,15 +74,20 @@
 #![warn(missing_docs)]
 
 pub mod bridge;
+mod calq;
 mod ctx;
 pub mod exec;
+mod fastpath;
+mod health;
 pub mod program;
 pub mod programs;
+mod slab;
 pub mod step;
 
 pub use bridge::run_programs;
-pub use exec::{EventMachine, EventOutcome};
-pub use program::RankProgram;
+pub use exec::{EventMachine, EventOutcome, ExecStats};
+pub use health::{export_health, health_totals};
+pub use program::{AnalyticOp, RankProgram};
 pub use programs::{
     BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce, SampleSort,
     Stencil1D,
@@ -76,8 +97,9 @@ pub use step::{Delivered, Payload, Step};
 /// One-stop imports.
 pub mod prelude {
     pub use crate::bridge::run_programs;
-    pub use crate::exec::{EventMachine, EventOutcome};
-    pub use crate::program::RankProgram;
+    pub use crate::exec::{EventMachine, EventOutcome, ExecStats};
+    pub use crate::health::{export_health, health_totals};
+    pub use crate::program::{AnalyticOp, RankProgram};
     pub use crate::programs::{
         BinomialAllreduce, Matmul25D, OpTotals, RecursiveDoublingAllreduce, RingAllreduce,
         SampleSort, Stencil1D,

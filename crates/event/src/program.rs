@@ -2,6 +2,38 @@
 
 use crate::step::{Delivered, Step};
 
+/// A collective whose per-rank step sequence is known in closed form.
+///
+/// When every rank of a run reports the same `AnalyticOp` (and no
+/// feature that observes individual events — tracing, faults,
+/// hierarchy, data payloads — is active), the event executor prices the
+/// whole collective analytically instead of scheduling its `O(p log p)`
+/// messages one by one. The fast path replays the *identical* sequence
+/// of Eq. 1/2 pricing operations per rank, in the same f64 operand
+/// order, so profiles stay byte-identical with the general path; see
+/// `crate::fastpath`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyticOp {
+    /// Binomial-tree reduce to rank 0 followed by binomial broadcast,
+    /// `words` per edge (`programs::BinomialAllreduce`, counted mode).
+    BinomialAllreduce {
+        /// Payload words per tree edge.
+        words: usize,
+    },
+    /// Recursive-doubling allreduce, `words` per exchange, `p` a power
+    /// of two (`programs::RecursiveDoublingAllreduce`, counted mode).
+    RecursiveDoublingAllreduce {
+        /// Payload words per pairwise exchange.
+        words: usize,
+    },
+    /// `p − 1` ring shifts with elementwise merge
+    /// (`programs::RingAllreduce`, counted mode).
+    RingAllreduce {
+        /// Payload words per ring hop.
+        words: usize,
+    },
+}
+
 /// A rank's algorithm as a resumable state machine.
 ///
 /// The executor repeatedly calls [`RankProgram::next`]; the program
@@ -29,10 +61,25 @@ pub trait RankProgram {
     /// Produce the next step. See the trait docs for the `delivered`
     /// contract.
     fn next(&mut self, delivered: Option<Delivered>) -> Step;
+
+    /// Declare this (not-yet-started) program as an analytically priced
+    /// collective. `None` (the default) always takes the general
+    /// stepped path. Returning `Some` is a *claim* that the program's
+    /// full step sequence is exactly the named collective's — the
+    /// executor cross-checks only that all ranks agree, and the
+    /// `fastpath_identity` differential tests hold the two paths
+    /// byte-equal.
+    fn analytic(&self) -> Option<AnalyticOp> {
+        None
+    }
 }
 
 impl<T: RankProgram + ?Sized> RankProgram for Box<T> {
     fn next(&mut self, delivered: Option<Delivered>) -> Step {
         (**self).next(delivered)
+    }
+
+    fn analytic(&self) -> Option<AnalyticOp> {
+        (**self).analytic()
     }
 }

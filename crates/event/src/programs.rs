@@ -22,7 +22,7 @@
 //! and the stencil also run in *data* mode carrying real values (used
 //! by the cross-backend identity tests, where results must match too).
 
-use crate::program::RankProgram;
+use crate::program::{AnalyticOp, RankProgram};
 use crate::step::{Delivered, Payload, Step};
 use psse_sim::{SharedPayload, Tag};
 use std::sync::Arc;
@@ -171,6 +171,15 @@ impl BinomialAllreduce {
 }
 
 impl RankProgram for BinomialAllreduce {
+    /// Counted runs are analytically priceable; data mode must step so
+    /// payloads actually merge.
+    fn analytic(&self) -> Option<AnalyticOp> {
+        match self.acc {
+            Buf::Counted(words) => Some(AnalyticOp::BinomialAllreduce { words }),
+            Buf::Data(_) => None,
+        }
+    }
+
     fn next(&mut self, delivered: Option<Delivered>) -> Step {
         let (g, v) = (self.p, self.me); // world group, root 0: v == me
         loop {
@@ -355,6 +364,14 @@ impl RecursiveDoublingAllreduce {
 }
 
 impl RankProgram for RecursiveDoublingAllreduce {
+    /// Counted runs are analytically priceable; data mode must step.
+    fn analytic(&self) -> Option<AnalyticOp> {
+        match self.acc {
+            Buf::Counted(words) => Some(AnalyticOp::RecursiveDoublingAllreduce { words }),
+            Buf::Data(_) => None,
+        }
+    }
+
     fn next(&mut self, delivered: Option<Delivered>) -> Step {
         loop {
             match self.st {
@@ -477,6 +494,14 @@ impl RingAllreduce {
 }
 
 impl RankProgram for RingAllreduce {
+    /// Counted runs are analytically priceable; data mode must step.
+    fn analytic(&self) -> Option<AnalyticOp> {
+        match self.acc {
+            Buf::Counted(words) => Some(AnalyticOp::RingAllreduce { words }),
+            Buf::Data(_) => None,
+        }
+    }
+
     fn next(&mut self, delivered: Option<Delivered>) -> Step {
         loop {
             match self.st {
